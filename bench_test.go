@@ -1,0 +1,286 @@
+package accelscore_test
+
+import (
+	"testing"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/dataset"
+	"accelscore/internal/experiments"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+)
+
+// This file holds one benchmark per paper table/figure (DESIGN.md §4) plus
+// the design-choice ablations (DESIGN.md §5). The figure benchmarks measure
+// the cost of regenerating the figure's data and attach the figure's key
+// simulated ratio as a custom metric, so `go test -bench=.` both exercises
+// the harness and reports the reproduced numbers.
+
+// BenchmarkFig1Shmoo regenerates the Fig. 1 optimal-backend concept grid.
+func BenchmarkFig1Shmoo(b *testing.B) {
+	tb := platform.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Advisor.Shmoo("IRIS", 4, 3, 10, experiments.RecordSweep, experiments.TreeSweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7FPGABreakdown regenerates the FPGA scoring-time breakdowns.
+func BenchmarkFig7FPGABreakdown(b *testing.B) {
+	s := experiments.NewSuite()
+	var rows []experiments.Fig7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = s.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the 1-record HIGGS/128-tree overall time in microseconds.
+	for _, r := range rows {
+		if r.Records == 1 && r.Dataset == "HIGGS" && r.Trees == 128 {
+			b.ReportMetric(float64(r.Total.Microseconds()), "1rec-total-µs")
+		}
+	}
+}
+
+// BenchmarkFig8OptimalBackend regenerates both shmoo grids with speedups.
+func BenchmarkFig8OptimalBackend(b *testing.B) {
+	s := experiments.NewSuite()
+	var higgs *experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if _, err = s.Fig8(experiments.IrisShape); err != nil {
+			b.Fatal(err)
+		}
+		if higgs, err = s.Fig8(experiments.HiggsShape); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := higgs.Cells[len(higgs.Cells)-1]
+	b.ReportMetric(last[len(last)-1].Speedup, "higgs-1M-128t-speedup")
+}
+
+// BenchmarkFig9Latency regenerates all eight latency panels.
+func BenchmarkFig9Latency(b *testing.B) {
+	s := experiments.NewSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Throughput regenerates all eight throughput panels and
+// reports the FPGA's peak throughput on the flagship panel.
+func BenchmarkFig10Throughput(b *testing.B) {
+	s := experiments.NewSuite()
+	var panels []experiments.Fig10Panel
+	var err error
+	for i := 0; i < b.N; i++ {
+		if panels, err = s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range panels {
+		if p.Label == "h" {
+			_, peak := p.PeakThroughput()
+			b.ReportMetric(peak/1e6, "peak-Mscorings/s")
+		}
+	}
+}
+
+// BenchmarkFig11EndToEnd regenerates the end-to-end query breakdowns and
+// reports the paper's ~2.6x HIGGS/1M query speedup.
+func BenchmarkFig11EndToEnd(b *testing.B) {
+	s := experiments.NewSuite()
+	var rows []experiments.Fig11Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rows, err = s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sp, err := experiments.QuerySpeedup(rows, "HIGGS", 128, 1_000_000); err == nil {
+		b.ReportMetric(sp, "e2e-speedup")
+	}
+}
+
+// BenchmarkHeadlineRatios recomputes the §IV-C headline numbers.
+func BenchmarkHeadlineRatios(b *testing.B) {
+	s := experiments.NewSuite()
+	var hs []experiments.Headline
+	var err error
+	for i := 0; i < b.N; i++ {
+		if hs, err = s.Headlines(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(hs[0].FPGASpeedup, "iris-fpga-x")
+	b.ReportMetric(hs[1].FPGASpeedup, "higgs-fpga-x")
+}
+
+// --- Design-choice ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationFPGAStreamOverlap quantifies the record-stream/compute
+// overlap of §IV-B: the metric is the slowdown from disabling it at 1M HIGGS
+// records.
+func BenchmarkAblationFPGAStreamOverlap(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(1, 10, 28, 2)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		with, err := tb.FPGA.Estimate(stats, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := tb.FPGA.WithoutOverlap().Estimate(stats, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(without.Total()) / float64(with.Total())
+	}
+	b.ReportMetric(ratio, "no-overlap-slowdown")
+}
+
+// BenchmarkAblationFPGABRAMSpill quantifies the BRAM-residency advantage the
+// paper credits for the FPGA's win (§IV-C1): scoring slowdown when tree
+// memories spill to device DRAM.
+func BenchmarkAblationFPGABRAMSpill(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 4, 3)
+	spilled := tb.FPGA.WithBRAMBytes(1 << 20)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fit, err := tb.FPGA.Estimate(stats, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, err := spilled.Estimate(stats, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(sp.Total()) / float64(fit.Total())
+	}
+	b.ReportMetric(ratio, "spill-slowdown")
+}
+
+// BenchmarkAblationRAPIDSConvertCost isolates the ~120 ms cuDF conversion
+// that moves the RAPIDS/Hummingbird crossover (§IV-C2).
+func BenchmarkAblationRAPIDSConvertCost(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	noConvert := tb.RAPIDS.WithoutConvertCost()
+	var deltaMs float64
+	for i := 0; i < b.N; i++ {
+		with, err := tb.RAPIDS.Estimate(stats, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := noConvert.Estimate(stats, 100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltaMs = float64((with.Total() - without.Total()).Milliseconds())
+	}
+	b.ReportMetric(deltaMs, "convert-cost-ms")
+}
+
+// BenchmarkAblationPipelineIntegration compares the external-Python pipeline
+// with the §IV-E tightly-integrated alternative at 1M HIGGS records.
+func BenchmarkAblationPipelineIntegration(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	loose := &pipeline.Pipeline{Runtime: hw.DefaultRuntime(), Registry: tb.Registry}
+	tight := &pipeline.Pipeline{Runtime: hw.TightlyIntegratedRuntime(), Registry: tb.Registry}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		lt, _, err := loose.Estimate(stats, 1_000_000, 1<<21, "FPGA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tt, _, err := tight.Estimate(stats, 1_000_000, 1<<21, "FPGA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(lt.Total()) / float64(tt.Total())
+	}
+	b.ReportMetric(ratio, "tight-integration-x")
+}
+
+// BenchmarkAblationAdvisorPolicies compares static always-CPU and
+// always-FPGA placement with the advisor's oracle across the Fig. 8 grid:
+// the metric is total simulated time of each policy over the sweep,
+// reproducing the wrong-decision penalties as an aggregate.
+func BenchmarkAblationAdvisorPolicies(b *testing.B) {
+	tb := platform.New()
+	var cpuTotal, fpgaTotal, oracleTotal float64
+	for i := 0; i < b.N; i++ {
+		cpuTotal, fpgaTotal, oracleTotal = 0, 0, 0
+		for _, n := range experiments.RecordSweep {
+			for _, trees := range experiments.TreeSweep {
+				cfg := core.Config{Features: 28, Classes: 2, Trees: trees, Depth: 10, Records: n}
+				d, err := tb.Advisor.Decide(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				oracleTotal += d.Best.Time.Seconds()
+				cpuTotal += d.BestCPU.Time.Seconds()
+				ftl, err := tb.FPGA.Estimate(cfg.Stats(), n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fpgaTotal += ftl.Total().Seconds()
+			}
+		}
+	}
+	b.ReportMetric(cpuTotal/oracleTotal, "always-cpu-vs-oracle")
+	b.ReportMetric(fpgaTotal/oracleTotal, "always-fpga-vs-oracle")
+}
+
+// --- Functional wall-clock benchmarks of the Go implementations ---
+
+// BenchmarkFunctionalAllBackends measures the real Go execution cost of
+// scoring 2K HIGGS records on each backend's functional simulator.
+func BenchmarkFunctionalAllBackends(b *testing.B) {
+	tb := platform.New()
+	data := dataset.Higgs(2000, 1)
+	f, err := forest.Train(dataset.Higgs(1500, 9), forest.ForestConfig{
+		NumTrees:  16,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &backend.Request{Forest: f, Data: data}
+	for _, be := range tb.AllBackends() {
+		b.Run(be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := be.Score(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFunctionalTraining measures forest induction cost.
+func BenchmarkFunctionalTraining(b *testing.B) {
+	data := dataset.Higgs(2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Train(data, forest.ForestConfig{
+			NumTrees:  8,
+			Tree:      forest.TrainConfig{MaxDepth: 8},
+			Seed:      uint64(i),
+			Bootstrap: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

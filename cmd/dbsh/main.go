@@ -1,0 +1,334 @@
+// Command dbsh is an interactive shell over the mini-DBMS: load datasets as
+// tables, train and store random-forest models, run SELECT queries and
+// EXEC sp_score_model scoring queries on any simulated backend, and inspect
+// the resulting latency breakdowns — the whole paper pipeline from a prompt.
+//
+// Usage:
+//
+//	dbsh            # interactive
+//	dbsh < script   # batch
+//
+// Type \help at the prompt for commands.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/model"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+const helpText = `commands:
+  \help                               this help
+  \tables                             list tables
+  \models                             list stored models
+  \load iris NAME [ROWS]              create table NAME from IRIS (replicated)
+  \load higgs NAME ROWS [SEED]        create table NAME from synthetic HIGGS
+  \train MODEL TABLE TREES DEPTH [rf|gbt]
+                                      train a random forest (default) or a
+                                      gradient-boosted ensemble, store as MODEL
+  \describe MODEL                     summarize a stored model
+  \dot MODEL [TREE]                   print one tree in Graphviz dot format
+  \backends                           list scoring backends
+  \save FILE                          persist the database to FILE
+  \open FILE                          replace the database with FILE's contents
+  \quit                               exit
+any other input is executed as SQL, e.g.
+  SELECT TOP 5 * FROM iris WHERE petal_width > 1.0
+  EXEC sp_score_model @model='m', @data='iris', @backend='FPGA'`
+
+// shell holds the session state.
+type shell struct {
+	db   *db.Database
+	pipe *pipeline.Pipeline
+	out  io.Writer
+}
+
+func main() {
+	tb := platform.New()
+	s := &shell{
+		db:  db.New(),
+		out: os.Stdout,
+	}
+	s.pipe = &pipeline.Pipeline{
+		DB:       s.db,
+		Runtime:  hw.DefaultRuntime(),
+		Registry: tb.Registry,
+		Advisor:  tb.Advisor,
+	}
+	fmt.Fprintln(s.out, "accelscore mini-DBMS shell — \\help for commands")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(s.out, "sql> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" {
+			if line == `\quit` || line == `\q` {
+				return
+			}
+			if err := s.dispatch(line); err != nil {
+				fmt.Fprintln(s.out, "error:", err)
+			}
+		}
+		fmt.Fprint(s.out, "sql> ")
+	}
+}
+
+// dispatch routes one input line.
+func (s *shell) dispatch(line string) error {
+	if strings.HasPrefix(line, `\`) {
+		return s.meta(line)
+	}
+	res, err := s.pipe.ExecQuery(line)
+	if err != nil {
+		return err
+	}
+	if res.Predictions != nil {
+		fmt.Fprintf(s.out, "scored %d records on %s (simulated %s end-to-end)\n",
+			len(res.Predictions), res.Backend, sim.FormatDuration(res.Timeline.Total()))
+		fmt.Fprintln(s.out, "breakdown:")
+		fmt.Fprint(s.out, res.Timeline.Aggregate())
+		return nil
+	}
+	s.printTable(res.Table, 20)
+	return nil
+}
+
+// meta executes a backslash command.
+func (s *shell) meta(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\help`, `\h`:
+		fmt.Fprintln(s.out, helpText)
+	case `\tables`:
+		for _, n := range s.db.TableNames() {
+			t, err := s.db.Table(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "%-20s %8d rows, %d columns\n", n, t.NumRows(), len(t.Columns))
+		}
+	case `\models`:
+		for _, n := range s.db.ModelNames() {
+			fmt.Fprintln(s.out, n)
+		}
+	case `\backends`:
+		for _, n := range s.pipe.Registry.Names() {
+			fmt.Fprintln(s.out, n)
+		}
+	case `\load`:
+		return s.load(fields[1:])
+	case `\save`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \save FILE`)
+		}
+		if err := s.db.SaveFile(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "saved to", fields[1])
+	case `\open`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \open FILE`)
+		}
+		loaded, err := db.LoadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		s.db = loaded
+		s.pipe.DB = loaded
+		fmt.Fprintf(s.out, "opened %s (%d tables)\n", fields[1], len(loaded.TableNames()))
+	case `\train`:
+		return s.train(fields[1:])
+	case `\describe`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \describe MODEL`)
+		}
+		blob, err := s.db.LoadModelBlob(fields[1])
+		if err != nil {
+			return err
+		}
+		f, err := model.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, model.Summary(f))
+	case `\dot`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \dot MODEL [TREE]`)
+		}
+		idx := 0
+		if len(fields) > 2 {
+			var err error
+			if idx, err = strconv.Atoi(fields[2]); err != nil {
+				return fmt.Errorf("bad tree index %q", fields[2])
+			}
+		}
+		blob, err := s.db.LoadModelBlob(fields[1])
+		if err != nil {
+			return err
+		}
+		f, err := model.Unmarshal(blob)
+		if err != nil {
+			return err
+		}
+		return model.WriteDot(s.out, f, idx)
+	default:
+		return fmt.Errorf("unknown command %s (\\help for help)", fields[0])
+	}
+	return nil
+}
+
+// load implements \load iris|higgs.
+func (s *shell) load(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf(`usage: \load iris NAME [ROWS] | \load higgs NAME ROWS [SEED]`)
+	}
+	var data *dataset.Dataset
+	switch args[0] {
+	case "iris":
+		data = dataset.Iris()
+		if len(args) > 2 {
+			rows, err := strconv.Atoi(args[2])
+			if err != nil || rows <= 0 {
+				return fmt.Errorf("bad row count %q", args[2])
+			}
+			data = data.Replicate(rows)
+		}
+	case "higgs":
+		if len(args) < 3 {
+			return fmt.Errorf(`usage: \load higgs NAME ROWS [SEED]`)
+		}
+		rows, err := strconv.Atoi(args[2])
+		if err != nil || rows <= 0 {
+			return fmt.Errorf("bad row count %q", args[2])
+		}
+		seed := uint64(1)
+		if len(args) > 3 {
+			v, err := strconv.ParseUint(args[3], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q", args[3])
+			}
+			seed = v
+		}
+		data = dataset.Higgs(rows, seed)
+	default:
+		return fmt.Errorf("unknown dataset %q (iris or higgs)", args[0])
+	}
+	tbl, err := db.TableFromDataset(args[1], data)
+	if err != nil {
+		return err
+	}
+	if err := s.db.CreateTable(tbl); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "created table %s (%d rows)\n", args[1], tbl.NumRows())
+	return nil
+}
+
+// train implements \train MODEL TABLE TREES DEPTH [rf|gbt].
+func (s *shell) train(args []string) error {
+	if len(args) != 4 && len(args) != 5 {
+		return fmt.Errorf(`usage: \train MODEL TABLE TREES DEPTH [rf|gbt]`)
+	}
+	tbl, err := s.db.Table(args[1])
+	if err != nil {
+		return err
+	}
+	data, err := db.DatasetFromTable(tbl)
+	if err != nil {
+		return err
+	}
+	trees, err := strconv.Atoi(args[2])
+	if err != nil || trees <= 0 {
+		return fmt.Errorf("bad tree count %q", args[2])
+	}
+	depth, err := strconv.Atoi(args[3])
+	if err != nil || depth <= 0 {
+		return fmt.Errorf("bad depth %q", args[3])
+	}
+	family := "rf"
+	if len(args) == 5 {
+		family = args[4]
+	}
+	var f *forest.Forest
+	switch family {
+	case "rf":
+		f, err = forest.Train(data, forest.ForestConfig{
+			NumTrees:  trees,
+			Tree:      forest.TrainConfig{MaxDepth: depth},
+			Seed:      1,
+			Bootstrap: true,
+		})
+	case "gbt":
+		f, err = forest.TrainBoosted(data, forest.BoostConfig{
+			NumTrees: trees,
+			MaxDepth: depth,
+			Seed:     1,
+		})
+	default:
+		return fmt.Errorf("unknown model family %q (rf or gbt)", family)
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.db.StoreModel(args[0], f); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "stored %s — %s (training accuracy %.3f)\n",
+		args[0], model.Summary(f), f.Accuracy(data))
+	return nil
+}
+
+// printTable renders at most limit rows of a result table.
+func (s *shell) printTable(t *db.Table, limit int) {
+	if t == nil {
+		return
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(s.out, " | ")
+		}
+		fmt.Fprintf(s.out, "%s", c.Name)
+	}
+	fmt.Fprintln(s.out)
+	n := t.NumRows()
+	shown := n
+	if shown > limit {
+		shown = limit
+	}
+	for r := 0; r < shown; r++ {
+		for c, col := range t.Columns {
+			if c > 0 {
+				fmt.Fprint(s.out, " | ")
+			}
+			v := t.Cell(r, c)
+			switch col.Type {
+			case db.Float32Col:
+				fmt.Fprintf(s.out, "%g", v.F)
+			case db.Int64Col:
+				fmt.Fprintf(s.out, "%d", v.I)
+			case db.TextCol:
+				fmt.Fprint(s.out, v.S)
+			case db.BlobCol:
+				fmt.Fprintf(s.out, "<blob %dB>", len(v.B))
+			}
+		}
+		fmt.Fprintln(s.out)
+	}
+	if n > shown {
+		fmt.Fprintf(s.out, "... (%d rows total)\n", n)
+	} else {
+		fmt.Fprintf(s.out, "(%d rows)\n", n)
+	}
+}

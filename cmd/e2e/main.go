@@ -1,0 +1,107 @@
+// Command e2e runs a T-SQL scoring query through the mini-DBMS pipeline end
+// to end — training a model, storing it in the database, executing
+// EXEC sp_score_model — and prints the Fig. 11 stage breakdown plus the
+// backend's own Fig. 7-style component breakdown.
+//
+// Usage:
+//
+//	e2e [-dataset IRIS|HIGGS] [-trees N] [-depth N] [-records N]
+//	    [-backend NAME|auto] [-tight]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+func main() {
+	ds := flag.String("dataset", "IRIS", "dataset: IRIS or HIGGS")
+	trees := flag.Int("trees", 32, "number of trees")
+	depth := flag.Int("depth", 10, "maximum tree depth")
+	records := flag.Int("records", 10000, "records to score")
+	backendName := flag.String("backend", "auto", "backend name or 'auto'")
+	tight := flag.Bool("tight", false, "use the tightly-integrated (in-process) pipeline")
+	flag.Parse()
+
+	if err := run(*ds, *trees, *depth, *records, *backendName, *tight); err != nil {
+		fmt.Fprintln(os.Stderr, "e2e:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, trees, depth, records int, backendName string, tight bool) error {
+	var data *dataset.Dataset
+	switch ds {
+	case "IRIS":
+		data = dataset.Iris()
+	case "HIGGS":
+		data = dataset.Higgs(4000, 1)
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+
+	fmt.Printf("training %d-tree depth-%d random forest on %s...\n", trees, depth, ds)
+	f, err := forest.Train(data, forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		return err
+	}
+	stats := f.ComputeStats()
+	fmt.Printf("model: %d trees, max depth %d, %d nodes, avg path %.1f\n\n",
+		stats.Trees, stats.MaxDepth, stats.TotalNodes, stats.AvgPathLength)
+
+	database := db.New()
+	scoring := data.Replicate(records)
+	tbl, err := db.TableFromDataset("scoring_data", scoring)
+	if err != nil {
+		return err
+	}
+	if err := database.CreateTable(tbl); err != nil {
+		return err
+	}
+	if err := database.StoreModel("rf_model", f); err != nil {
+		return err
+	}
+
+	tb := platform.New()
+	runtime := hw.DefaultRuntime()
+	if tight {
+		runtime = hw.TightlyIntegratedRuntime()
+	}
+	p := &pipeline.Pipeline{
+		DB:       database,
+		Runtime:  runtime,
+		Registry: tb.Registry,
+		Advisor:  tb.Advisor,
+	}
+
+	query := fmt.Sprintf("EXEC sp_score_model @model = 'rf_model', @data = 'scoring_data', @backend = '%s'", backendName)
+	fmt.Println("executing:", query)
+	res, err := p.ExecQuery(query)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nscored %d records on %s (pipeline: %s)\n\n", len(res.Predictions), res.Backend, runtime.Name)
+	fmt.Println("end-to-end query breakdown (Fig. 11):")
+	fmt.Println(res.Timeline.Aggregate())
+	fmt.Println("scoring-stage component breakdown (Fig. 7):")
+	fmt.Println(res.ScoringDetail.Aggregate())
+	fmt.Printf("simulated end-to-end latency: %s, scoring throughput: %.2f M records/s\n",
+		sim.FormatDuration(res.Timeline.Total()),
+		sim.Throughput(len(res.Predictions), res.ScoringDetail.Total())/1e6)
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command modelinfo works with RFX model files on disk: train new models,
+// inspect stored ones, export Graphviz renderings, and validate blobs.
+//
+// Usage:
+//
+//	modelinfo train -o model.rfx [-dataset IRIS|HIGGS] [-trees N] [-depth N] [-family rf|gbt]
+//	modelinfo info  model.rfx
+//	modelinfo dot   model.rfx [-tree N]
+//	modelinfo validate model.rfx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  modelinfo train -o FILE [-dataset IRIS|HIGGS] [-trees N] [-depth N] [-family rf|gbt]
+  modelinfo info FILE
+  modelinfo dot FILE [-tree N]
+  modelinfo validate FILE`)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("o", "", "output RFX file (required)")
+	ds := fs.String("dataset", "IRIS", "training dataset: IRIS or HIGGS")
+	trees := fs.Int("trees", 16, "number of trees")
+	depth := fs.Int("depth", 10, "maximum depth")
+	family := fs.String("family", "rf", "model family: rf or gbt")
+	seed := fs.Uint64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("train requires -o FILE")
+	}
+	var data *dataset.Dataset
+	switch *ds {
+	case "IRIS":
+		data = dataset.Iris()
+	case "HIGGS":
+		data = dataset.Higgs(4000, *seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", *ds)
+	}
+	var f *forest.Forest
+	var err error
+	switch *family {
+	case "rf":
+		f, err = forest.Train(data, forest.ForestConfig{
+			NumTrees:  *trees,
+			Tree:      forest.TrainConfig{MaxDepth: *depth},
+			Seed:      *seed,
+			Bootstrap: true,
+		})
+	case "gbt":
+		f, err = forest.TrainBoosted(data, forest.BoostConfig{
+			NumTrees: *trees, MaxDepth: *depth, Seed: *seed,
+		})
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	if err != nil {
+		return err
+	}
+	blob, err := model.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes) — %s, training accuracy %.3f\n",
+		*out, len(blob), model.Summary(f), f.Accuracy(data))
+	return nil
+}
+
+func loadModel(path string) (*forest.Forest, []byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := model.Unmarshal(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, blob, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info requires exactly one FILE")
+	}
+	f, blob, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	stats := f.ComputeStats()
+	fmt.Println(model.Summary(f))
+	fmt.Printf("blob size: %d bytes\n", len(blob))
+	fmt.Printf("avg path length: %.2f\n", stats.AvgPathLength)
+	fmt.Printf("features: %v\n", f.FeatureNames)
+	fmt.Printf("classes: %v\n", f.ClassNames)
+	if f.Kind == forest.Boosted {
+		fmt.Printf("base score (log-odds): %.4f\n", f.BaseScore)
+	}
+	fmt.Println("\ntop features by importance:")
+	for i, r := range f.RankedImportance() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-28s %.3f\n", r.Name, r.Importance)
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	tree := fs.Int("tree", 0, "tree index to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dot requires exactly one FILE")
+	}
+	f, _, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return model.WriteDot(os.Stdout, f, *tree)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate requires exactly one FILE")
+	}
+	f, blob, err := loadModel(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid RFX blob (%d bytes, CRC ok) — %s\n", fs.Arg(0), len(blob), model.Summary(f))
+	return nil
+}

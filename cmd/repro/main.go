@@ -1,0 +1,180 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section and writes the renderings to stdout or a directory.
+//
+// Usage:
+//
+//	repro [-fig 1|7|8|9|10|11|headline|ext|report|all] [-out DIR] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accelscore/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 1, 7, 8, 9, 10, 11, headline, ext, report, or all")
+	out := flag.String("out", "", "directory to write per-figure .txt files (default: stdout)")
+	csvOut := flag.Bool("csv", false, "also write machine-readable .csv files (requires -out)")
+	flag.Parse()
+
+	if *csvOut && *out == "" {
+		fmt.Fprintln(os.Stderr, "repro: -csv requires -out")
+		os.Exit(1)
+	}
+	s := experiments.NewSuite()
+	sections, err := build(s, *fig, *csvOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		for _, sec := range sections {
+			if !sec.csv {
+				fmt.Println(sec.body)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	for _, sec := range sections {
+		path := filepath.Join(*out, sec.file)
+		if err := os.WriteFile(path, []byte(sec.body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+type section struct {
+	file string
+	body string
+	csv  bool
+}
+
+func build(s *experiments.Suite, fig string, withCSV bool) ([]section, error) {
+	var out []section
+	want := func(name string) bool { return fig == "all" || fig == name }
+
+	if want("1") {
+		r, err := s.Fig1()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "fig1.txt", body: experiments.RenderFig1(r)})
+	}
+	if want("7") {
+		rows, err := s.Fig7()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "fig7.txt", body: experiments.RenderFig7(rows)})
+	}
+	if want("8") {
+		for _, shape := range []experiments.DatasetShape{experiments.IrisShape, experiments.HiggsShape} {
+			r, err := s.Fig8(shape)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, section{file: fmt.Sprintf("fig8_%s.txt", shape.Name), body: experiments.RenderFig8(r)})
+			if withCSV {
+				var buf strings.Builder
+				if err := experiments.WriteFig8CSV(&buf, r); err != nil {
+					return nil, err
+				}
+				out = append(out, section{file: fmt.Sprintf("fig8_%s.csv", shape.Name), body: buf.String(), csv: true})
+			}
+		}
+	}
+	if want("9") {
+		panels, err := s.Fig9()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "fig9.txt", body: experiments.RenderFig9(panels)})
+		if withCSV {
+			var buf strings.Builder
+			if err := experiments.WriteFig9CSV(&buf, panels); err != nil {
+				return nil, err
+			}
+			out = append(out, section{file: "fig9.csv", body: buf.String(), csv: true})
+		}
+	}
+	if want("10") {
+		panels, err := s.Fig10()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "fig10.txt", body: experiments.RenderFig10(panels)})
+		if withCSV {
+			var buf strings.Builder
+			if err := experiments.WriteFig10CSV(&buf, panels); err != nil {
+				return nil, err
+			}
+			out = append(out, section{file: "fig10.csv", body: buf.String(), csv: true})
+		}
+	}
+	if want("11") {
+		rows, err := s.Fig11()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "fig11.txt", body: experiments.RenderFig11(rows)})
+		if withCSV {
+			var buf strings.Builder
+			if err := experiments.WriteFig11CSV(&buf, rows); err != nil {
+				return nil, err
+			}
+			out = append(out, section{file: "fig11.csv", body: buf.String(), csv: true})
+		}
+	}
+	if want("headline") {
+		hs, err := s.Headlines()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "headline.txt", body: experiments.RenderHeadlines(hs)})
+	}
+	if want("report") {
+		md, _, err := s.Report()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, section{file: "report.md", body: md})
+	}
+	if want("ext") {
+		sc, err := s.SchedulerExperiment(500, 1)
+		if err != nil {
+			return nil, err
+		}
+		fits, err := s.LogCAExperiment()
+		if err != nil {
+			return nil, err
+		}
+		sens, err := s.Sensitivity([]float64{0.5, 1, 2})
+		if err != nil {
+			return nil, err
+		}
+		fpgaRows, cpuRows, err := s.ScaleOut()
+		if err != nil {
+			return nil, err
+		}
+		body := experiments.RenderScheduler(sc) + "\n" +
+			experiments.RenderLogCA(fits) + "\n" +
+			experiments.RenderSensitivity(sens) + "\n" +
+			experiments.RenderScaleOut(fpgaRows, cpuRows)
+		out = append(out, section{file: "extensions.txt", body: body})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("unknown figure %q", fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Command rfscore trains a random forest and scores a batch on a chosen
+// backend, printing prediction accuracy and the simulated latency breakdown.
+// It is the smallest way to drive one scoring operation through the library.
+//
+// Usage:
+//
+//	rfscore [-dataset IRIS|HIGGS] [-trees N] [-depth N] [-records N]
+//	        [-backend NAME] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+func main() {
+	ds := flag.String("dataset", "IRIS", "dataset: IRIS or HIGGS")
+	trees := flag.Int("trees", 16, "number of trees")
+	depth := flag.Int("depth", 10, "maximum tree depth")
+	records := flag.Int("records", 10000, "records to score")
+	backendName := flag.String("backend", "CPU_SKLearn", "backend to score on")
+	compare := flag.Bool("compare", false, "score on every backend and compare simulated latencies")
+	flag.Parse()
+
+	if err := run(*ds, *trees, *depth, *records, *backendName, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "rfscore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, trees, depth, records int, backendName string, compare bool) error {
+	var train *dataset.Dataset
+	switch ds {
+	case "IRIS":
+		train = dataset.Iris()
+	case "HIGGS":
+		train = dataset.Higgs(4000, 1)
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+
+	f, err := forest.Train(train, forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		return err
+	}
+	stats := f.ComputeStats()
+	fmt.Printf("model: %d trees, max depth %d, avg path %.1f, training accuracy %.3f\n",
+		stats.Trees, stats.MaxDepth, stats.AvgPathLength, f.Accuracy(train))
+
+	data := train.Replicate(records)
+	req := &backend.Request{Forest: f, Data: data}
+	tb := platform.New()
+
+	if compare {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "backend\tsimulated latency\tthroughput (M/s)\tO\tL\tC")
+		for _, b := range tb.AllBackends() {
+			res, err := b.Score(req)
+			if err != nil {
+				fmt.Fprintf(w, "%s\tunsupported: %v\t\t\t\t\n", b.Name(), err)
+				continue
+			}
+			olc := core.Decompose(&res.Timeline)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%s\t%s\t%s\n",
+				b.Name(), sim.FormatDuration(res.Latency()), res.Throughput()/1e6,
+				sim.FormatDuration(olc.O), sim.FormatDuration(olc.L), sim.FormatDuration(olc.C))
+		}
+		return w.Flush()
+	}
+
+	b, ok := tb.Registry.Get(backendName)
+	if !ok {
+		return fmt.Errorf("backend %q not registered (have %v)", backendName, tb.Registry.Names())
+	}
+	res, err := b.Score(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nscored %d records on %s\n\n", len(res.Predictions), b.Name())
+	fmt.Println(res.Timeline.Aggregate())
+	fmt.Printf("throughput: %.3f M records/s\n", res.Throughput()/1e6)
+	return nil
+}

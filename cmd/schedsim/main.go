@@ -1,0 +1,117 @@
+// Command schedsim simulates a stream of DBMS scoring queries under
+// different offload-placement policies — static CPU, static FPGA, the
+// queue-oblivious oracle, and the contention-aware dynamic scheduler the
+// paper's §I motivates — and prints latency/utilization metrics per policy.
+//
+// Usage:
+//
+//	schedsim [-queries N] [-seed N] [-interarrival DUR] [-min N] [-max N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"accelscore/internal/platform"
+	"accelscore/internal/sched"
+	"accelscore/internal/sim"
+)
+
+func main() {
+	queries := flag.Int("queries", 500, "number of queries in the stream")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	interarrival := flag.Duration("interarrival", 20*time.Millisecond, "mean interarrival time")
+	minRecords := flag.Int64("min", 1, "minimum records per query")
+	maxRecords := flag.Int64("max", 1_000_000, "maximum records per query")
+	trace := flag.Bool("trace", false, "print a per-device Gantt trace for each policy")
+	saveTrace := flag.String("save", "", "write the generated workload to a CSV trace file")
+	loadTrace := flag.String("load", "", "replay a workload from a CSV trace file instead of generating one")
+	flag.Parse()
+
+	var qs []sched.Query
+	var err error
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		qs, err = sched.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		*queries = len(qs)
+	} else {
+		cfg := sched.DefaultWorkload(*queries, *seed)
+		cfg.MeanInterarrival = *interarrival
+		cfg.MinRecords = *minRecords
+		cfg.MaxRecords = *maxRecords
+		qs, err = sched.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		err = sched.WriteTrace(f, qs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("saved trace to", *saveTrace)
+	}
+	tb := platform.New()
+	simulator := &sched.Simulator{Registry: tb.Registry}
+	policies := []sched.Policy{
+		sched.Static{BackendName: "CPU_SKLearn", Registry: tb.Registry},
+		sched.Static{BackendName: "FPGA", Registry: tb.Registry},
+		sched.Oracle{Advisor: tb.Advisor},
+		sched.ContentionAware{Advisor: tb.Advisor},
+	}
+	fmt.Printf("workload: %d queries, mean interarrival %v, records %d..%d, HIGGS-shaped models\n\n",
+		*queries, *interarrival, *minRecords, *maxRecords)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tmakespan\tmean\tp50\tp99\toffloaded\tcpu util\tgpu util\tfpga util")
+	for _, policy := range policies {
+		comps, m, err := simulator.Run(policy, qs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			m.Policy,
+			sim.FormatDuration(m.Makespan),
+			sim.FormatDuration(m.MeanLatency),
+			sim.FormatDuration(m.P50),
+			sim.FormatDuration(m.P99),
+			m.Offloaded, *queries,
+			100*m.Utilization(sched.DeviceCPU),
+			100*m.Utilization(sched.DeviceGPU),
+			100*m.Utilization(sched.DeviceFPGA),
+		)
+		if *trace {
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "schedsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n%s:\n%s\n", policy.Name(), sched.RenderTrace(comps, 100))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		os.Exit(1)
+	}
+}

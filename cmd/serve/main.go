@@ -1,0 +1,168 @@
+// Command serve exposes the reproduction as a small web dashboard: each
+// paper figure regenerates on request and renders as preformatted text, so
+// results can be browsed without a terminal.
+//
+// Usage:
+//
+//	serve [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+
+	"accelscore/internal/experiments"
+)
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>accelscore — {{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; max-width: 100rem; }
+pre  { background: #f6f6f6; padding: 1rem; overflow-x: auto; }
+nav a { margin-right: 1rem; }
+</style>
+</head>
+<body>
+<h1>accelscore</h1>
+<p>Reproduction of "Hardware Acceleration for DBMS ML Scoring: Is It Worth
+the Overheads?" (ISPASS 2021). Every figure below is regenerated live from
+the calibrated simulators.</p>
+<nav>{{range .Nav}}<a href="{{.Href}}">{{.Label}}</a>{{end}}</nav>
+<h2>{{.Title}}</h2>
+<pre>{{.Body}}</pre>
+</body>
+</html>`))
+
+type navEntry struct {
+	Href  string
+	Label string
+}
+
+var nav = []navEntry{
+	{"/fig/headline", "Headlines"},
+	{"/fig/7", "Fig. 7"},
+	{"/fig/8", "Fig. 8"},
+	{"/fig/9", "Fig. 9"},
+	{"/fig/10", "Fig. 10"},
+	{"/fig/11", "Fig. 11"},
+	{"/fig/ext", "Extensions"},
+}
+
+// server regenerates figures on demand.
+type server struct {
+	suite *experiments.Suite
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	s := &server{suite: experiments.NewSuite()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/fig/", s.handleFig)
+	log.Printf("accelscore dashboard listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, "Index", "Pick a figure from the navigation bar above.\n\n"+
+		"Figures 7-11 mirror the paper's evaluation section; Extensions holds\n"+
+		"the dynamic-scheduling, LogCA and calibration-sensitivity studies.")
+}
+
+func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
+	fig := strings.TrimPrefix(r.URL.Path, "/fig/")
+	body, err := s.build(fig)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.render(w, "Figure "+fig, body)
+}
+
+// build regenerates one figure's text rendering.
+func (s *server) build(fig string) (string, error) {
+	switch fig {
+	case "7":
+		rows, err := s.suite.Fig7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7(rows), nil
+	case "8":
+		var sb strings.Builder
+		for _, shape := range []experiments.DatasetShape{experiments.IrisShape, experiments.HiggsShape} {
+			res, err := s.suite.Fig8(shape)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(experiments.RenderFig8(res))
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	case "9":
+		panels, err := s.suite.Fig9()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig9(panels), nil
+	case "10":
+		panels, err := s.suite.Fig10()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig10(panels), nil
+	case "11":
+		rows, err := s.suite.Fig11()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig11(rows), nil
+	case "headline":
+		hs, err := s.suite.Headlines()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderHeadlines(hs), nil
+	case "ext":
+		sc, err := s.suite.SchedulerExperiment(300, 1)
+		if err != nil {
+			return "", err
+		}
+		fits, err := s.suite.LogCAExperiment()
+		if err != nil {
+			return "", err
+		}
+		sens, err := s.suite.Sensitivity([]float64{0.5, 1, 2})
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderScheduler(sc) + "\n" +
+			experiments.RenderLogCA(fits) + "\n" +
+			experiments.RenderSensitivity(sens), nil
+	default:
+		return "", fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func (s *server) render(w http.ResponseWriter, title, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err := pageTmpl.Execute(w, struct {
+		Title string
+		Body  string
+		Nav   []navEntry
+	}{Title: title, Body: body, Nav: nav})
+	if err != nil {
+		log.Printf("render: %v", err)
+	}
+}

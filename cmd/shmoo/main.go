@@ -1,0 +1,47 @@
+// Command shmoo prints the optimal-backend grid of Fig. 1 / Fig. 8: which
+// hardware wins for each (record count, tree count) combination and by how
+// much.
+//
+// Usage:
+//
+//	shmoo [-dataset IRIS|HIGGS] [-depth N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accelscore/internal/experiments"
+)
+
+func main() {
+	ds := flag.String("dataset", "both", "dataset to sweep: IRIS, HIGGS or both")
+	flag.Parse()
+
+	s := experiments.NewSuite()
+	shapes := map[string]experiments.DatasetShape{
+		"IRIS":  experiments.IrisShape,
+		"HIGGS": experiments.HiggsShape,
+	}
+	var todo []experiments.DatasetShape
+	switch *ds {
+	case "both":
+		todo = []experiments.DatasetShape{experiments.IrisShape, experiments.HiggsShape}
+	default:
+		shape, ok := shapes[*ds]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shmoo: unknown dataset %q (use IRIS or HIGGS)\n", *ds)
+			os.Exit(1)
+		}
+		todo = []experiments.DatasetShape{shape}
+	}
+	for _, shape := range todo {
+		r, err := s.Fig8(shape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shmoo:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderFig8(r))
+	}
+}

@@ -1,0 +1,102 @@
+// Custom backend: implement a user-defined accelerator against the public
+// Backend interface and let the offload advisor weigh it against the
+// built-in CPU/GPU/FPGA engines. The example models a TPU-like tensor
+// accelerator: enormous batch compute rate, but a large per-invocation
+// dispatch cost — so the advisor only picks it for the very largest jobs.
+//
+// Run with:
+//
+//	go run ./examples/custom_backend
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+// tpu is a toy tensor accelerator implementing backend.Backend.
+type tpu struct{}
+
+func (tpu) Name() string { return "TPU_LIKE" }
+
+// Score computes real predictions (plain forest evaluation stands in for
+// the tensorized kernels) and charges the TPU timing model.
+func (t tpu) Score(req *backend.Request) (*backend.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	preds := req.Forest.PredictBatch(req.Data)
+	tl, err := t.Estimate(req.Forest.ComputeStats(), int64(req.Data.NumRecords()))
+	if err != nil {
+		return nil, err
+	}
+	res := &backend.Result{Predictions: preds}
+	res.Timeline.Extend(tl)
+	return res, nil
+}
+
+// Estimate: a 40 ms dispatch floor, then 60G node-visits/s.
+func (tpu) Estimate(stats forest.Stats, records int64) (*sim.Timeline, error) {
+	var tl sim.Timeline
+	tl.Add("tpu dispatch", sim.KindOverhead, 40*time.Millisecond)
+	tl.Add("input transfer", sim.KindTransfer,
+		time.Duration(float64(records*int64(stats.Features)*4)/16e9*float64(time.Second)))
+	visits := stats.Visits(records)
+	tl.Add("scoring", sim.KindCompute, time.Duration(float64(visits)/60e9*float64(time.Second)))
+	return &tl, nil
+}
+
+func main() {
+	tb := platform.New()
+	if err := tb.Registry.Register(tpu{}); err != nil {
+		log.Fatal(err)
+	}
+	// Add the TPU to the advisor's accelerator set.
+	tb.Advisor.Accelerators = append(tb.Advisor.Accelerators, tpu{})
+
+	shape := core.Config{DatasetName: "HIGGS", Features: 28, Classes: 2, Trees: 128, Depth: 10}
+	fmt.Println("best backend by record count (TPU_LIKE registered):")
+	for _, n := range []int64{1_000, 100_000, 1_000_000, 10_000_000} {
+		cfg := shape
+		cfg.Records = n
+		d, err := tb.Advisor.Decide(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %10d records -> %-10s (%s, %.1fx over CPU)\n",
+			n, d.Best.Name, sim.FormatDuration(d.Best.Time), d.Speedup)
+	}
+
+	// The custom backend also scores for real.
+	f, err := forest.Train(dataset.Higgs(2000, 1), forest.ForestConfig{
+		NumTrees:  8,
+		Tree:      forest.TrainConfig{MaxDepth: 8},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := dataset.Higgs(500, 2)
+	res, err := tpu{}.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	want := f.PredictBatch(data)
+	for i := range want {
+		if res.Predictions[i] == want[i] {
+			agree++
+		}
+	}
+	fmt.Printf("\nTPU_LIKE scored %d records, %d/%d agree with the reference forest\n",
+		len(res.Predictions), agree, len(want))
+}

@@ -1,0 +1,66 @@
+// LogCA fit: summarize each detailed accelerator simulator with the LogCA
+// analytical model (Altaf & Wood, ISCA'17 — the paper's ref [42]) and
+// compare the model's break-even granularity against the simulator's own
+// offload crossover. Demonstrates how a five-parameter analytical model
+// captures — and where it misses — the detailed offload behavior.
+//
+// Run with:
+//
+//	go run ./examples/logca_fit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelscore/internal/core"
+	"accelscore/internal/forest"
+	"accelscore/internal/logca"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+func main() {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2) // HIGGS flagship shape
+
+	fmt.Println("LogCA fits (host = CPU_SKLearn, workload = HIGGS 128 trees depth 10):")
+	for _, name := range []string{"FPGA", "GPU_HB", "GPU_RAPIDS"} {
+		accel, _ := tb.Registry.Get(name)
+		m, err := logca.Fit(name, tb.SKLearn, accel, stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g1, ok := m.G1()
+		g1str := "never"
+		if ok {
+			g1str = fmt.Sprintf("%d records", g1)
+		}
+		fmt.Printf("\n%s:\n", name)
+		fmt.Printf("  o (offload overhead):    %s\n", sim.FormatDuration(m.Overhead))
+		fmt.Printf("  C (host ns/record):      %.0f\n", float64(m.HostTimePerRecord))
+		fmt.Printf("  A (acceleration):        %.1fx\n", m.Acceleration)
+		fmt.Printf("  g1 (break-even):         %s\n", g1str)
+		fmt.Printf("  asymptotic speedup:      %.1fx\n", m.AsymptoticSpeedup())
+
+		// Compare the analytical prediction with the detailed simulator at
+		// three granularities.
+		for _, g := range []int64{1_000, 100_000, 1_000_000} {
+			tl, err := accel.Estimate(stats, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  @%-9d LogCA %-12s simulator %-12s\n",
+				g, sim.FormatDuration(m.AcceleratorTime(g)), sim.FormatDuration(tl.Total()))
+		}
+	}
+
+	// The simulator's own crossover for reference.
+	cross, err := tb.Advisor.Crossover(core.Config{
+		Features: 28, Classes: 2, Trees: 128, Depth: 10,
+	}, 1, 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndetailed-simulator offload crossover: %d records\n", cross)
+}

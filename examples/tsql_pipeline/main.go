@@ -1,0 +1,88 @@
+// T-SQL pipeline: the full Fig. 2 flow. A random forest is trained and
+// stored in the mini-DBMS's models table; the scoring data lives in a
+// regular table; a T-SQL EXEC query scores it through the external-runtime
+// pipeline with the scoring stage offloaded to the simulated FPGA; the
+// result is a prediction table plus the Fig. 11 end-to-end breakdown.
+//
+// Run with:
+//
+//	go run ./examples/tsql_pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+)
+
+func main() {
+	// Train a classifier on synthetic HIGGS and store it in the database,
+	// serialized, exactly as the paper's Fig. 3 workflow assumes.
+	training := dataset.Higgs(4000, 1)
+	f, err := forest.Train(training, forest.ForestConfig{
+		NumTrees:  64,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      3,
+		Bootstrap: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	database := db.New()
+	if err := database.StoreModel("higgs_rf", f); err != nil {
+		log.Fatal(err)
+	}
+	scoring := dataset.Higgs(50_000, 2)
+	tbl, err := db.TableFromDataset("higgs_events", scoring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := database.CreateTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+
+	// Plain SELECTs work against the same database.
+	sel, _, err := database.Query("SELECT TOP 3 lepton_pT, m_bb, label FROM higgs_events WHERE m_bb > 1.2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample query returned %d rows; first m_bb = %.3f\n\n",
+		sel.NumRows(), sel.Cell(0, 1).F)
+
+	// The scoring query, offloaded to the FPGA.
+	tb := platform.New()
+	p := &pipeline.Pipeline{
+		DB:       database,
+		Runtime:  hw.DefaultRuntime(),
+		Registry: tb.Registry,
+		Advisor:  tb.Advisor,
+	}
+	query := "EXEC sp_score_model @model = 'higgs_rf', @data = 'higgs_events', @backend = 'FPGA'"
+	fmt.Println("executing:", query)
+	res, err := p.ExecQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Accuracy against the generator's labels.
+	correct := 0
+	for i, pred := range res.Predictions {
+		if pred == scoring.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("\nscored %d events on %s; accuracy vs generator labels: %.3f\n\n",
+		len(res.Predictions), res.Backend, float64(correct)/float64(len(res.Predictions)))
+
+	fmt.Println("end-to-end query breakdown (Fig. 11):")
+	fmt.Print(res.Timeline.Aggregate())
+	fmt.Println("\nscoring-stage breakdown (Fig. 7):")
+	fmt.Print(res.ScoringDetail.Aggregate())
+}

@@ -1,0 +1,3 @@
+module accelscore
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package backend defines the common interface every scoring engine
+// implements — the CPU engines, the GPU libraries, the FPGA inference
+// engine, and any user-supplied accelerator — plus the registry that the
+// offload advisor enumerates.
+//
+// Each backend is a functional simulator with a calibrated timing model
+// (DESIGN.md "Timing-model philosophy"): Score really computes predictions
+// and returns a simulated latency timeline; Estimate returns the same
+// timeline for a hypothetical model/record-count without touching data,
+// which is what the figure sweeps and the advisor use at 1M-record scale.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/sim"
+)
+
+// Request carries one scoring operation.
+type Request struct {
+	// Forest is the model to score.
+	Forest *forest.Forest
+	// Data holds the records to score.
+	Data *dataset.Dataset
+}
+
+// Validate checks the request is complete and consistent.
+func (r *Request) Validate() error {
+	if r.Forest == nil {
+		return fmt.Errorf("backend: request has no model")
+	}
+	if r.Data == nil {
+		return fmt.Errorf("backend: request has no data")
+	}
+	if err := r.Forest.Validate(); err != nil {
+		return err
+	}
+	if err := r.Data.Validate(); err != nil {
+		return err
+	}
+	if r.Data.NumFeatures() != r.Forest.NumFeatures {
+		return fmt.Errorf("backend: data has %d features, model expects %d",
+			r.Data.NumFeatures(), r.Forest.NumFeatures)
+	}
+	return nil
+}
+
+// Result is the outcome of one scoring operation.
+type Result struct {
+	// Predictions holds one class id per input record.
+	Predictions []int
+	// Timeline is the simulated latency breakdown of the operation.
+	Timeline sim.Timeline
+}
+
+// Latency is the simulated end-to-end scoring time (the paper's "overall
+// model scoring time", §IV-B).
+func (r *Result) Latency() time.Duration { return r.Timeline.Total() }
+
+// Throughput returns scored records per second.
+func (r *Result) Throughput() float64 {
+	return sim.Throughput(len(r.Predictions), r.Latency())
+}
+
+// Backend is a scoring engine.
+type Backend interface {
+	// Name is the display name used in figures ("CPU_SKLearn", "FPGA", ...).
+	Name() string
+	// Score runs the model over the data, returning real predictions and
+	// the simulated latency timeline.
+	Score(req *Request) (*Result, error)
+	// Estimate returns the simulated timeline for scoring records rows of a
+	// model with the given structural stats, without computing predictions.
+	// Engines return an error for configurations they cannot run (e.g. the
+	// FPGA with trees deeper than its PEs support, RAPIDS with more than
+	// two classes).
+	Estimate(stats forest.Stats, records int64) (*sim.Timeline, error)
+}
+
+// Registry is a named collection of backends. It is safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.RWMutex
+	backends map[string]Backend
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{backends: make(map[string]Backend)}
+}
+
+// Register adds a backend; registering a duplicate name is an error so
+// experiment configurations cannot silently shadow each other.
+func (r *Registry) Register(b Backend) error {
+	if b == nil || b.Name() == "" {
+		return fmt.Errorf("backend: cannot register unnamed backend")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.backends[b.Name()]; dup {
+		return fmt.Errorf("backend: %q already registered", b.Name())
+	}
+	r.backends[b.Name()] = b
+	return nil
+}
+
+// Get returns the backend with the given name.
+func (r *Registry) Get(name string) (Backend, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.backends[name]
+	return b, ok
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.backends))
+	for n := range r.backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the backends sorted by name.
+func (r *Registry) All() []Backend {
+	names := r.Names()
+	out := make([]Backend, 0, len(names))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, n := range names {
+		out = append(out, r.backends[n])
+	}
+	return out
+}

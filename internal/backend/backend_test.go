@@ -1,0 +1,344 @@
+package backend_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+func TestRequestValidate(t *testing.T) {
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 2, Tree: forest.TrainConfig{MaxDepth: 4}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &backend.Request{Forest: f, Data: dataset.Iris()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&backend.Request{Data: dataset.Iris()}).Validate(); err == nil {
+		t.Fatal("nil forest accepted")
+	}
+	if err := (&backend.Request{Forest: f}).Validate(); err == nil {
+		t.Fatal("nil data accepted")
+	}
+	if err := (&backend.Request{Forest: f, Data: dataset.Higgs(5, 1)}).Validate(); err == nil {
+		t.Fatal("feature mismatch accepted")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := &backend.Result{Predictions: make([]int, 1000)}
+	r.Timeline.Add("scoring", sim.KindCompute, time.Second)
+	if r.Latency() != time.Second {
+		t.Fatalf("Latency = %v", r.Latency())
+	}
+	if r.Throughput() != 1000 {
+		t.Fatalf("Throughput = %v", r.Throughput())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	tb := platform.New()
+	reg := tb.Registry
+	names := reg.Names()
+	want := []string{"CPU_ONNX", "CPU_ONNX_52th", "CPU_SKLearn", "FPGA", "GPU_HB", "GPU_RAPIDS"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if _, ok := reg.Get("FPGA"); !ok {
+		t.Fatal("FPGA not found")
+	}
+	if _, ok := reg.Get("TPU"); ok {
+		t.Fatal("phantom backend found")
+	}
+	if err := reg.Register(tb.FPGA); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := reg.Register(nil); err == nil {
+		t.Fatal("nil registration accepted")
+	}
+	if got := len(reg.All()); got != 6 {
+		t.Fatalf("All() = %d backends", got)
+	}
+}
+
+// TestAllBackendsAgree is the central functional-correctness property: every
+// simulated backend — CPU traversal, ONNX interpretation, Hummingbird tensor
+// program, RAPIDS FIL walk, FPGA PE array — must produce identical
+// predictions for the same model.
+func TestAllBackendsAgree(t *testing.T) {
+	tb := platform.New()
+	cases := []struct {
+		name  string
+		data  *dataset.Dataset
+		trees int
+		depth int
+	}{
+		{"iris-small", dataset.Iris().Replicate(120), 4, 6},
+		{"iris-deep", dataset.Iris().Replicate(200), 8, 10},
+		{"iris-shallow-gemm", dataset.Iris().Replicate(150), 6, 3},
+		{"higgs", dataset.Higgs(400, 3), 8, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			train := tc.data
+			if tc.name == "higgs" {
+				train = dataset.Higgs(1500, 77)
+			}
+			f, err := forest.Train(train, forest.ForestConfig{
+				NumTrees:  tc.trees,
+				Tree:      forest.TrainConfig{MaxDepth: tc.depth},
+				Seed:      42,
+				Bootstrap: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := &backend.Request{Forest: f, Data: tc.data}
+			reference := f.PredictBatch(tc.data)
+			for _, b := range tb.AllBackends() {
+				if b.Name() == "GPU_RAPIDS" && f.NumClasses > 2 {
+					continue // FIL is binary-only, as in the paper
+				}
+				res, err := b.Score(req)
+				if err != nil {
+					t.Fatalf("%s: %v", b.Name(), err)
+				}
+				if len(res.Predictions) != len(reference) {
+					t.Fatalf("%s: %d predictions, want %d", b.Name(), len(res.Predictions), len(reference))
+				}
+				for i := range reference {
+					if res.Predictions[i] != reference[i] {
+						t.Fatalf("%s disagrees with reference at record %d: %d != %d",
+							b.Name(), i, res.Predictions[i], reference[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLatencyOrderingAtExtremes pins the Fig. 9 ordering at both ends of the
+// record-count axis using simulated timelines from real Score calls.
+func TestLatencyOrderingAtExtremes(t *testing.T) {
+	tb := platform.New()
+	f, err := forest.Train(dataset.Higgs(1200, 5), forest.ForestConfig{
+		NumTrees:  8,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      7,
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := f.ComputeStats()
+
+	latency := func(b backend.Backend, n int64) time.Duration {
+		tl, err := b.Estimate(stats, n)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		return tl.Total()
+	}
+	// One record: single-thread ONNX is fastest of all backends.
+	onnx1 := latency(tb.ONNX1, 1)
+	for _, b := range tb.AllBackends() {
+		if b.Name() == "CPU_ONNX" {
+			continue
+		}
+		if latency(b, 1) <= onnx1 {
+			t.Fatalf("%s beats CPU_ONNX at 1 record", b.Name())
+		}
+	}
+	// One million records of this 8-tree model: accelerators beat every
+	// CPU engine.
+	slowestAccel := time.Duration(0)
+	for _, b := range tb.AcceleratorBackends() {
+		if l := latency(b, 1_000_000); l > slowestAccel {
+			slowestAccel = l
+		}
+	}
+	for _, b := range tb.CPUBackends() {
+		if latency(b, 1_000_000) <= slowestAccel {
+			t.Fatalf("%s beats an accelerator at 1M records of a deep 8-tree model", b.Name())
+		}
+	}
+}
+
+// TestBoostedModelAcrossBackends: gradient-boosted ensembles (§III-A) score
+// identically on the CPU engines, Hummingbird and RAPIDS; the FPGA's
+// majority-vote unit rejects them.
+func TestBoostedModelAcrossBackends(t *testing.T) {
+	tb := platform.New()
+	train := dataset.Higgs(2000, 31)
+	f, err := forest.TrainBoosted(train, forest.BoostConfig{
+		NumTrees: 12, MaxDepth: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.Higgs(400, 32)
+	req := &backend.Request{Forest: f, Data: data}
+	reference := f.PredictBatch(data)
+
+	for _, b := range tb.AllBackends() {
+		res, err := b.Score(req)
+		if b.Name() == "FPGA" {
+			if err == nil {
+				t.Fatal("FPGA accepted a boosted ensemble")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s rejected boosted model: %v", b.Name(), err)
+		}
+		for i := range reference {
+			if res.Predictions[i] != reference[i] {
+				t.Fatalf("%s disagrees on boosted record %d", b.Name(), i)
+			}
+		}
+	}
+
+	// Round-trips through the RFX blob with BaseScore intact.
+	blob, err := model.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != forest.Boosted || back.BaseScore != f.BaseScore {
+		t.Fatalf("boosted round-trip lost kind/base: %v %v", back.Kind, back.BaseScore)
+	}
+	for i := range reference {
+		if back.PredictClass(data.Row(i)) != reference[i] {
+			t.Fatalf("serialized boosted model disagrees at %d", i)
+		}
+	}
+}
+
+// TestBackendsAgreeOnRandomModels is the property-based version of
+// TestAllBackendsAgree: random dataset seeds, ensemble sizes and depths.
+func TestBackendsAgreeOnRandomModels(t *testing.T) {
+	tb := platform.New()
+	check := func(seed uint16, treesRaw, depthRaw uint8) bool {
+		trees := int(treesRaw)%8 + 1
+		depth := int(depthRaw)%9 + 2
+		train := dataset.Higgs(600, uint64(seed)+100)
+		data := dataset.Higgs(150, uint64(seed)+500)
+		f, err := forest.Train(train, forest.ForestConfig{
+			NumTrees:  trees,
+			Tree:      forest.TrainConfig{MaxDepth: depth},
+			Seed:      uint64(seed),
+			Bootstrap: true,
+		})
+		if err != nil {
+			return false
+		}
+		req := &backend.Request{Forest: f, Data: data}
+		reference := f.PredictBatch(data)
+		for _, b := range tb.AllBackends() {
+			res, err := b.Score(req)
+			if err != nil {
+				t.Logf("%s: %v", b.Name(), err)
+				return false
+			}
+			for i := range reference {
+				if res.Predictions[i] != reference[i] {
+					t.Logf("%s diverges at %d (seed=%d trees=%d depth=%d)",
+						b.Name(), i, seed, trees, depth)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainedStatsTrackSynthetic: figure sweeps use synthetic full-depth
+// stats; real trained models have shorter average paths, so their simulated
+// times must be bounded by (and within ~3x of) the synthetic estimate for
+// the visit-proportional backends.
+func TestTrainedStatsTrackSynthetic(t *testing.T) {
+	tb := platform.New()
+	train := dataset.Higgs(4000, 55)
+	f, err := forest.Train(train, forest.ForestConfig{
+		NumTrees:  64,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := f.ComputeStats()
+	synth := forest.SyntheticStats(64, 10, 28, 2)
+	if real.AvgPathLength > float64(synth.MaxDepth) {
+		t.Fatalf("trained avg path %v exceeds depth", real.AvgPathLength)
+	}
+	for _, b := range tb.AllBackends() {
+		realTl, err := b.Estimate(real, 1_000_000)
+		if err != nil {
+			continue
+		}
+		synthTl, err := b.Estimate(synth, 1_000_000)
+		if err != nil {
+			continue
+		}
+		ratio := float64(synthTl.Total()) / float64(realTl.Total())
+		if ratio < 0.99 || ratio > 3 {
+			t.Fatalf("%s: synthetic %v vs trained %v (ratio %.2f)",
+				b.Name(), synthTl.Total(), realTl.Total(), ratio)
+		}
+	}
+}
+
+// TestZeroRecordRequests: every backend must handle an empty batch
+// gracefully — zero predictions, overhead-only timeline.
+func TestZeroRecordRequests(t *testing.T) {
+	tb := platform.New()
+	f, err := forest.Train(dataset.Higgs(500, 61), forest.ForestConfig{
+		NumTrees: 4, Tree: forest.TrainConfig{MaxDepth: 6}, Seed: 1, Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := dataset.Higgs(0, 1)
+	for _, b := range tb.AllBackends() {
+		res, err := b.Score(&backend.Request{Forest: f, Data: empty})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(res.Predictions) != 0 {
+			t.Fatalf("%s produced %d predictions for empty batch", b.Name(), len(res.Predictions))
+		}
+		if res.Latency() <= 0 {
+			t.Fatalf("%s: empty batch should still pay invocation overhead", b.Name())
+		}
+		est, err := b.Estimate(f.ComputeStats(), 0)
+		if err != nil {
+			t.Fatalf("%s Estimate(0): %v", b.Name(), err)
+		}
+		if est.Total() != res.Latency() {
+			t.Fatalf("%s: Estimate(0) %v != Score latency %v", b.Name(), est.Total(), res.Latency())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"accelscore/internal/core"
+	"accelscore/internal/platform"
+)
+
+// ExampleAdvisor_Decide shows the paper's central decision: should a query
+// offload, and to which accelerator?
+func ExampleAdvisor_Decide() {
+	tb := platform.New()
+
+	small := core.Config{Features: 28, Classes: 2, Trees: 128, Depth: 10, Records: 10}
+	large := core.Config{Features: 28, Classes: 2, Trees: 128, Depth: 10, Records: 1_000_000}
+
+	ds, _ := tb.Advisor.Decide(small)
+	dl, _ := tb.Advisor.Decide(large)
+	fmt.Println("10 records ->", ds.Best.Name, "offload:", ds.Offload)
+	fmt.Println("1M records ->", dl.Best.Name, "offload:", dl.Offload)
+	// Output:
+	// 10 records -> CPU_ONNX_52th offload: false
+	// 1M records -> FPGA offload: true
+}
+
+// ExampleAdvisor_Crossover locates the record count where offloading starts
+// to pay for a HIGGS-shaped 128-tree model.
+func ExampleAdvisor_Crossover() {
+	tb := platform.New()
+	cfg := core.Config{Features: 28, Classes: 2, Trees: 128, Depth: 10}
+	n, _ := tb.Advisor.Crossover(cfg, 1, 2_000_000)
+	fmt.Println(n)
+	// Output:
+	// 487
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/forest"
+)
+
+// SplitAssignment is one device's share of a data-parallel scoring batch.
+type SplitAssignment struct {
+	Backend string
+	Records int64
+	// Time is the device's predicted completion time for its share.
+	Time time.Duration
+}
+
+// SplitPlan is an optimal partition of one large batch across independent
+// devices, each running its own backend concurrently. This is the
+// data-parallel extension of the paper's offload analysis: when one scoring
+// query is large enough, the accelerators and the CPU can each take a slice
+// of the records, bounded by the slowest device's finish time (makespan).
+type SplitPlan struct {
+	Assignments []SplitAssignment
+	Makespan    time.Duration
+	// SingleBest is the best achievable time using only one backend, for
+	// comparison.
+	SingleBest     time.Duration
+	SingleBestName string
+}
+
+// Speedup is the gain of splitting over the single best backend.
+func (p SplitPlan) Speedup() float64 {
+	if p.Makespan <= 0 {
+		return 0
+	}
+	return float64(p.SingleBest) / float64(p.Makespan)
+}
+
+// PlanSplit partitions records rows of a model with the given stats across
+// the provided backends (one per independent device — do not pass two
+// backends that share hardware). It minimizes the makespan by bisecting on
+// the finish time T and, for each T, greedily assigning every device the
+// largest share it can complete within T.
+//
+// Devices whose fixed offload overhead already exceeds the optimum receive
+// zero records — the plan degenerates gracefully to single-device execution
+// for small batches, consistent with the paper's small-query analysis.
+func PlanSplit(backends []backend.Backend, stats forest.Stats, records int64) (*SplitPlan, error) {
+	if records <= 0 {
+		return nil, fmt.Errorf("core: PlanSplit needs a positive record count, got %d", records)
+	}
+	type device struct {
+		b backend.Backend
+		// timeFor returns the device's predicted time for n of its records.
+		timeFor func(n int64) (time.Duration, bool)
+	}
+	var devices []device
+	for _, b := range backends {
+		b := b
+		if _, err := b.Estimate(stats, 1); err != nil {
+			continue // unsupported configuration: exclude the device
+		}
+		devices = append(devices, device{
+			b: b,
+			timeFor: func(n int64) (time.Duration, bool) {
+				tl, err := b.Estimate(stats, n)
+				if err != nil {
+					return 0, false
+				}
+				return tl.Total(), true
+			},
+		})
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: no backend supports the configuration")
+	}
+
+	// capacity(d, T): the largest n <= records d can finish within T.
+	// Backend times are monotone nondecreasing in n, so bisection applies.
+	capacity := func(d device, bound time.Duration) int64 {
+		if t, ok := d.timeFor(0); !ok || t > bound {
+			return 0
+		}
+		lo, hi := int64(0), records
+		if t, ok := d.timeFor(records); ok && t <= bound {
+			return records
+		}
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			t, ok := d.timeFor(mid)
+			if ok && t <= bound {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+
+	// Single-device baseline (also the upper bound for the bisection).
+	bestSingle := time.Duration(1<<63 - 1)
+	bestSingleName := ""
+	for _, d := range devices {
+		if t, ok := d.timeFor(records); ok && t < bestSingle {
+			bestSingle = t
+			bestSingleName = d.b.Name()
+		}
+	}
+	if bestSingleName == "" {
+		return nil, fmt.Errorf("core: no backend can score %d records", records)
+	}
+
+	feasible := func(bound time.Duration) bool {
+		var total int64
+		for _, d := range devices {
+			total += capacity(d, bound)
+			if total >= records {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Bisect the makespan in the integer nanosecond domain.
+	lo, hi := time.Duration(0), bestSingle
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	makespan := hi
+
+	// Materialize assignments at the optimal bound: devices in descending
+	// capacity order absorb the batch.
+	type cap struct {
+		d device
+		n int64
+	}
+	caps := make([]cap, 0, len(devices))
+	for _, d := range devices {
+		caps = append(caps, cap{d: d, n: capacity(d, makespan)})
+	}
+	sort.SliceStable(caps, func(i, j int) bool { return caps[i].n > caps[j].n })
+	plan := &SplitPlan{SingleBest: bestSingle, SingleBestName: bestSingleName}
+	remaining := records
+	for _, c := range caps {
+		n := c.n
+		if n > remaining {
+			n = remaining
+		}
+		if n <= 0 {
+			continue
+		}
+		t, _ := c.d.timeFor(n)
+		plan.Assignments = append(plan.Assignments, SplitAssignment{
+			Backend: c.d.b.Name(), Records: n, Time: t,
+		})
+		if t > plan.Makespan {
+			plan.Makespan = t
+		}
+		remaining -= n
+		if remaining == 0 {
+			break
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("core: internal error: %d records unassigned at makespan %v", remaining, makespan)
+	}
+	return plan, nil
+}

@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"testing"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/forest"
+	"accelscore/internal/platform"
+)
+
+// oneDevicePerGroup returns one backend per independent device: the best
+// CPU engine, Hummingbird for the GPU, and the FPGA.
+func oneDevicePerGroup(tb *platform.Testbed) []backend.Backend {
+	return []backend.Backend{tb.SKLearn, tb.HB, tb.FPGA}
+}
+
+func TestPlanSplitLargeBatch(t *testing.T) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	const records = 10_000_000
+	plan, err := core.PlanSplit(oneDevicePerGroup(tb), stats, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All records assigned.
+	var total int64
+	for _, a := range plan.Assignments {
+		total += a.Records
+		if a.Time > plan.Makespan {
+			t.Fatalf("assignment %s exceeds makespan: %v > %v", a.Backend, a.Time, plan.Makespan)
+		}
+	}
+	if total != records {
+		t.Fatalf("assigned %d of %d records", total, records)
+	}
+	// Splitting a huge batch beats the single best device.
+	if plan.Makespan >= plan.SingleBest {
+		t.Fatalf("split makespan %v not better than single best %v (%s)",
+			plan.Makespan, plan.SingleBest, plan.SingleBestName)
+	}
+	if plan.Speedup() <= 1 {
+		t.Fatalf("speedup = %v", plan.Speedup())
+	}
+	// The FPGA takes the lion's share.
+	if plan.Assignments[0].Backend != "FPGA" {
+		t.Fatalf("largest share went to %s", plan.Assignments[0].Backend)
+	}
+}
+
+func TestPlanSplitSmallBatchDegenerates(t *testing.T) {
+	// For a tiny batch the plan collapses to one device (paying another
+	// device's offload floor would only hurt).
+	tb := platform.New()
+	stats := forest.SyntheticStats(8, 10, 4, 3)
+	plan, err := core.PlanSplit(oneDevicePerGroup(tb), stats, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 1 {
+		t.Fatalf("tiny batch split across %d devices: %+v", len(plan.Assignments), plan.Assignments)
+	}
+	// Makespan equals the single best (no gain possible).
+	if plan.Makespan > plan.SingleBest {
+		t.Fatalf("split worse than single best: %v > %v", plan.Makespan, plan.SingleBest)
+	}
+}
+
+func TestPlanSplitExcludesUnsupported(t *testing.T) {
+	// RAPIDS cannot run 3-class models; including it must not break the
+	// plan.
+	tb := platform.New()
+	stats := forest.SyntheticStats(16, 10, 4, 3)
+	plan, err := core.PlanSplit([]backend.Backend{tb.SKLearn, tb.RAPIDS, tb.FPGA}, stats, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Backend == "GPU_RAPIDS" {
+			t.Fatal("unsupported backend received records")
+		}
+	}
+}
+
+func TestPlanSplitErrors(t *testing.T) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(8, 10, 4, 3)
+	if _, err := core.PlanSplit(oneDevicePerGroup(tb), stats, 0); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	// Only unsupported backends.
+	if _, err := core.PlanSplit([]backend.Backend{tb.RAPIDS}, stats, 100); err == nil {
+		t.Fatal("unsupported-only set accepted")
+	}
+}
+
+func TestPlanSplitMakespanOptimality(t *testing.T) {
+	// Sanity: the optimal makespan cannot beat a perfect-parallelism lower
+	// bound, and shifting 10% of the FPGA's share to another device should
+	// not improve it (local optimality probe).
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	const records = 5_000_000
+	plan, err := core.PlanSplit(oneDevicePerGroup(tb), stats, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: every device working on the full batch simultaneously.
+	for _, b := range oneDevicePerGroup(tb) {
+		tl, err := b.Estimate(stats, records)
+		if err != nil {
+			continue
+		}
+		// Each single device alone is no faster than the combined plan.
+		if tl.Total() < plan.Makespan {
+			t.Fatalf("%s alone (%v) beats the 'optimal' split (%v)", b.Name(), tl.Total(), plan.Makespan)
+		}
+	}
+}
+
+func BenchmarkPlanSplit(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	devices := oneDevicePerGroup(tb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanSplit(devices, stats, 10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

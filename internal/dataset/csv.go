@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV: a header row with feature names plus a
+// trailing "label" column when labels are present, then one row per record.
+// Labels are written as class names when available, else as indices.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	hasLabels := len(d.Y) > 0
+	header := append([]string(nil), d.FeatureNames...)
+	if hasLabels {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := d.NumFeatures()
+	record := make([]string, len(header))
+	for i := 0; i < d.NumRecords(); i++ {
+		row := d.Row(i)
+		for j := 0; j < f; j++ {
+			record[j] = strconv.FormatFloat(float64(row[j]), 'g', -1, 32)
+		}
+		if hasLabels {
+			y := d.Y[i]
+			if y < len(d.ClassNames) {
+				record[f] = d.ClassNames[y]
+			} else {
+				record[f] = strconv.Itoa(y)
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. A final column named "label"
+// is treated as the class column; class names are collected in order of
+// first appearance.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	hasLabels := len(header) > 0 && header[len(header)-1] == "label"
+	nFeatures := len(header)
+	if hasLabels {
+		nFeatures--
+	}
+	if nFeatures == 0 {
+		return nil, fmt.Errorf("dataset: CSV %q has no feature columns", name)
+	}
+	d := &Dataset{
+		Name:         name,
+		FeatureNames: append([]string(nil), header[:nFeatures]...),
+	}
+	classIndex := map[string]int{}
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(record), len(header))
+		}
+		for j := 0; j < nFeatures; j++ {
+			v, err := strconv.ParseFloat(record[j], 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, header[j], err)
+			}
+			d.X = append(d.X, float32(v))
+		}
+		if hasLabels {
+			label := record[nFeatures]
+			idx, ok := classIndex[label]
+			if !ok {
+				idx = len(d.ClassNames)
+				classIndex[label] = idx
+				d.ClassNames = append(d.ClassNames, label)
+			}
+			d.Y = append(d.Y, idx)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"accelscore/internal/xrand"
+)
+
+// FeatureStats summarizes one column.
+type FeatureStats struct {
+	Name     string
+	Min, Max float32
+	Mean     float64
+	StdDev   float64
+}
+
+// Stats computes per-feature summaries in one pass.
+func (d *Dataset) Stats() []FeatureStats {
+	f := d.NumFeatures()
+	n := d.NumRecords()
+	out := make([]FeatureStats, f)
+	for j := 0; j < f; j++ {
+		out[j] = FeatureStats{
+			Name: d.FeatureNames[j],
+			Min:  float32(math.Inf(1)),
+			Max:  float32(math.Inf(-1)),
+		}
+	}
+	if n == 0 {
+		return out
+	}
+	sums := make([]float64, f)
+	sqs := make([]float64, f)
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v < out[j].Min {
+				out[j].Min = v
+			}
+			if v > out[j].Max {
+				out[j].Max = v
+			}
+			sums[j] += float64(v)
+			sqs[j] += float64(v) * float64(v)
+		}
+	}
+	for j := 0; j < f; j++ {
+		mean := sums[j] / float64(n)
+		out[j].Mean = mean
+		variance := sqs[j]/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out[j].StdDev = math.Sqrt(variance)
+	}
+	return out
+}
+
+// Standardize returns a copy of the dataset with each feature shifted to
+// zero mean and scaled to unit standard deviation (constant columns are
+// left centered only). The returned stats allow applying the same transform
+// to other data.
+func (d *Dataset) Standardize() (*Dataset, []FeatureStats) {
+	stats := d.Stats()
+	f := d.NumFeatures()
+	out := &Dataset{
+		Name:         d.Name,
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		ClassNames:   append([]string(nil), d.ClassNames...),
+		X:            make([]float32, len(d.X)),
+		Y:            append([]int(nil), d.Y...),
+	}
+	for i := 0; i < d.NumRecords(); i++ {
+		src := d.Row(i)
+		dst := out.X[i*f : (i+1)*f]
+		for j, v := range src {
+			centered := float64(v) - stats[j].Mean
+			if stats[j].StdDev > 0 {
+				centered /= stats[j].StdDev
+			}
+			dst[j] = float32(centered)
+		}
+	}
+	return out, stats
+}
+
+// StratifiedSplit partitions the dataset into train and test subsets
+// preserving per-class proportions — important for small classes when the
+// plain shuffle split would starve them. testFrac must be in (0, 1).
+func (d *Dataset) StratifiedSplit(testFrac float64, rng *xrand.Rand) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: testFrac %v out of (0,1)", testFrac)
+	}
+	if len(d.Y) == 0 {
+		return nil, nil, fmt.Errorf("dataset: stratified split requires labels")
+	}
+	byClass := map[int][]int{}
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var trainIdx, testIdx []int
+	// Iterate classes in order for determinism.
+	for c := 0; c < d.NumClasses(); c++ {
+		rows := byClass[c]
+		if len(rows) == 0 {
+			continue
+		}
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		nTest := int(float64(len(rows)) * testFrac)
+		if nTest == 0 && len(rows) > 1 {
+			nTest = 1
+		}
+		testIdx = append(testIdx, rows[:nTest]...)
+		trainIdx = append(trainIdx, rows[nTest:]...)
+	}
+	build := func(idx []int) *Dataset {
+		f := d.NumFeatures()
+		out := &Dataset{
+			Name:         d.Name,
+			FeatureNames: append([]string(nil), d.FeatureNames...),
+			ClassNames:   append([]string(nil), d.ClassNames...),
+			X:            make([]float32, len(idx)*f),
+			Y:            make([]int, len(idx)),
+		}
+		for i, j := range idx {
+			copy(out.X[i*f:(i+1)*f], d.Row(j))
+			out.Y[i] = d.Y[j]
+		}
+		return out
+	}
+	return build(trainIdx), build(testIdx), nil
+}

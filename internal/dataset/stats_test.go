@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"accelscore/internal/xrand"
+)
+
+func TestStatsIris(t *testing.T) {
+	d := Iris()
+	stats := d.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("stats length %d", len(stats))
+	}
+	// Canonical IRIS sepal_length range is [4.3, 7.9], mean ~5.843.
+	sl := stats[0]
+	if sl.Name != "sepal_length" || sl.Min != 4.3 || sl.Max != 7.9 {
+		t.Fatalf("sepal_length stats = %+v", sl)
+	}
+	if math.Abs(sl.Mean-5.843) > 0.01 {
+		t.Fatalf("sepal_length mean = %v", sl.Mean)
+	}
+	if sl.StdDev < 0.5 || sl.StdDev > 1.1 {
+		t.Fatalf("sepal_length stddev = %v", sl.StdDev)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	d := &Dataset{Name: "e", FeatureNames: []string{"a"}}
+	stats := d.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	d := Iris()
+	std, stats := d.Standardize()
+	if len(stats) != 4 {
+		t.Fatal("missing stats")
+	}
+	// Each standardized column has ~zero mean and ~unit stddev.
+	for j, s := range std.Stats() {
+		if math.Abs(s.Mean) > 1e-5 {
+			t.Fatalf("column %d mean = %v after standardize", j, s.Mean)
+		}
+		if math.Abs(s.StdDev-1) > 1e-4 {
+			t.Fatalf("column %d stddev = %v after standardize", j, s.StdDev)
+		}
+	}
+	// Original untouched; labels carried over.
+	if d.X[0] != 5.1 || std.Y[0] != d.Y[0] {
+		t.Fatal("Standardize mutated source or dropped labels")
+	}
+}
+
+func TestStandardizeConstantColumn(t *testing.T) {
+	d := &Dataset{
+		Name:         "const",
+		FeatureNames: []string{"k"},
+		ClassNames:   []string{"a"},
+		X:            []float32{5, 5, 5},
+		Y:            []int{0, 0, 0},
+	}
+	std, _ := d.Standardize()
+	for _, v := range std.X {
+		if v != 0 {
+			t.Fatalf("constant column standardized to %v, want 0", v)
+		}
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	d := Iris()
+	train, test, err := d.StratifiedSplit(0.2, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumRecords()+test.NumRecords() != 150 {
+		t.Fatalf("split sizes %d+%d", train.NumRecords(), test.NumRecords())
+	}
+	// Every class keeps its proportion exactly (50 -> 10 test each).
+	for c, n := range test.ClassCounts() {
+		if n != 10 {
+			t.Fatalf("class %d test count = %d, want 10", c, n)
+		}
+	}
+	for c, n := range train.ClassCounts() {
+		if n != 40 {
+			t.Fatalf("class %d train count = %d, want 40", c, n)
+		}
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	d := Iris()
+	if _, _, err := d.StratifiedSplit(0, xrand.New(1)); err == nil {
+		t.Fatal("testFrac=0 accepted")
+	}
+	if _, _, err := d.StratifiedSplit(1, xrand.New(1)); err == nil {
+		t.Fatal("testFrac=1 accepted")
+	}
+	unlabeled := Iris()
+	unlabeled.Y = nil
+	if _, _, err := unlabeled.StratifiedSplit(0.2, xrand.New(1)); err == nil {
+		t.Fatal("unlabeled accepted")
+	}
+}
+
+func TestStratifiedSplitTinyClass(t *testing.T) {
+	// A class with 2 members still lands one row in test.
+	d := &Dataset{
+		Name:         "tiny",
+		FeatureNames: []string{"x"},
+		ClassNames:   []string{"a", "b"},
+		X:            []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		Y:            []int{0, 0, 0, 0, 0, 0, 0, 0, 1, 1},
+	}
+	_, test, err := d.StratifiedSplit(0.2, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.ClassCounts()[1] != 1 {
+		t.Fatalf("tiny class test count = %d, want 1", test.ClassCounts()[1])
+	}
+}

@@ -1,0 +1,126 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+)
+
+// ModelsTable is the reserved table holding serialized models, mirroring the
+// paper's Fig. 3 pattern of selecting a model blob from a "models" table.
+const ModelsTable = "models"
+
+// Database is an in-memory catalog of tables plus the model store. It is
+// safe for concurrent use.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty database with the reserved models table created.
+func New() *Database {
+	d := &Database{tables: make(map[string]*Table)}
+	models, err := NewTable(ModelsTable, []Column{
+		{Name: "name", Type: TextCol},
+		{Name: "model", Type: BlobCol},
+	})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	d.tables[ModelsTable] = models
+	return d
+}
+
+// CreateTable registers a new table.
+func (d *Database) CreateTable(t *Table) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[t.Name]; dup {
+		return fmt.Errorf("db: table %q already exists", t.Name)
+	}
+	d.tables[t.Name] = t
+	return nil
+}
+
+// Table returns the named table.
+func (d *Database) Table(name string) (*Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames lists tables in sorted order.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StoreModel serializes the forest and inserts it into the models table
+// under the given name.
+func (d *Database) StoreModel(name string, f *forest.Forest) error {
+	blob, err := model.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return d.StoreModelBlob(name, blob)
+}
+
+// StoreModelBlob inserts a pre-serialized model blob.
+func (d *Database) StoreModelBlob(name string, blob []byte) error {
+	if name == "" {
+		return fmt.Errorf("db: model needs a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tables[ModelsTable]
+	if idx := t.ColumnIndex("name"); idx >= 0 {
+		for r := 0; r < t.NumRows(); r++ {
+			if t.Cell(r, idx).S == name {
+				return fmt.Errorf("db: model %q already stored", name)
+			}
+		}
+	}
+	return t.Insert([]Value{Text(name), Blob(blob)})
+}
+
+// LoadModelBlob fetches a model's serialized bytes — the DBMS-side half of
+// the pipeline's "model pre-processing" stage; deserialization happens in
+// the external runtime.
+func (d *Database) LoadModelBlob(name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t := d.tables[ModelsTable]
+	nameIdx, blobIdx := t.ColumnIndex("name"), t.ColumnIndex("model")
+	for r := 0; r < t.NumRows(); r++ {
+		if t.Cell(r, nameIdx).S == name {
+			return t.Cell(r, blobIdx).B, nil
+		}
+	}
+	return nil, fmt.Errorf("db: model %q not found", name)
+}
+
+// ModelNames lists stored model names in insertion order.
+func (d *Database) ModelNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t := d.tables[ModelsTable]
+	idx := t.ColumnIndex("name")
+	out := make([]string, 0, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		out = append(out, t.Cell(r, idx).S)
+	}
+	return out
+}

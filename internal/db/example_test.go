@@ -1,0 +1,53 @@
+package db_test
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+)
+
+// Example shows the SQL surface end to end: DDL, DML, filters, ordering and
+// aggregates against the mini-DBMS.
+func Example() {
+	d := db.New()
+	run := func(sql string) *db.Table {
+		t, _, err := d.Query(sql)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	run("CREATE TABLE readings (temp REAL, station NVARCHAR)")
+	run("INSERT INTO readings VALUES (21.5, 'lab'), (-3.0, 'roof'), (19.0, 'lab')")
+	run("UPDATE readings SET temp = 20.0 WHERE station = 'lab' AND temp < 20")
+	run("DELETE FROM readings WHERE temp < 0")
+
+	res := run("SELECT COUNT(*), AVG(temp) FROM readings")
+	fmt.Println(res.Cell(0, 0).I, res.Cell(0, 1).F)
+
+	res = run("SELECT temp FROM readings ORDER BY temp DESC")
+	fmt.Println(res.Cell(0, 0).F, res.Cell(1, 0).F)
+	// Output:
+	// 2 20.75
+	// 21.5 20
+}
+
+// ExampleTableFromDataset shows loading a dataset as a queryable table.
+func ExampleTableFromDataset() {
+	d := db.New()
+	tbl, err := db.TableFromDataset("iris", dataset.Iris())
+	if err != nil {
+		panic(err)
+	}
+	if err := d.CreateTable(tbl); err != nil {
+		panic(err)
+	}
+	res, _, err := d.Query("SELECT COUNT(*) FROM iris WHERE petal_width > 1.8")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cell(0, 0).I)
+	// Output:
+	// 34
+}

@@ -1,0 +1,188 @@
+package db
+
+import (
+	"fmt"
+	"math"
+)
+
+// Select executes a SELECT statement and returns the result as a new table.
+func (d *Database) Select(st *SelectStmt) (*Table, error) {
+	src, err := d.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve projection.
+	var colIdx []int
+	if st.Columns == nil {
+		colIdx = make([]int, len(src.Columns))
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		for _, name := range st.Columns {
+			idx := src.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("db: column %q does not exist in %q", name, st.Table)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	}
+
+	// Resolve predicates.
+	type pred struct {
+		col  int
+		typ  ColumnType
+		cond Condition
+	}
+	var preds []pred
+	for _, c := range st.Where {
+		idx := src.ColumnIndex(c.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("db: WHERE column %q does not exist in %q", c.Column, st.Table)
+		}
+		typ := src.Columns[idx].Type
+		if typ == BlobCol {
+			return nil, fmt.Errorf("db: cannot filter on VARBINARY column %q", c.Column)
+		}
+		if c.Value.IsString != (typ == TextCol) {
+			return nil, fmt.Errorf("db: type mismatch filtering %q", c.Column)
+		}
+		preds = append(preds, pred{col: idx, typ: typ, cond: c})
+	}
+
+	// Collect matching row indices. Early exit on TOP is only safe when no
+	// ordering or aggregation follows.
+	earlyStop := st.Top > 0 && st.OrderBy == "" && len(st.Aggregates) == 0
+	var matched []int
+	for r := 0; r < src.NumRows(); r++ {
+		match := true
+		for _, p := range preds {
+			if !evalPred(src.Cell(r, p.col), p.typ, p.cond) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		matched = append(matched, r)
+		if earlyStop && len(matched) >= st.Top {
+			break
+		}
+	}
+
+	if len(st.Aggregates) > 0 {
+		return d.aggregate(src, matched, st.Aggregates)
+	}
+	if st.OrderBy != "" {
+		if err := orderRows(src, matched, st.OrderBy, st.OrderDesc); err != nil {
+			return nil, err
+		}
+	}
+	if st.Top > 0 && len(matched) > st.Top {
+		matched = matched[:st.Top]
+	}
+
+	outCols := make([]Column, len(colIdx))
+	for i, ci := range colIdx {
+		outCols[i] = src.Columns[ci]
+	}
+	out, err := NewTable("result", outCols)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range matched {
+		row := make([]Value, len(colIdx))
+		for i, ci := range colIdx {
+			row[i] = src.Cell(r, ci)
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// evalPred evaluates one comparison predicate against a cell.
+func evalPred(v Value, typ ColumnType, c Condition) bool {
+	switch typ {
+	case TextCol:
+		return compareStrings(v.S, c.Value.S, c.Op)
+	case Float32Col:
+		return compareFloats(float64(v.F), c.Value.N, c.Op)
+	case Int64Col:
+		return compareFloats(float64(v.I), c.Value.N, c.Op)
+	default:
+		return false
+	}
+}
+
+func compareStrings(a, b, op string) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "<>":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func compareFloats(a, b float64, op string) bool {
+	const eps = 1e-9
+	switch op {
+	case "=":
+		return math.Abs(a-b) <= eps
+	case "<>":
+		return math.Abs(a-b) > eps
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// Query parses and executes a statement. SELECT statements return a result
+// table; CREATE TABLE and INSERT execute and return nil tables. EXEC
+// statements are returned to the caller unexecuted (the analytics pipeline
+// owns stored-procedure semantics); callers dispatch on the returned
+// Statement.
+func (d *Database) Query(sql string) (*Table, Statement, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		t, err := d.Select(s)
+		return t, st, err
+	case *CreateStmt:
+		return nil, st, d.Create(s)
+	case *InsertStmt:
+		_, err := d.InsertRows(s)
+		return nil, st, err
+	case *DeleteStmt:
+		_, err := d.Delete(s)
+		return nil, st, err
+	case *UpdateStmt:
+		_, err := d.Update(s)
+		return nil, st, err
+	case *ExecStmt:
+		return nil, st, nil
+	default:
+		return nil, nil, fmt.Errorf("db: unsupported statement type %T", st)
+	}
+}

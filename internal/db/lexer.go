@@ -1,0 +1,159 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types of the T-SQL subset.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokAtIdent // @param
+	tokNumber
+	tokString
+	tokComma
+	tokStar
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokLParen
+	tokRParen
+	tokSemi
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes a statement. Keywords are returned as tokIdent; the parser
+// matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokNe, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					// Doubled quote escapes a quote (T-SQL style).
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("db: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == '@':
+			j := i + 1
+			for j < n && isIdentChar(rune(input[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("db: bare '@' at offset %d", i)
+			}
+			toks = append(toks, token{tokAtIdent, input[i+1 : j], i})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentChar(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		case c == '[':
+			// Bracket-quoted identifier, T-SQL style.
+			j := i + 1
+			for j < n && input[j] != ']' {
+				j++
+			}
+			if j == n {
+				return nil, fmt.Errorf("db: unterminated bracketed identifier at offset %d", i)
+			}
+			toks = append(toks, token{tokIdent, input[i+1 : j], i})
+			i = j + 1
+		default:
+			return nil, fmt.Errorf("db: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

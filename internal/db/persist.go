@@ -1,0 +1,113 @@
+package db
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// snapshot is the serialized form of a database: exported mirror structs so
+// encoding/gob can see them without exposing Table internals.
+type snapshot struct {
+	Tables []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Columns []Column
+	Cols    [][]Value
+}
+
+// Save writes the whole database (tables and stored models) to w.
+func (d *Database) Save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var snap snapshot
+	// Deterministic order for reproducible files.
+	for _, name := range d.tableNamesLocked() {
+		t := d.tables[name]
+		snap.Tables = append(snap.Tables, tableSnapshot{
+			Name:    t.Name,
+			Columns: t.Columns,
+			Cols:    t.cols,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// tableNamesLocked returns sorted table names; callers hold the lock.
+func (d *Database) tableNamesLocked() []string {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads a database previously written by Save.
+func Load(r io.Reader) (*Database, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("db: decoding snapshot: %w", err)
+	}
+	d := &Database{tables: make(map[string]*Table)}
+	for _, ts := range snap.Tables {
+		t, err := NewTable(ts.Name, ts.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("db: snapshot table %q: %w", ts.Name, err)
+		}
+		if len(ts.Cols) != len(ts.Columns) {
+			return nil, fmt.Errorf("db: snapshot table %q has %d column vectors for %d columns",
+				ts.Name, len(ts.Cols), len(ts.Columns))
+		}
+		n := -1
+		for ci, col := range ts.Cols {
+			if n == -1 {
+				n = len(col)
+			} else if len(col) != n {
+				return nil, fmt.Errorf("db: snapshot table %q column %d has %d rows, want %d",
+					ts.Name, ci, len(col), n)
+			}
+		}
+		t.cols = ts.Cols
+		d.tables[ts.Name] = t
+	}
+	if _, ok := d.tables[ModelsTable]; !ok {
+		// Old or hand-built snapshots without a models table still get one.
+		models, err := NewTable(ModelsTable, []Column{
+			{Name: "name", Type: TextCol},
+			{Name: "model", Type: BlobCol},
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.tables[ModelsTable] = models
+	}
+	return d, nil
+}
+
+// SaveFile writes the database to a file.
+func (d *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = d.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadFile reads a database from a file.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

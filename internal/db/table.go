@@ -1,0 +1,250 @@
+// Package db implements the mini-DBMS substrate that stands in for
+// Microsoft SQL Server in the reproduction (DESIGN.md §2): in-memory tables
+// with a typed columnar schema, a catalog, a model store holding serialized
+// RFX blobs (the paper stores models "in serialized binary form" in database
+// tables, §II), and a T-SQL-subset lexer/parser/executor covering the query
+// shapes the paper's pipeline needs — SELECT projections/filters and
+// EXEC stored-procedure invocations like Fig. 3's model-scoring call.
+package db
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+)
+
+// ColumnType enumerates the supported column types.
+type ColumnType int
+
+const (
+	// Float32Col holds feature values.
+	Float32Col ColumnType = iota
+	// Int64Col holds integral values (labels, ids).
+	Int64Col
+	// TextCol holds strings.
+	TextCol
+	// BlobCol holds binary payloads (serialized models).
+	BlobCol
+)
+
+// String returns the SQL-ish type name.
+func (c ColumnType) String() string {
+	switch c {
+	case Float32Col:
+		return "REAL"
+	case Int64Col:
+		return "BIGINT"
+	case TextCol:
+		return "NVARCHAR"
+	case BlobCol:
+		return "VARBINARY"
+	default:
+		return fmt.Sprintf("TYPE(%d)", int(c))
+	}
+}
+
+// Column is one column of a table schema.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Value is one cell. Exactly one field is meaningful, selected by the
+// column type.
+type Value struct {
+	F float32
+	I int64
+	S string
+	B []byte
+}
+
+// Float returns a float cell.
+func Float(f float32) Value { return Value{F: f} }
+
+// Int returns an integer cell.
+func Int(i int64) Value { return Value{I: i} }
+
+// Text returns a string cell.
+func Text(s string) Value { return Value{S: s} }
+
+// Blob returns a binary cell.
+func Blob(b []byte) Value { return Value{B: b} }
+
+// Table is an in-memory columnar table.
+type Table struct {
+	Name    string
+	Columns []Column
+	// cols[i] holds column i's cells; all columns have equal length.
+	cols [][]Value
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, columns []Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("db: table needs a name")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("db: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("db: table %q has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("db: table %q has duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Table{
+		Name:    name,
+		Columns: append([]Column(nil), columns...),
+		cols:    make([][]Value, len(columns)),
+	}, nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0])
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert appends one row. The row length must match the schema.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("db: table %q: row has %d values, schema has %d columns",
+			t.Name, len(row), len(t.Columns))
+	}
+	for i, v := range row {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	return nil
+}
+
+// Cell returns the value at (row, col).
+func (t *Table) Cell(row, col int) Value {
+	return t.cols[col][row]
+}
+
+// Rows materializes all rows (copies).
+func (t *Table) Rows() [][]Value {
+	out := make([][]Value, t.NumRows())
+	for r := range out {
+		row := make([]Value, len(t.Columns))
+		for c := range t.Columns {
+			row[c] = t.cols[c][r]
+		}
+		out[r] = row
+	}
+	return out
+}
+
+// SizeBytes approximates the table payload size, used by the pipeline's
+// transfer model.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for ci, col := range t.Columns {
+		switch col.Type {
+		case Float32Col:
+			total += int64(len(t.cols[ci])) * 4
+		case Int64Col:
+			total += int64(len(t.cols[ci])) * 8
+		case TextCol:
+			for _, v := range t.cols[ci] {
+				total += int64(len(v.S))
+			}
+		case BlobCol:
+			for _, v := range t.cols[ci] {
+				total += int64(len(v.B))
+			}
+		}
+	}
+	return total
+}
+
+// TableFromDataset converts a dataset into a table: one REAL column per
+// feature, plus a BIGINT "label" column when labels are present.
+func TableFromDataset(name string, d *dataset.Dataset) (*Table, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cols := make([]Column, 0, d.NumFeatures()+1)
+	for _, f := range d.FeatureNames {
+		cols = append(cols, Column{Name: f, Type: Float32Col})
+	}
+	hasLabels := len(d.Y) > 0
+	if hasLabels {
+		cols = append(cols, Column{Name: "label", Type: Int64Col})
+	}
+	t, err := NewTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < d.NumRecords(); i++ {
+		row := make([]Value, 0, len(cols))
+		for _, f := range d.Row(i) {
+			row = append(row, Float(f))
+		}
+		if hasLabels {
+			row = append(row, Int(int64(d.Y[i])))
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// DatasetFromTable converts a table's REAL columns back into a dataset; a
+// BIGINT column named "label" becomes the labels.
+func DatasetFromTable(t *Table) (*dataset.Dataset, error) {
+	d := &dataset.Dataset{Name: t.Name}
+	var featureCols []int
+	labelCol := -1
+	for i, c := range t.Columns {
+		switch {
+		case c.Type == Float32Col:
+			featureCols = append(featureCols, i)
+			d.FeatureNames = append(d.FeatureNames, c.Name)
+		case c.Type == Int64Col && c.Name == "label":
+			labelCol = i
+		}
+	}
+	if len(featureCols) == 0 {
+		return nil, fmt.Errorf("db: table %q has no REAL feature columns", t.Name)
+	}
+	n := t.NumRows()
+	d.X = make([]float32, 0, n*len(featureCols))
+	maxLabel := -1
+	for r := 0; r < n; r++ {
+		for _, ci := range featureCols {
+			d.X = append(d.X, t.Cell(r, ci).F)
+		}
+		if labelCol >= 0 {
+			y := int(t.Cell(r, labelCol).I)
+			d.Y = append(d.Y, y)
+			if y > maxLabel {
+				maxLabel = y
+			}
+		}
+	}
+	for c := 0; c <= maxLabel; c++ {
+		d.ClassNames = append(d.ClassNames, fmt.Sprintf("class_%d", c))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

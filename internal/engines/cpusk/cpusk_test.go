@@ -1,0 +1,136 @@
+package cpusk
+
+import (
+	"testing"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/sim"
+)
+
+func trainIris(t testing.TB, trees, depth int) *forest.Forest {
+	t.Helper()
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNameReflectsThreads(t *testing.T) {
+	spec := hw.DefaultCPU()
+	if got := New(spec, 52).Name(); got != "CPU_SKLearn" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := New(spec, 1).Name(); got != "CPU_SKLearn_1th" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := New(spec, 0).Threads(); got != spec.HardwareThreads {
+		t.Fatalf("default threads = %d", got)
+	}
+}
+
+func TestScoreMatchesForest(t *testing.T) {
+	f := trainIris(t, 8, 10)
+	data := dataset.Iris().Replicate(500)
+	e := New(hw.DefaultCPU(), 52)
+	res, err := e.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.PredictBatch(data)
+	for i := range want {
+		if res.Predictions[i] != want[i] {
+			t.Fatalf("prediction %d: %d != %d", i, res.Predictions[i], want[i])
+		}
+	}
+}
+
+func TestScoreTimelineMatchesEstimate(t *testing.T) {
+	f := trainIris(t, 4, 6)
+	data := dataset.Iris().Replicate(200)
+	e := New(hw.DefaultCPU(), 52)
+	res, err := e.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate(f.ComputeStats(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.Total() != est.Total() {
+		t.Fatalf("Score timeline %v != Estimate %v", res.Timeline.Total(), est.Total())
+	}
+}
+
+func TestTimelineComponents(t *testing.T) {
+	e := New(hw.DefaultCPU(), 52)
+	tl, err := e.Estimate(forest.SyntheticStats(128, 10, 4, 3), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU backend: no transfer component (Fig. 6 Option 1).
+	if tl.TotalKind(sim.KindTransfer) != 0 {
+		t.Fatal("CPU backend charged a transfer component")
+	}
+	if tl.Component("batch setup") != hw.DefaultCPU().SKLearnBatchSetup {
+		t.Fatal("batch setup missing")
+	}
+	if tl.Component("scoring") <= 0 {
+		t.Fatal("scoring component missing")
+	}
+}
+
+func TestAnchorIris1M1Tree(t *testing.T) {
+	// ~19 ms for 1M records x 1 tree x 10 levels on IRIS with 52 threads.
+	e := New(hw.DefaultCPU(), 52)
+	tl, err := e.Estimate(forest.SyntheticStats(1, 10, 4, 3), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.Total(); got < 15*time.Millisecond || got > 25*time.Millisecond {
+		t.Fatalf("IRIS 1Mx1t = %v, want ~19ms", got)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	stats := forest.SyntheticStats(16, 10, 4, 3)
+	one, _ := New(hw.DefaultCPU(), 1).Estimate(stats, 100_000)
+	many, _ := New(hw.DefaultCPU(), 52).Estimate(stats, 100_000)
+	if many.Total() >= one.Total() {
+		t.Fatalf("52 threads (%v) not faster than 1 (%v)", many.Total(), one.Total())
+	}
+}
+
+func TestRejectsMismatchedSchema(t *testing.T) {
+	f := trainIris(t, 2, 4)
+	data := dataset.Higgs(10, 1) // 28 features vs model's 4
+	e := New(hw.DefaultCPU(), 4)
+	if _, err := e.Score(&backend.Request{Forest: f, Data: data}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	if _, err := e.Estimate(forest.SyntheticStats(1, 4, 4, 3), -1); err == nil {
+		t.Fatal("negative records accepted")
+	}
+}
+
+func BenchmarkScore10K(b *testing.B) {
+	f := trainIris(b, 16, 10)
+	data := dataset.Iris().Replicate(10_000)
+	e := New(hw.DefaultCPU(), 52)
+	req := &backend.Request{Forest: f, Data: data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Score(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

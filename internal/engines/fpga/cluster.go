@@ -1,0 +1,111 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/sim"
+)
+
+// Cluster is a record-parallel group of identical FPGA inference engines —
+// the scale-out direction of the paper's ref [14] ("Distributed inference
+// over decision tree ensembles on clusters of FPGAs"). Records are split
+// evenly; every device holds the full model, so the model transfer is paid
+// on each device while scoring time divides by the cluster size. The
+// timeline reports the makespan device (all devices run concurrently) plus a
+// host-side merge.
+type Cluster struct {
+	engine  *Engine
+	devices int
+}
+
+// NewCluster wraps n copies of the given engine configuration.
+func NewCluster(e *Engine, devices int) (*Cluster, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("fpga: cluster needs at least one device, got %d", devices)
+	}
+	return &Cluster{engine: e, devices: devices}, nil
+}
+
+// Name implements backend.Backend.
+func (c *Cluster) Name() string {
+	if c.devices == 1 {
+		return "FPGA"
+	}
+	return fmt.Sprintf("FPGAx%d", c.devices)
+}
+
+// Devices returns the cluster size.
+func (c *Cluster) Devices() int { return c.devices }
+
+// Score implements backend.Backend: shards the records across devices,
+// scores each shard on the engine's functional simulator, and reassembles
+// predictions in order.
+func (c *Cluster) Score(req *backend.Request) (*backend.Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	n := req.Data.NumRecords()
+	preds := make([]int, n)
+	shard := (n + c.devices - 1) / c.devices
+	for d := 0; d < c.devices; d++ {
+		lo := d * shard
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		sub := shardDataset(req.Data, lo, hi)
+		res, err := c.engine.Score(&backend.Request{Forest: req.Forest, Data: sub})
+		if err != nil {
+			return nil, fmt.Errorf("fpga: cluster device %d: %w", d, err)
+		}
+		copy(preds[lo:hi], res.Predictions)
+	}
+	tl, err := c.Estimate(req.Forest.ComputeStats(), int64(n))
+	if err != nil {
+		return nil, err
+	}
+	out := &backend.Result{Predictions: preds}
+	out.Timeline.Extend(tl)
+	return out, nil
+}
+
+// Estimate implements backend.Backend: the makespan of the largest shard
+// plus a per-device host merge cost.
+func (c *Cluster) Estimate(stats forest.Stats, records int64) (*sim.Timeline, error) {
+	largest := (records + int64(c.devices) - 1) / int64(c.devices)
+	tl, err := c.engine.Estimate(stats, largest)
+	if err != nil {
+		return nil, err
+	}
+	var out sim.Timeline
+	out.Extend(tl)
+	if c.devices > 1 {
+		// Host-side gather of the other devices' result buffers: one DMA
+		// completion handling per additional device.
+		gather := time.Duration(c.devices-1) * c.engine.spec.Link.PerTransfer
+		out.Add("cluster result merge", sim.KindOverhead, gather)
+	}
+	return &out, nil
+}
+
+// shardDataset returns a view-copy of rows [lo, hi).
+func shardDataset(d *dataset.Dataset, lo, hi int) *dataset.Dataset {
+	f := d.NumFeatures()
+	out := &dataset.Dataset{
+		Name:         d.Name,
+		FeatureNames: d.FeatureNames,
+		ClassNames:   d.ClassNames,
+		X:            d.X[lo*f : hi*f],
+	}
+	if len(d.Y) >= hi {
+		out.Y = d.Y[lo:hi]
+	}
+	return out
+}

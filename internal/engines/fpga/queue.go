@@ -1,0 +1,176 @@
+package fpga
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/sim"
+)
+
+// QueueManager models the multi-context host interface of §III-B: "our
+// system architecture supports multi-threaded ML scoring contexts with
+// custom PCIe interface and queue managements [HEAX, ref 34]. We can spawn
+// as many threads as required to process all the input records."
+//
+// Multiple host threads submit scoring requests concurrently; the manager
+// serializes them onto the single PE array (FIFO), overlapping each
+// request's host-side software overhead with the previous request's device
+// execution. Functionally every request is scored exactly; the simulated
+// clock advances per the queue discipline, so concurrent submitters observe
+// queueing delay and the device observes near-100% utilization under load.
+type QueueManager struct {
+	engine *Engine
+
+	mu sync.Mutex
+	// deviceFree is the simulated time at which the PE array frees up.
+	deviceFree time.Duration
+	// now is the simulated submission clock; each Submit advances it by the
+	// caller-provided inter-arrival gap.
+	now time.Duration
+	// stats
+	submitted int
+	busy      time.Duration
+}
+
+// NewQueueManager wraps an engine with the multi-context queue.
+func NewQueueManager(e *Engine) *QueueManager {
+	return &QueueManager{engine: e}
+}
+
+// QueuedResult is the outcome of one queued scoring request.
+type QueuedResult struct {
+	// Result is the functional outcome with the request's own timeline.
+	Result *backend.Result
+	// Arrival, Start and Finish are simulated queue times.
+	Arrival, Start, Finish time.Duration
+}
+
+// QueueDelay is how long the request waited for the device.
+func (q QueuedResult) QueueDelay() time.Duration { return q.Start - q.Arrival }
+
+// ResponseTime is the caller-observed latency including queueing.
+func (q QueuedResult) ResponseTime() time.Duration { return q.Finish - q.Arrival }
+
+// Submit scores one request after the given simulated inter-arrival gap
+// since the previous submission. It is safe to call from many goroutines;
+// requests are admitted in lock acquisition order (the PCIe queue).
+func (m *QueueManager) Submit(req *backend.Request, gap time.Duration) (*QueuedResult, error) {
+	if gap < 0 {
+		return nil, fmt.Errorf("fpga: negative inter-arrival gap %v", gap)
+	}
+	// Functional scoring happens outside the lock: the PE-array walk is
+	// pure; only the simulated-clock bookkeeping needs serializing.
+	res, err := m.engine.Score(req)
+	if err != nil {
+		return nil, err
+	}
+	service := res.Timeline.Total()
+	// The host-side software overhead of the next call overlaps with the
+	// device executing the previous one (the HEAX-style queue hides
+	// submission latency); only the device-occupancy portion serializes.
+	hostOverlap := res.Timeline.Component("software overhead")
+	deviceService := service - hostOverlap
+	if deviceService < 0 {
+		deviceService = 0
+	}
+
+	m.mu.Lock()
+	m.now += gap
+	arrival := m.now
+	start := arrival
+	if m.deviceFree > start {
+		start = m.deviceFree
+	}
+	finish := start + deviceService
+	m.deviceFree = finish
+	m.submitted++
+	m.busy += deviceService
+	m.mu.Unlock()
+
+	// A request that found the device idle still pays its own host-side
+	// overhead; a queued request hides it behind the wait.
+	if start == arrival {
+		finish += hostOverlap
+		m.mu.Lock()
+		if finish > m.deviceFree {
+			m.deviceFree = finish
+		}
+		m.mu.Unlock()
+	}
+	return &QueuedResult{Result: res, Arrival: arrival, Start: start, Finish: finish}, nil
+}
+
+// Stats reports the queue's aggregate simulated behavior.
+func (m *QueueManager) Stats() (submitted int, busy, horizon time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitted, m.busy, m.deviceFree
+}
+
+// Utilization is device busy time over the simulated horizon.
+func (m *QueueManager) Utilization() float64 {
+	_, busy, horizon := m.Stats()
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// SubmitBatchConcurrent drives the queue from workers goroutines, each
+// submitting one request per element of gaps (round-robin), and returns all
+// results. It demonstrates the "spawn as many threads as required" usage and
+// is exercised by the concurrency tests.
+func (m *QueueManager) SubmitBatchConcurrent(req *backend.Request, gaps []time.Duration, workers int) ([]*QueuedResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*QueuedResult, len(gaps))
+	errs := make([]error, len(gaps))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := range gaps {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := m.Submit(req, gaps[i])
+				results[i] = r
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// AggregateTimeline folds the queued results into a single timeline with
+// queueing accounted as overhead — useful for comparing the queued engine
+// against one-shot scoring in breakdown form.
+func AggregateTimeline(results []*QueuedResult) *sim.Timeline {
+	var tl sim.Timeline
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		tl.Add("queue wait", sim.KindOverhead, r.QueueDelay())
+		tl.Add("service", sim.KindCompute, r.Finish-r.Start)
+	}
+	return &tl
+}

@@ -1,0 +1,163 @@
+package fpga
+
+import (
+	"testing"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/dataset"
+	"accelscore/internal/hw"
+)
+
+func queueFixture(t testing.TB) (*QueueManager, *backend.Request) {
+	t.Helper()
+	f := train(t, dataset.Iris(), 8, 10, 31)
+	data := dataset.Iris().Replicate(200)
+	return NewQueueManager(New(hw.DefaultFPGA())), &backend.Request{Forest: f, Data: data}
+}
+
+func TestQueueSingleSubmit(t *testing.T) {
+	qm, req := queueFixture(t)
+	r, err := qm.Submit(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueDelay() != 0 {
+		t.Fatalf("idle device gave queue delay %v", r.QueueDelay())
+	}
+	if len(r.Result.Predictions) != 200 {
+		t.Fatalf("%d predictions", len(r.Result.Predictions))
+	}
+	// Idle submission pays full service including host overhead.
+	if r.ResponseTime() < r.Result.Timeline.Total()-time.Microsecond {
+		t.Fatalf("response %v below service %v", r.ResponseTime(), r.Result.Timeline.Total())
+	}
+}
+
+func TestQueueBackToBackRequestsQueue(t *testing.T) {
+	qm, req := queueFixture(t)
+	a, err := qm.Submit(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qm.Submit(req, 0) // arrives while the device is busy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueDelay() <= 0 {
+		t.Fatalf("second request saw no queueing: %+v", b)
+	}
+	if b.Start < a.Finish-a.Result.Timeline.Component("software overhead")-time.Microsecond {
+		t.Fatalf("overlap accounting wrong: b.Start=%v a.Finish=%v", b.Start, a.Finish)
+	}
+}
+
+func TestQueueNegativeGapRejected(t *testing.T) {
+	qm, req := queueFixture(t)
+	if _, err := qm.Submit(req, -time.Second); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestQueueUtilizationUnderLoad(t *testing.T) {
+	qm, req := queueFixture(t)
+	// Zero inter-arrival gaps: the device should be nearly always busy.
+	gaps := make([]time.Duration, 20)
+	results, err := qm.SubmitBatchConcurrent(req, gaps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("%d results", len(results))
+	}
+	if u := qm.Utilization(); u < 0.9 {
+		t.Fatalf("utilization under saturation = %v, want ~1", u)
+	}
+	// Every request computed correct predictions.
+	want := req.Forest.PredictBatch(req.Data)
+	for ri, r := range results {
+		for i := range want {
+			if r.Result.Predictions[i] != want[i] {
+				t.Fatalf("request %d prediction %d differs", ri, i)
+			}
+		}
+	}
+	submitted, busy, horizon := qm.Stats()
+	if submitted != 20 || busy <= 0 || horizon < busy {
+		t.Fatalf("stats = %d %v %v", submitted, busy, horizon)
+	}
+}
+
+func TestQueueIdleArrivalsDontQueue(t *testing.T) {
+	qm, req := queueFixture(t)
+	// Gaps far larger than the service time: no request should wait.
+	one, err := qm.Submit(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := one.ResponseTime()
+	for i := 0; i < 5; i++ {
+		r, err := qm.Submit(req, 10*service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.QueueDelay() > 0 {
+			t.Fatalf("request %d queued %v despite idle device", i, r.QueueDelay())
+		}
+	}
+	if u := qm.Utilization(); u > 0.2 {
+		t.Fatalf("idle workload utilization = %v, want low", u)
+	}
+}
+
+func TestQueueThroughputExceedsSerialCalls(t *testing.T) {
+	// The queue hides per-call host software overhead behind device
+	// execution, so the sustained horizon for N back-to-back requests is
+	// shorter than N sequential one-shot calls.
+	qm, req := queueFixture(t)
+	const n = 10
+	gaps := make([]time.Duration, n)
+	if _, err := qm.SubmitBatchConcurrent(req, gaps, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, horizon := qm.Stats()
+
+	oneShot, err := New(hw.DefaultFPGA()).Score(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Duration(n) * oneShot.Timeline.Total()
+	if horizon >= serial {
+		t.Fatalf("queued horizon %v not better than serial %v", horizon, serial)
+	}
+}
+
+func TestAggregateTimeline(t *testing.T) {
+	qm, req := queueFixture(t)
+	gaps := make([]time.Duration, 4)
+	results, err := qm.SubmitBatchConcurrent(req, gaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := AggregateTimeline(results)
+	if tl.Component("service") <= 0 {
+		t.Fatal("no service time aggregated")
+	}
+	if tl.Component("queue wait") <= 0 {
+		t.Fatal("saturated queue shows no waiting")
+	}
+	// Nil entries are tolerated.
+	if AggregateTimeline([]*QueuedResult{nil}).Total() != 0 {
+		t.Fatal("nil handling broken")
+	}
+}
+
+func BenchmarkQueueSubmit(b *testing.B) {
+	qm, req := queueFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qm.Submit(req, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+)
+
+// KernelProfile reproduces the nvprof-style counters the paper analyzes in
+// §IV-C1: "the average warp execution and SM efficiencies of most
+// [Hummingbird] kernels are 100%, or close to that, and much higher than for
+// some kernels with many invocations in RAPIDS. However, there were more
+// instructions executed and more L2/DRAM traffic for Hummingbird. The main
+// contributors to issue stalls for both were memory dependency (data
+// request), execution dependency, and other stalls, with memory dependency
+// stalls usually being the dominant one."
+type KernelProfile struct {
+	// Library identifies the profiled path ("GPU_HB", "GPU_RAPIDS").
+	Library string
+	// WarpEfficiency is the average active-thread fraction per warp.
+	WarpEfficiency float64
+	// SMEfficiency is the average streaming-multiprocessor occupancy.
+	SMEfficiency float64
+	// KernelLaunches counts device kernel invocations.
+	KernelLaunches int64
+	// Instructions counts simulated executed device instructions.
+	Instructions int64
+	// DRAMTrafficBytes estimates device-memory traffic.
+	DRAMTrafficBytes int64
+	// StallBreakdown maps stall reason -> fraction of issue stalls.
+	StallBreakdown map[string]float64
+}
+
+// DominantStall returns the largest stall contributor.
+func (p KernelProfile) DominantStall() string {
+	best, bestV := "", -1.0
+	for k, v := range p.StallBreakdown {
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// instructionsPerVisitHB is the per-node-visit instruction cost of the
+// tensorized traversal: gather + compare + index arithmetic, vectorized but
+// padded to full depth (redundant work).
+const instructionsPerVisitHB = 14
+
+// instructionsPerVisitRAPIDS is FIL's lean hand-written traversal loop.
+const instructionsPerVisitRAPIDS = 6
+
+// Profile returns the simulated kernel counters for a Hummingbird run.
+func (h *Hummingbird) Profile(stats forest.Stats, records int64) KernelProfile {
+	// Tensor kernels are data-parallel with uniform control flow: warps stay
+	// converged regardless of tree shape.
+	padded := records * int64(stats.Trees) * int64(stats.MaxDepth)
+	inputBytes := records * int64(stats.Features) * dataset.BytesPerValue
+	// The padded node tables are re-streamed per record tile (the paper's
+	// "more L2/DRAM traffic" observation).
+	paddedModelBytes := int64(stats.Trees) * ((int64(1) << uint(stats.MaxDepth+1)) - 1) * 16
+	tiles := records/4096 + 1
+	return KernelProfile{
+		Library:        h.Name(),
+		WarpEfficiency: 0.99,
+		SMEfficiency:   0.97,
+		// One gather kernel per tree level plus the vote/argmax kernels.
+		KernelLaunches:   int64(stats.MaxDepth) + 4,
+		Instructions:     padded * instructionsPerVisitHB,
+		DRAMTrafficBytes: inputBytes + paddedModelBytes*tiles,
+		StallBreakdown: map[string]float64{
+			"memory dependency":    0.52,
+			"execution dependency": 0.31,
+			"other":                0.17,
+		},
+	}
+}
+
+// Profile returns the simulated kernel counters for a RAPIDS FIL run.
+func (r *RAPIDS) Profile(stats forest.Stats, records int64) KernelProfile {
+	// Threads in a warp follow divergent paths down the trees; efficiency
+	// degrades as paths diverge from the padded depth ("different threads
+	// may follow divergent evaluation paths ... exacerbated with increasing
+	// model complexity", §IV-C1).
+	divergence := 0.0
+	if stats.MaxDepth > 0 {
+		divergence = 1 - stats.AvgPathLength/float64(stats.MaxDepth)
+	}
+	complexity := float64(stats.Trees) / 128.0
+	if complexity > 1 {
+		complexity = 1
+	}
+	warpEff := 0.85 - 0.25*divergence - 0.15*complexity
+	if warpEff < 0.3 {
+		warpEff = 0.3
+	}
+	visits := stats.Visits(records)
+	inputBytes := records * int64(stats.Features) * dataset.BytesPerValue
+	modelBytes := int64(stats.TotalNodes) * 16
+	// FIL keeps the packed forest resident; traffic grows only when it
+	// spills L2.
+	spillFactor := int64(1)
+	if modelBytes > r.spec.L2CacheBytes {
+		spillFactor = records/8192 + 1
+	}
+	return KernelProfile{
+		Library:        r.Name(),
+		WarpEfficiency: warpEff,
+		SMEfficiency:   0.88,
+		// cuDF conversion kernels plus one FIL kernel per record chunk: the
+		// "many invocations" the paper observed.
+		KernelLaunches:   24 + records/65536 + 1,
+		Instructions:     visits * instructionsPerVisitRAPIDS,
+		DRAMTrafficBytes: inputBytes + modelBytes*spillFactor,
+		StallBreakdown: map[string]float64{
+			"memory dependency":    0.47,
+			"execution dependency": 0.29,
+			"other":                0.24,
+		},
+	}
+}

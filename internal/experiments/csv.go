@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFig9CSV writes the latency panels as long-form CSV
+// (panel,dataset,trees,depth,backend,records,latency_ns) for external
+// plotting tools.
+func WriteFig9CSV(w io.Writer, panels []Fig9Panel) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "dataset", "trees", "depth", "backend", "records", "latency_ns"}); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		for _, c := range p.Curves {
+			for i, n := range p.Records {
+				if c.Times[i] == 0 {
+					continue
+				}
+				rec := []string{
+					p.Label, p.Dataset,
+					strconv.Itoa(p.Trees), strconv.Itoa(p.Depth),
+					c.Backend, strconv.FormatInt(n, 10),
+					strconv.FormatInt(c.Times[i].Nanoseconds(), 10),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV writes the throughput panels as long-form CSV
+// (panel,dataset,trees,depth,backend,records,scorings_per_sec).
+func WriteFig10CSV(w io.Writer, panels []Fig10Panel) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"panel", "dataset", "trees", "depth", "backend", "records", "scorings_per_sec"}); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		for _, c := range p.Curves {
+			for i, n := range p.Records {
+				if c.PerSecond[i] == 0 {
+					continue
+				}
+				rec := []string{
+					p.Label, p.Dataset,
+					strconv.Itoa(p.Trees), strconv.Itoa(p.Depth),
+					c.Backend, strconv.FormatInt(n, 10),
+					strconv.FormatFloat(c.PerSecond[i], 'g', 10, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV writes the shmoo grid as CSV
+// (dataset,records,trees,best,speedup).
+func WriteFig8CSV(w io.Writer, r *Fig8Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "records", "trees", "best", "speedup"}); err != nil {
+		return err
+	}
+	for i := range r.RecordCounts {
+		for j := range r.TreeCounts {
+			c := r.Cells[i][j]
+			rec := []string{
+				r.Dataset,
+				strconv.FormatInt(c.Records, 10),
+				strconv.Itoa(c.Trees),
+				c.Best,
+				fmt.Sprintf("%.3f", c.Speedup),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig11CSV writes the end-to-end breakdowns as long-form CSV
+// (dataset,trees,records,backend,stage,duration_ns).
+func WriteFig11CSV(w io.Writer, rows []Fig11Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "trees", "records", "backend", "stage", "duration_ns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, st := range r.Stages {
+			rec := []string{
+				r.Dataset,
+				strconv.Itoa(r.Trees),
+				strconv.FormatInt(r.Records, 10),
+				r.Backend,
+				st.Name,
+				strconv.FormatInt(st.Duration.Nanoseconds(), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteFig9CSV(t *testing.T) {
+	s := NewSuite()
+	panels, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig9CSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[0][0] != "panel" || len(rows) < 100 {
+		t.Fatalf("CSV header/size wrong: %d rows", len(rows))
+	}
+	// Every latency parses as a positive integer.
+	for _, r := range rows[1:] {
+		ns, err := strconv.ParseInt(r[6], 10, 64)
+		if err != nil || ns <= 0 {
+			t.Fatalf("bad latency cell %q", r[6])
+		}
+	}
+}
+
+func TestWriteFig10CSV(t *testing.T) {
+	s := NewSuite()
+	panels, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig10CSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[0][6] != "scorings_per_sec" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		v, err := strconv.ParseFloat(r[6], 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad throughput cell %q", r[6])
+		}
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	s := NewSuite()
+	r, err := s.Fig8(HiggsShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	want := 1 + len(RecordSweep)*len(TreeSweep)
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+}
+
+func TestWriteFig11CSV(t *testing.T) {
+	s := NewSuite()
+	r, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig11CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) < 50 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	seenStages := map[string]bool{}
+	for _, row := range rows[1:] {
+		seenStages[row[4]] = true
+	}
+	for _, stage := range []string{"Python invocation", "model scoring", "data transfer"} {
+		if !seenStages[stage] {
+			t.Fatalf("stage %q missing from CSV", stage)
+		}
+	}
+}

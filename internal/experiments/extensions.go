@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/logca"
+	"accelscore/internal/sched"
+	"accelscore/internal/sim"
+)
+
+// SchedulerComparison holds the dynamic-scheduling extension experiment: the
+// same mixed query stream placed by four policies (DESIGN.md §5, last
+// ablation — the workload-scale version of the paper's wrong-decision
+// analysis).
+type SchedulerComparison struct {
+	Queries int
+	Metrics []sched.Metrics
+}
+
+// SchedulerExperiment runs the policy comparison on the default mixed
+// workload.
+func (s *Suite) SchedulerExperiment(queries int, seed uint64) (*SchedulerComparison, error) {
+	qs, err := sched.Generate(sched.DefaultWorkload(queries, seed))
+	if err != nil {
+		return nil, err
+	}
+	simulator := &sched.Simulator{Registry: s.TB.Registry}
+	metrics, err := simulator.Compare(qs,
+		sched.Static{BackendName: "CPU_SKLearn", Registry: s.TB.Registry},
+		sched.Static{BackendName: "FPGA", Registry: s.TB.Registry},
+		sched.Oracle{Advisor: s.TB.Advisor},
+		sched.ContentionAware{Advisor: s.TB.Advisor},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedulerComparison{Queries: queries, Metrics: metrics}, nil
+}
+
+// RenderScheduler renders the comparison.
+func RenderScheduler(c *SchedulerComparison) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension — dynamic offload scheduling over %d mixed queries (§I motivation)\n\n", c.Queries)
+	sb.WriteString(sched.RenderMetrics(c.Metrics))
+	return sb.String()
+}
+
+// LogCAFit holds the analytical-model extension: LogCA parameters fitted to
+// each accelerator simulator, with the derived break-even granularity (g1)
+// and asymptotic speedup (paper ref [42]; §IV-E argues such models must
+// include both overhead classes).
+type LogCAFit struct {
+	Backend    string
+	Model      logca.Model
+	G1         int64
+	G1OK       bool
+	GHalf      int64
+	Asymptotic float64
+}
+
+// LogCAExperiment fits LogCA to the FPGA and both GPU libraries for the
+// flagship HIGGS model shape, against the Scikit-learn host baseline.
+func (s *Suite) LogCAExperiment() ([]LogCAFit, error) {
+	stats := HiggsShape.config(128, 10, 0).Stats()
+	var out []LogCAFit
+	for _, name := range []string{"FPGA", "GPU_HB", "GPU_RAPIDS"} {
+		b, ok := s.TB.Registry.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: backend %q missing", name)
+		}
+		m, err := logca.Fit(name, s.TB.SKLearn, b, stats)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s: %w", name, err)
+		}
+		fit := LogCAFit{Backend: name, Model: m, Asymptotic: m.AsymptoticSpeedup()}
+		fit.G1, fit.G1OK = m.G1()
+		fit.GHalf, _ = m.GHalfA()
+		out = append(out, fit)
+	}
+	return out, nil
+}
+
+// RenderLogCA renders the fitted models.
+func RenderLogCA(fits []LogCAFit) string {
+	var sb strings.Builder
+	sb.WriteString("Extension — LogCA analytical model fitted to the simulators\n")
+	sb.WriteString("(HIGGS shape: 128 trees, depth 10; host = CPU_SKLearn)\n\n")
+	fmt.Fprintf(&sb, "%-12s %12s %14s %16s %10s %12s\n",
+		"backend", "overhead o", "C (ns/record)", "A (accel)", "g1", "asym speedup")
+	for _, f := range fits {
+		g1 := "never"
+		if f.G1OK {
+			g1 = formatCount(f.G1)
+		}
+		fmt.Fprintf(&sb, "%-12s %12s %14.1f %16.1f %10s %12.1f\n",
+			f.Backend,
+			sim.FormatDuration(f.Model.Overhead),
+			float64(f.Model.HostTimePerRecord)/float64(time.Nanosecond),
+			f.Model.Acceleration,
+			g1,
+			f.Asymptotic)
+	}
+	return sb.String()
+}

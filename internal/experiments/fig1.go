@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"accelscore/internal/core"
+)
+
+// Fig1Result is the paper's introductory concept grid (Fig. 1): just the
+// best-performing hardware per (data size, model complexity) cell, without
+// speedup annotations. The model-complexity axis combines tree count and
+// dataset width, as in the paper's illustration.
+type Fig1Result struct {
+	// RowLabels are data sizes (records), smallest first (the paper's
+	// Y-axis arrow points down toward larger data).
+	RowLabels []string
+	// ColLabels are model-complexity steps, simplest first.
+	ColLabels []string
+	// Cells[row][col] is "CPU", "GPU" or "FPGA".
+	Cells [][]string
+}
+
+// Fig1 regenerates the concept grid. Model complexity sweeps (trees,
+// features) jointly: a single IRIS-width tree up to a 128-tree HIGGS-width
+// forest, all at depth 10.
+func (s *Suite) Fig1() (*Fig1Result, error) {
+	type complexity struct {
+		label string
+		trees int
+		shape DatasetShape
+	}
+	cols := []complexity{
+		{"1 tree / 4 feat", 1, IrisShape},
+		{"32 trees / 4 feat", 32, IrisShape},
+		{"32 trees / 28 feat", 32, HiggsShape},
+		{"128 trees / 28 feat", 128, HiggsShape},
+	}
+	records := []int64{1, 100, 10_000, 100_000, 500_000, 1_000_000}
+
+	res := &Fig1Result{}
+	for _, c := range cols {
+		res.ColLabels = append(res.ColLabels, c.label)
+	}
+	for _, n := range records {
+		res.RowLabels = append(res.RowLabels, formatCount(n))
+		row := make([]string, len(cols))
+		for j, c := range cols {
+			d, err := s.TB.Advisor.Decide(core.Config{
+				DatasetName: c.shape.Name,
+				Features:    c.shape.Features,
+				Classes:     c.shape.Classes,
+				Trees:       c.trees,
+				Depth:       10,
+				Records:     n,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig1: %w", err)
+			}
+			row[j] = deviceLabel(d.Best.Name)
+		}
+		res.Cells = append(res.Cells, row)
+	}
+	return res, nil
+}
+
+// deviceLabel collapses backend names to the paper's three-way CPU/GPU/FPGA
+// labels.
+func deviceLabel(backendName string) string {
+	switch backendName {
+	case "GPU_HB", "GPU_RAPIDS":
+		return "GPU"
+	case "FPGA":
+		return "FPGA"
+	default:
+		return "CPU"
+	}
+}
+
+// RenderFig1 renders the concept grid in the paper's layout: model
+// complexity increasing left to right, data size increasing top to bottom.
+func RenderFig1(r *Fig1Result) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 1 — Best-performing hardware vs model complexity and data size\n\n")
+	fmt.Fprintf(&sb, "%12s |", "data size")
+	for _, c := range r.ColLabels {
+		fmt.Fprintf(&sb, " %19s |", c)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 14+22*len(r.ColLabels)))
+	sb.WriteString("\n")
+	for i, row := range r.Cells {
+		fmt.Fprintf(&sb, "%12s |", r.RowLabels[i])
+		for _, cell := range row {
+			fmt.Fprintf(&sb, " %19s |", cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/model"
+	"accelscore/internal/sim"
+)
+
+// Fig11Row is one bar of Fig. 11: the end-to-end T-SQL query latency
+// breakdown for one (dataset, model, record count, backend) combination.
+type Fig11Row struct {
+	Dataset string
+	Trees   int
+	Depth   int
+	Records int64
+	Backend string
+	Stages  []sim.Span
+	Total   time.Duration
+}
+
+// fig11Backends are the scoring placements compared in the end-to-end view.
+var fig11Backends = []string{"CPU_ONNX_52th", "GPU_HB", "FPGA"}
+
+// Fig11 regenerates the end-to-end query breakdown for {1, 1K, 1M} records
+// x {1, 128} trees on both datasets, with scoring placed on the CPU, the
+// GPU and the FPGA.
+func (s *Suite) Fig11() ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, shape := range []DatasetShape{IrisShape, HiggsShape} {
+		for _, trees := range []int{1, 128} {
+			stats := shape.config(trees, 10, 0).Stats()
+			blobBytes := approxBlobBytes(stats.TotalNodes)
+			for _, records := range []int64{1, 1_000, 1_000_000} {
+				for _, backendName := range fig11Backends {
+					tl, used, err := s.Pipe.Estimate(stats, records, blobBytes, backendName)
+					if err != nil {
+						continue // e.g. RAPIDS-style rejections
+					}
+					agg := tl.Aggregate()
+					rows = append(rows, Fig11Row{
+						Dataset: shape.Name,
+						Trees:   trees,
+						Depth:   10,
+						Records: records,
+						Backend: used,
+						Stages:  agg.Rows,
+						Total:   agg.Total,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// approxBlobBytes estimates the serialized model size from the node count,
+// matching the RFX encoding's per-node footprint.
+func approxBlobBytes(totalNodes int) int64 {
+	return int64(totalNodes)*model.ApproxNodeBytes + 64
+}
+
+// RenderFig11 renders the end-to-end breakdowns as aligned text.
+func RenderFig11(rows []Fig11Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 11 — End-to-end T-SQL query latency breakdown\n")
+	var lastKey string
+	for _, r := range rows {
+		key := fmt.Sprintf("%s %d trees %s records", r.Dataset, r.Trees, formatCount(r.Records))
+		if key != lastKey {
+			fmt.Fprintf(&sb, "\n%s\n", key)
+			lastKey = key
+		}
+		fmt.Fprintf(&sb, "  scoring on %-14s total %12s\n", r.Backend, sim.FormatDuration(r.Total))
+		for _, st := range r.Stages {
+			pct := 0.0
+			if r.Total > 0 {
+				pct = 100 * float64(st.Duration) / float64(r.Total)
+			}
+			fmt.Fprintf(&sb, "    %-24s %12s  %5.1f%%\n", st.Name, sim.FormatDuration(st.Duration), pct)
+		}
+	}
+	return sb.String()
+}
+
+// QuerySpeedup returns the end-to-end speedup of the best accelerator row
+// over the CPU row for the given (dataset, trees, records) group.
+func QuerySpeedup(rows []Fig11Row, dataset string, trees int, records int64) (float64, error) {
+	var cpu, bestAccel time.Duration
+	for _, r := range rows {
+		if r.Dataset != dataset || r.Trees != trees || r.Records != records {
+			continue
+		}
+		if strings.HasPrefix(r.Backend, "CPU") {
+			cpu = r.Total
+		} else if bestAccel == 0 || r.Total < bestAccel {
+			bestAccel = r.Total
+		}
+	}
+	if cpu == 0 || bestAccel == 0 {
+		return 0, fmt.Errorf("experiments: no CPU/accelerator pair for %s t=%d n=%d", dataset, trees, records)
+	}
+	return float64(cpu) / float64(bestAccel), nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/sim"
+)
+
+// Fig7Row is one bar of Fig. 7: the FPGA overall scoring time breakdown for
+// one (dataset, tree count, record count) combination.
+type Fig7Row struct {
+	Dataset string
+	Trees   int
+	Depth   int
+	Records int64
+	// Components are the aggregated named spans (input transfer, FPGA
+	// setup, scoring, completion signal, result transfer, software
+	// overhead).
+	Components []sim.Span
+	Total      time.Duration
+}
+
+// Fig7 regenerates both panels of Fig. 7: the FPGA model-scoring time
+// breakdown for 1 record (panel a) and 1M records (panel b), for IRIS and
+// HIGGS with 1 and 128 trees at depth 10.
+func (s *Suite) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, records := range []int64{1, 1_000_000} {
+		for _, shape := range []DatasetShape{IrisShape, HiggsShape} {
+			for _, trees := range []int{1, 128} {
+				cfg := shape.config(trees, 10, records)
+				tl, err := s.TB.FPGA.Estimate(cfg.Stats(), records)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %v: %w", cfg, err)
+				}
+				agg := tl.Aggregate()
+				rows = append(rows, Fig7Row{
+					Dataset:    shape.Name,
+					Trees:      trees,
+					Depth:      10,
+					Records:    records,
+					Components: agg.Rows,
+					Total:      agg.Total,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig7 renders the breakdown rows as aligned text.
+func RenderFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7 — Overall FPGA model scoring time breakdown\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%s, %d tree(s), depth %d, %s records (total %s)\n",
+			r.Dataset, r.Trees, r.Depth, formatCount(r.Records), sim.FormatDuration(r.Total))
+		for _, c := range r.Components {
+			pct := 0.0
+			if r.Total > 0 {
+				pct = 100 * float64(c.Duration) / float64(r.Total)
+			}
+			fmt.Fprintf(&sb, "  %-28s %12s  %5.1f%%\n", c.Name, sim.FormatDuration(c.Duration), pct)
+		}
+	}
+	return sb.String()
+}
+
+// formatCount prints 1000000 as "1M" etc. for axis labels.
+func formatCount(n int64) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dK", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/core"
+)
+
+// Fig8Result is one dataset's shmoo: the optimal backend and its
+// speedup-over-best-CPU for every (records, trees) cell, plus the reference
+// bottom row showing the best GPU speedup at 1M records (the "1M, GPU" row
+// of Fig. 8).
+type Fig8Result struct {
+	Dataset      string
+	Depth        int
+	RecordCounts []int64
+	TreeCounts   []int
+	// Cells is indexed [recordIdx][treeIdx].
+	Cells [][]core.ShmooCell
+	// GPURow holds, per tree count, the best GPU backend and its speedup
+	// over the best CPU at 1M records.
+	GPURow []GPURefCell
+}
+
+// GPURefCell is one entry of the "1M, GPU" reference row.
+type GPURefCell struct {
+	Trees   int
+	Backend string
+	Speedup float64
+}
+
+// Fig8 regenerates the optimal-backend shmoo for one dataset at depth 10.
+func (s *Suite) Fig8(shape DatasetShape) (*Fig8Result, error) {
+	const depth = 10
+	cells, err := s.TB.Advisor.Shmoo(shape.Name, shape.Features, shape.Classes, depth, RecordSweep, TreeSweep)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{
+		Dataset:      shape.Name,
+		Depth:        depth,
+		RecordCounts: RecordSweep,
+		TreeCounts:   TreeSweep,
+		Cells:        cells,
+	}
+	// Reference row: best GPU vs best CPU at 1M records.
+	for _, trees := range TreeSweep {
+		cfg := shape.config(trees, depth, 1_000_000)
+		stats := cfg.Stats()
+		gpu := core.BackendTime{Time: time.Duration(1<<63 - 1)}
+		found := false
+		for _, name := range []string{"GPU_HB", "GPU_RAPIDS"} {
+			b, ok := s.TB.Registry.Get(name)
+			if !ok {
+				continue
+			}
+			tl, err := b.Estimate(stats, 1_000_000)
+			if err != nil {
+				continue // e.g. RAPIDS on multi-class IRIS
+			}
+			if t := tl.Total(); t < gpu.Time {
+				gpu = core.BackendTime{Name: name, Time: t, Timeline: tl}
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fig8: no GPU backend supports %v", cfg)
+		}
+		d, err := s.TB.Advisor.Decide(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.GPURow = append(res.GPURow, GPURefCell{
+			Trees:   trees,
+			Backend: gpu.Name,
+			Speedup: float64(d.BestCPU.Time) / float64(gpu.Time),
+		})
+	}
+	return res, nil
+}
+
+// RenderFig8 renders the shmoo as a text grid: rows are record counts
+// (largest at the bottom, like the paper's Y axis), columns are tree
+// counts; each cell shows the winning backend and its speedup over the best
+// CPU.
+func RenderFig8(r *Fig8Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 8 — Optimal backend shmoo, %s (depth %d), speedup over best CPU\n\n", r.Dataset, r.Depth)
+	fmt.Fprintf(&sb, "%10s |", "records")
+	for _, t := range r.TreeCounts {
+		fmt.Fprintf(&sb, " %16s |", fmt.Sprintf("%d tree(s)", t))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 12+19*len(r.TreeCounts)))
+	sb.WriteString("\n")
+	for i, n := range r.RecordCounts {
+		fmt.Fprintf(&sb, "%10s |", formatCount(n))
+		for j := range r.TreeCounts {
+			c := r.Cells[i][j]
+			label := shortBackend(c.Best)
+			if c.Speedup > 1.001 {
+				label = fmt.Sprintf("%s %.1fx", label, c.Speedup)
+			}
+			fmt.Fprintf(&sb, " %16s |", label)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%10s |", "1M, GPU")
+	for _, g := range r.GPURow {
+		fmt.Fprintf(&sb, " %16s |", fmt.Sprintf("%s %.1fx", shortBackend(g.Backend), g.Speedup))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// shortBackend compresses backend names for grid cells.
+func shortBackend(name string) string {
+	switch name {
+	case "CPU_SKLearn", "CPU_ONNX", "CPU_ONNX_52th", "CPU_SKLearn_1th":
+		return "CPU"
+	case "GPU_HB":
+		return "GPU-HB"
+	case "GPU_RAPIDS":
+		return "GPU-RAP"
+	default:
+		return name
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/sim"
+)
+
+// Fig9Curve is one backend's latency across the record sweep. A zero entry
+// means the backend does not support the configuration (e.g. RAPIDS on
+// IRIS).
+type Fig9Curve struct {
+	Backend string
+	Times   []time.Duration
+}
+
+// Fig9Panel is one subplot of Fig. 9 (and, transposed to throughput, of
+// Fig. 10): one dataset and model shape, latency vs record count for every
+// backend.
+type Fig9Panel struct {
+	Label   string // "a".."h", matching the paper's subfigure ids
+	Dataset string
+	Trees   int
+	Depth   int
+	Records []int64
+	Curves  []Fig9Curve
+}
+
+// fig9Grid is the panel layout of Figs. 9 and 10: IRIS panels a-d then
+// HIGGS panels e-h, sweeping (trees, depth) over (1,6) (1,10) (128,6)
+// (128,10).
+var fig9Grid = []struct {
+	label string
+	shape DatasetShape
+	trees int
+	depth int
+}{
+	{"a", IrisShape, 1, 6},
+	{"b", IrisShape, 1, 10},
+	{"c", IrisShape, 128, 6},
+	{"d", IrisShape, 128, 10},
+	{"e", HiggsShape, 1, 6},
+	{"f", HiggsShape, 1, 10},
+	{"g", HiggsShape, 128, 6},
+	{"h", HiggsShape, 128, 10},
+}
+
+// Fig9 regenerates all eight latency panels.
+func (s *Suite) Fig9() ([]Fig9Panel, error) {
+	var panels []Fig9Panel
+	for _, g := range fig9Grid {
+		panel := Fig9Panel{
+			Label:   g.label,
+			Dataset: g.shape.Name,
+			Trees:   g.trees,
+			Depth:   g.depth,
+			Records: RecordSweep,
+		}
+		for _, b := range s.TB.AllBackends() {
+			curve := Fig9Curve{Backend: b.Name(), Times: make([]time.Duration, len(RecordSweep))}
+			supported := false
+			for i, n := range RecordSweep {
+				stats := g.shape.config(g.trees, g.depth, n).Stats()
+				tl, err := b.Estimate(stats, n)
+				if err != nil {
+					continue // unsupported configuration: leave zero
+				}
+				curve.Times[i] = tl.Total()
+				supported = true
+			}
+			if supported {
+				panel.Curves = append(panel.Curves, curve)
+			}
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}
+
+// RenderFig9 renders the latency panels as aligned text tables.
+func RenderFig9(panels []Fig9Panel) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 9 — Scoring latency vs record count\n")
+	for _, p := range panels {
+		fmt.Fprintf(&sb, "\n(%s) %s, %d tree(s), %d levels\n", p.Label, p.Dataset, p.Trees, p.Depth)
+		fmt.Fprintf(&sb, "%14s", "records")
+		for _, c := range p.Curves {
+			fmt.Fprintf(&sb, " %14s", c.Backend)
+		}
+		sb.WriteString("\n")
+		for i, n := range p.Records {
+			fmt.Fprintf(&sb, "%14s", formatCount(n))
+			for _, c := range p.Curves {
+				if c.Times[i] == 0 {
+					fmt.Fprintf(&sb, " %14s", "-")
+				} else {
+					fmt.Fprintf(&sb, " %14s", sim.FormatDuration(c.Times[i]))
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

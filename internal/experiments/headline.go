@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"accelscore/internal/core"
+)
+
+// Headline collects the §I / §IV-C summary numbers for one dataset at the
+// paper's flagship configuration (1M records, 128 trees, depth 10).
+type Headline struct {
+	Dataset string
+	// BestBackend is the optimal engine at the flagship configuration.
+	BestBackend string
+	// FPGASpeedup and GPUSpeedup are over the best CPU (paper: IRIS
+	// 54x / 7.5x; HIGGS 69.7x / 16.5x).
+	FPGASpeedup float64
+	GPUBackend  string
+	GPUSpeedup  float64
+	// FPGAOverGPU is the FPGA-to-best-GPU ratio (paper: 4.2x on HIGGS).
+	FPGAOverGPU float64
+	// WrongOffloadLatency is the 1-record penalty for offloading (paper:
+	// >=10x); WrongStayThroughput is the 1M-record penalty for staying on
+	// the CPU (paper: ~70x).
+	WrongOffloadLatency float64
+	WrongStayThroughput float64
+	// Crossover1Tree and Crossover128Trees are the record counts where
+	// offload becomes beneficial (paper: IRIS 10K / 1K; HIGGS 5K / 500).
+	Crossover1Tree    int64
+	Crossover128Trees int64
+}
+
+// Headlines computes the summary numbers for both datasets.
+func (s *Suite) Headlines() ([]Headline, error) {
+	var out []Headline
+	for _, shape := range []DatasetShape{IrisShape, HiggsShape} {
+		h := Headline{Dataset: shape.Name}
+		cfg := shape.config(128, 10, 1_000_000)
+		d, err := s.TB.Advisor.Decide(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.BestBackend = d.Best.Name
+
+		fpgaTl, err := s.TB.FPGA.Estimate(cfg.Stats(), cfg.Records)
+		if err != nil {
+			return nil, err
+		}
+		h.FPGASpeedup = float64(d.BestCPU.Time) / float64(fpgaTl.Total())
+
+		// Best GPU at the flagship point.
+		best := core.BackendTime{}
+		for _, name := range []string{"GPU_HB", "GPU_RAPIDS"} {
+			b, _ := s.TB.Registry.Get(name)
+			tl, err := b.Estimate(cfg.Stats(), cfg.Records)
+			if err != nil {
+				continue
+			}
+			if best.Name == "" || tl.Total() < best.Time {
+				best = core.BackendTime{Name: name, Time: tl.Total()}
+			}
+		}
+		h.GPUBackend = best.Name
+		h.GPUSpeedup = float64(d.BestCPU.Time) / float64(best.Time)
+		h.FPGAOverGPU = float64(best.Time) / float64(fpgaTl.Total())
+
+		pen, err := s.TB.Advisor.PenaltyAnalysis(shape.config(128, 10, 0), 1, 1_000_000)
+		if err != nil {
+			return nil, err
+		}
+		h.WrongOffloadLatency = pen.WrongOffloadLatency
+		h.WrongStayThroughput = pen.WrongStayThroughput
+
+		if h.Crossover1Tree, err = s.TB.Advisor.Crossover(shape.config(1, 10, 0), 1, 2_000_000); err != nil {
+			return nil, err
+		}
+		if h.Crossover128Trees, err = s.TB.Advisor.Crossover(shape.config(128, 10, 0), 1, 2_000_000); err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// RenderHeadlines renders the summary alongside the paper's reported
+// values.
+func RenderHeadlines(hs []Headline) string {
+	paper := map[string][6]string{
+		"IRIS":  {"54x", "7.5x (GPU_HB)", "7.2x", ">=10x", "~54x", "10K / 1K"},
+		"HIGGS": {"69.7x", "16.5x (GPU_RAPIDS)", "4.2x", ">=10x", "~70x", "5K / 500"},
+	}
+	var sb strings.Builder
+	sb.WriteString("Headline ratios at 1M records, 128 trees, depth 10 (paper §I / §IV-C)\n\n")
+	for _, h := range hs {
+		p := paper[h.Dataset]
+		fmt.Fprintf(&sb, "%s (best backend: %s)\n", h.Dataset, h.BestBackend)
+		fmt.Fprintf(&sb, "  FPGA speedup over best CPU:   %7.1fx   (paper: %s)\n", h.FPGASpeedup, p[0])
+		fmt.Fprintf(&sb, "  GPU speedup over best CPU:    %7.1fx %s (paper: %s)\n", h.GPUSpeedup, h.GPUBackend, p[1])
+		fmt.Fprintf(&sb, "  FPGA over best GPU:           %7.1fx   (paper: %s)\n", h.FPGAOverGPU, p[2])
+		fmt.Fprintf(&sb, "  wrong-offload latency cost:   %7.1fx   (paper: %s)\n", h.WrongOffloadLatency, p[3])
+		fmt.Fprintf(&sb, "  wrong-stay throughput cost:   %7.1fx   (paper: %s)\n", h.WrongStayThroughput, p[4])
+		fmt.Fprintf(&sb, "  offload crossover (1t/128t):  %s / %s records (paper: %s)\n\n",
+			formatCount(h.Crossover1Tree), formatCount(h.Crossover128Trees), p[5])
+	}
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/engines/cpusk"
+	"accelscore/internal/engines/fpga"
+	"accelscore/internal/hw"
+)
+
+// ScaleOutRow is one point of the scale-out extension experiment.
+type ScaleOutRow struct {
+	Label      string
+	Units      int
+	Latency    time.Duration
+	Throughput float64 // records/s
+}
+
+// ScaleOut sweeps two scaling axes the paper leaves as future work:
+// multi-FPGA record-parallel clusters (paper ref [14]) on a 10M-record
+// HIGGS batch, and the host CPU's thread count on a 1M-record batch (the
+// axis behind the paper's CPU_ONNX vs CPU_ONNX_52th contrast).
+func (s *Suite) ScaleOut() (fpgaRows, cpuRows []ScaleOutRow, err error) {
+	stats := HiggsShape.config(128, 10, 0).Stats()
+
+	const fpgaBatch = 10_000_000
+	for _, n := range []int{1, 2, 4, 8} {
+		cl, err := fpga.NewCluster(s.TB.FPGA, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		tl, err := cl.Estimate(stats, fpgaBatch)
+		if err != nil {
+			return nil, nil, err
+		}
+		fpgaRows = append(fpgaRows, ScaleOutRow{
+			Label:      cl.Name(),
+			Units:      n,
+			Latency:    tl.Total(),
+			Throughput: float64(fpgaBatch) / tl.Total().Seconds(),
+		})
+	}
+
+	const cpuBatch = 1_000_000
+	cpu := hw.DefaultCPU()
+	for _, threads := range []int{1, 2, 4, 8, 16, 32, 52} {
+		eng := cpusk.New(cpu, threads)
+		tl, err := eng.Estimate(stats, cpuBatch)
+		if err != nil {
+			return nil, nil, err
+		}
+		cpuRows = append(cpuRows, ScaleOutRow{
+			Label:      fmt.Sprintf("%d threads", threads),
+			Units:      threads,
+			Latency:    tl.Total(),
+			Throughput: float64(cpuBatch) / tl.Total().Seconds(),
+		})
+	}
+	return fpgaRows, cpuRows, nil
+}
+
+// RenderScaleOut renders both sweeps.
+func RenderScaleOut(fpgaRows, cpuRows []ScaleOutRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension — scale-out sweeps (HIGGS, 128 trees, depth 10)\n\n")
+	sb.WriteString("FPGA cluster, 10M records (record-parallel, full model per device):\n")
+	base := fpgaRows[0].Throughput
+	for _, r := range fpgaRows {
+		fmt.Fprintf(&sb, "  %-8s  latency %10s  throughput %7.1f M/s  scaling %.2fx\n",
+			r.Label, fmtDur(r.Latency), r.Throughput/1e6, r.Throughput/base)
+	}
+	sb.WriteString("\nCPU Scikit-learn engine, 1M records, thread sweep:\n")
+	base = cpuRows[0].Throughput
+	for _, r := range cpuRows {
+		fmt.Fprintf(&sb, "  %-10s latency %10s  throughput %7.2f M/s  scaling %.2fx\n",
+			r.Label, fmtDur(r.Latency), r.Throughput/1e6, r.Throughput/base)
+	}
+	return sb.String()
+}
+
+// fmtDur is a local alias to keep render columns tight.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/engines/cpuonnx"
+	"accelscore/internal/engines/cpusk"
+	"accelscore/internal/engines/fpga"
+	"accelscore/internal/engines/gpu"
+	"accelscore/internal/hw"
+)
+
+// SensitivityRow reports the flagship decision under one perturbed
+// calibration constant: the reproduction's conclusions should be robust to
+// the constants we could not measure directly.
+type SensitivityRow struct {
+	// Parameter names the perturbed constant; Scale is the multiplier.
+	Parameter string
+	Scale     float64
+	// FPGASpeedup is the HIGGS 1M x 128-tree FPGA speedup over the best CPU
+	// under the perturbation.
+	FPGASpeedup float64
+	// Best is the winning backend at the flagship point.
+	Best string
+	// Crossover is the 128-tree HIGGS offload crossover.
+	Crossover int64
+}
+
+// perturbation builds a testbed variant with one constant scaled.
+type perturbation struct {
+	name  string
+	scale float64
+	build func(scale float64) *core.Advisor
+}
+
+// buildAdvisor wires an advisor from explicit specs.
+func buildAdvisor(cpu hw.CPUSpec, gpuSpec hw.GPUSpec, fpgaSpec hw.FPGASpec) *core.Advisor {
+	return &core.Advisor{
+		CPU: []backend.Backend{
+			cpusk.New(cpu, cpu.HardwareThreads),
+			cpuonnx.New(cpu, 1),
+			cpuonnx.New(cpu, cpu.HardwareThreads),
+		},
+		Accelerators: []backend.Backend{
+			gpu.NewHummingbird(gpuSpec),
+			gpu.NewRAPIDS(gpuSpec),
+			fpga.New(fpgaSpec),
+		},
+	}
+}
+
+// Sensitivity perturbs the least-certain calibration constants by the given
+// scales (e.g. 0.5, 1, 2) and reports the flagship outcome under each.
+func (s *Suite) Sensitivity(scales []float64) ([]SensitivityRow, error) {
+	perturbations := []perturbation{
+		{name: "FPGA issue contention (II slope)", build: func(k float64) *core.Advisor {
+			f := hw.DefaultFPGA()
+			f.IssueContention *= k
+			return buildAdvisor(hw.DefaultCPU(), hw.DefaultGPU(), f)
+		}},
+		{name: "FPGA software overhead", build: func(k float64) *core.Advisor {
+			f := hw.DefaultFPGA()
+			f.SoftwareOverhead = time.Duration(float64(f.SoftwareOverhead) * k)
+			return buildAdvisor(hw.DefaultCPU(), hw.DefaultGPU(), f)
+		}},
+		{name: "PCIe efficiency (both links)", build: func(k float64) *core.Advisor {
+			g := hw.DefaultGPU()
+			f := hw.DefaultFPGA()
+			g.Link.Efficiency = clamp01(g.Link.Efficiency * k)
+			f.Link.Efficiency = clamp01(f.Link.Efficiency * k)
+			return buildAdvisor(hw.DefaultCPU(), g, f)
+		}},
+		{name: "CPU ONNX visit cost", build: func(k float64) *core.Advisor {
+			c := hw.DefaultCPU()
+			c.ONNXVisitCost = time.Duration(float64(c.ONNXVisitCost) * k)
+			return buildAdvisor(c, hw.DefaultGPU(), hw.DefaultFPGA())
+		}},
+		{name: "CPU thread-scaling overhead", build: func(k float64) *core.Advisor {
+			c := hw.DefaultCPU()
+			c.ParallelOverhead *= k
+			return buildAdvisor(c, hw.DefaultGPU(), hw.DefaultFPGA())
+		}},
+	}
+
+	flagship := HiggsShape.config(128, 10, 1_000_000)
+	crossCfg := HiggsShape.config(128, 10, 0)
+	var rows []SensitivityRow
+	for _, p := range perturbations {
+		for _, k := range scales {
+			adv := p.build(k)
+			d, err := adv.Decide(flagship)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity %q x%.2g: %w", p.name, k, err)
+			}
+			fpgaTime := d.BestAccelerator.Time
+			// Speedup specifically of the FPGA over the best CPU.
+			speedup := 0.0
+			for _, b := range adv.Accelerators {
+				if b.Name() != "FPGA" {
+					continue
+				}
+				tl, err := b.Estimate(flagship.Stats(), flagship.Records)
+				if err == nil {
+					fpgaTime = tl.Total()
+					speedup = float64(d.BestCPU.Time) / float64(fpgaTime)
+				}
+			}
+			cross, err := adv.Crossover(crossCfg, 1, 4_000_000)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SensitivityRow{
+				Parameter:   p.name,
+				Scale:       k,
+				FPGASpeedup: speedup,
+				Best:        d.Best.Name,
+				Crossover:   cross,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func clamp01(v float64) float64 {
+	if v > 0.99 {
+		return 0.99
+	}
+	return v
+}
+
+// RenderSensitivity renders the robustness table.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Sensitivity — flagship outcome (HIGGS, 1M records, 128 trees) under calibration perturbations\n\n")
+	fmt.Fprintf(&sb, "%-36s %6s %14s %10s %12s\n", "parameter", "scale", "FPGA speedup", "best", "crossover")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-36s %6.2g %13.1fx %10s %12s\n",
+			r.Parameter, r.Scale, r.FPGASpeedup, r.Best, formatCount(r.Crossover))
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/xrand"
+)
+
+// CVResult summarizes a k-fold cross-validation run.
+type CVResult struct {
+	// FoldAccuracy holds each fold's held-out accuracy.
+	FoldAccuracy []float64
+	// Mean and StdDev summarize the folds.
+	Mean, StdDev float64
+}
+
+// CrossValidate estimates generalization accuracy with k-fold
+// cross-validation: rows are shuffled deterministically, split into k folds,
+// and trainFn is invoked k times, each time scoring the held-out fold.
+//
+// trainFn receives the training subset and must return a fitted model; both
+// Train and TrainBoosted close over their configs naturally:
+//
+//	res, err := forest.CrossValidate(d, 5, seed, func(train *dataset.Dataset) (*forest.Forest, error) {
+//	    return forest.Train(train, cfg)
+//	})
+func CrossValidate(d *dataset.Dataset, k int, seed uint64, trainFn func(*dataset.Dataset) (*Forest, error)) (*CVResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Y) == 0 {
+		return nil, fmt.Errorf("forest: cross-validation requires labels")
+	}
+	n := d.NumRecords()
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("forest: fold count %d out of [2, %d]", k, n)
+	}
+	rng := xrand.New(seed)
+	perm := rng.Perm(n)
+
+	f := d.NumFeatures()
+	build := func(idx []int) *dataset.Dataset {
+		out := &dataset.Dataset{
+			Name:         d.Name,
+			FeatureNames: append([]string(nil), d.FeatureNames...),
+			ClassNames:   append([]string(nil), d.ClassNames...),
+			X:            make([]float32, len(idx)*f),
+			Y:            make([]int, len(idx)),
+		}
+		for i, j := range idx {
+			copy(out.X[i*f:(i+1)*f], d.Row(j))
+			out.Y[i] = d.Y[j]
+		}
+		return out
+	}
+
+	res := &CVResult{}
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		test := build(perm[lo:hi])
+		train := build(append(append([]int(nil), perm[:lo]...), perm[hi:]...))
+		model, err := trainFn(train)
+		if err != nil {
+			return nil, fmt.Errorf("forest: fold %d: %w", fold, err)
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, model.Accuracy(test))
+	}
+	var sum float64
+	for _, a := range res.FoldAccuracy {
+		sum += a
+	}
+	res.Mean = sum / float64(k)
+	var sq float64
+	for _, a := range res.FoldAccuracy {
+		sq += (a - res.Mean) * (a - res.Mean)
+	}
+	res.StdDev = math.Sqrt(sq / float64(k))
+	return res, nil
+}
+
+// GridTrial records one grid-search candidate's cross-validated score.
+type GridTrial struct {
+	Config ForestConfig
+	Result *CVResult
+}
+
+// GridSearchResult holds the winning configuration and every trial.
+type GridSearchResult struct {
+	Best      ForestConfig
+	BestScore float64
+	Trials    []GridTrial
+}
+
+// GridSearch cross-validates every candidate configuration and returns the
+// one with the highest mean accuracy (ties resolve to the earlier
+// candidate). Each trial uses the same fold split for a fair comparison.
+func GridSearch(d *dataset.Dataset, k int, seed uint64, candidates []ForestConfig) (*GridSearchResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("forest: grid search needs at least one candidate")
+	}
+	res := &GridSearchResult{BestScore: -1}
+	for _, cfg := range candidates {
+		cfg := cfg
+		cv, err := CrossValidate(d, k, seed, func(train *dataset.Dataset) (*Forest, error) {
+			return Train(train, cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Trials = append(res.Trials, GridTrial{Config: cfg, Result: cv})
+		if cv.Mean > res.BestScore {
+			res.BestScore = cv.Mean
+			res.Best = cfg
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package forest
+
+import (
+	"testing"
+
+	"accelscore/internal/dataset"
+)
+
+func TestCrossValidateIris(t *testing.T) {
+	res, err := CrossValidate(dataset.Iris(), 5, 1, func(train *dataset.Dataset) (*Forest, error) {
+		return Train(train, ForestConfig{
+			NumTrees:  8,
+			Tree:      TrainConfig{MaxDepth: 8},
+			Seed:      1,
+			Bootstrap: true,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracy) != 5 {
+		t.Fatalf("%d folds", len(res.FoldAccuracy))
+	}
+	if res.Mean < 0.85 || res.Mean > 1 {
+		t.Fatalf("CV mean = %v", res.Mean)
+	}
+	if res.StdDev < 0 || res.StdDev > 0.2 {
+		t.Fatalf("CV stddev = %v", res.StdDev)
+	}
+	// Every fold used held-out data: no fold should be degenerate.
+	for i, a := range res.FoldAccuracy {
+		if a < 0.6 {
+			t.Fatalf("fold %d accuracy %v suspiciously low", i, a)
+		}
+	}
+}
+
+func TestCrossValidateBoosted(t *testing.T) {
+	d := dataset.Higgs(1200, 41)
+	res, err := CrossValidate(d, 3, 2, func(train *dataset.Dataset) (*Forest, error) {
+		return TrainBoosted(train, BoostConfig{NumTrees: 10, MaxDepth: 3, Seed: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean < 0.6 {
+		t.Fatalf("boosted CV mean = %v", res.Mean)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	train := func(tr *dataset.Dataset) (*Forest, error) {
+		return Train(tr, ForestConfig{NumTrees: 4, Tree: TrainConfig{MaxDepth: 5}, Seed: 3, Bootstrap: true})
+	}
+	a, err := CrossValidate(dataset.Iris(), 4, 7, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(dataset.Iris(), 4, 7, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FoldAccuracy {
+		if a.FoldAccuracy[i] != b.FoldAccuracy[i] {
+			t.Fatal("CV not deterministic")
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	train := func(tr *dataset.Dataset) (*Forest, error) {
+		return Train(tr, ForestConfig{NumTrees: 1, Tree: TrainConfig{MaxDepth: 3}, Seed: 1})
+	}
+	if _, err := CrossValidate(dataset.Iris(), 1, 1, train); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := CrossValidate(dataset.Iris(), 151, 1, train); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	unlabeled := dataset.Iris()
+	unlabeled.Y = nil
+	if _, err := CrossValidate(unlabeled, 3, 1, train); err == nil {
+		t.Fatal("unlabeled accepted")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	candidates := []ForestConfig{
+		{NumTrees: 1, Tree: TrainConfig{MaxDepth: 1}, Seed: 1},                   // too weak
+		{NumTrees: 12, Tree: TrainConfig{MaxDepth: 8}, Seed: 1, Bootstrap: true}, // strong
+		{NumTrees: 2, Tree: TrainConfig{MaxDepth: 2}, Seed: 1, Bootstrap: true},  // weak
+	}
+	res, err := GridSearch(dataset.Iris(), 4, 3, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 3 {
+		t.Fatalf("%d trials", len(res.Trials))
+	}
+	if res.Best.NumTrees != 12 {
+		t.Fatalf("grid search picked %+v", res.Best)
+	}
+	if res.BestScore < 0.85 {
+		t.Fatalf("best score = %v", res.BestScore)
+	}
+	if _, err := GridSearch(dataset.Iris(), 4, 1, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}

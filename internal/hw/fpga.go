@@ -1,0 +1,123 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// FPGASpec models the paper's random-forest inference engine on an Intel
+// Stratix 10 GX 2800 (§III-B, Fig. 5): 128 processing elements, each holding
+// one tree (up to depth 10) in BRAM, a majority-voting unit, result memory,
+// and a PCIe 3.0 x16 host interface with CSR-based setup and interrupt-based
+// completion.
+type FPGASpec struct {
+	// Name identifies the device in reports.
+	Name string
+	// Link is the host connection.
+	Link PCIeLink
+	// ClockHz is the fabric clock (the paper's design runs at 250 MHz).
+	ClockHz float64
+	// ProcessingElements is the number of tree-evaluation PEs (128).
+	ProcessingElements int
+	// MaxTreeDepth is the deepest tree a PE supports (10); deeper trees must
+	// fall back to the CPU or use the hybrid split described in §III-B.
+	MaxTreeDepth int
+	// BRAMBytes is the total on-chip block RAM (~28.6 MB on the GX 2800,
+	// §IV-C1).
+	BRAMBytes int64
+	// NodeWordBytes is the storage of one tree node in the Fig. 4b layout:
+	// four 32-bit words (left, right, attribute, threshold).
+	NodeWordBytes int64
+	// ResultMemoryBytes is the result staging memory carved out of BRAM.
+	ResultMemoryBytes int64
+
+	// PipelineFillCycles is the latency of the PE pipeline before the first
+	// result emerges (tree-depth stages plus I/O and vote stages).
+	PipelineFillCycles int64
+	// IssueContention is the extra initiation-interval growth per active PE:
+	// II = 1 + IssueContention*(activePEs-1). With 9/127, a single tree
+	// issues one record per cycle while a full 128-tree forest issues one
+	// per 10 cycles (result-collection and vote-unit port contention),
+	// matching the paper's ~40 ms scoring time for 1M records x 128 trees.
+	IssueContention float64
+
+	// CSRSetup is the host cost of configuring the engine via
+	// control/status registers — cheap, as the paper notes ("FPGA setup
+	// overhead is less than completion signal overhead because the former is
+	// done by setting CSRs").
+	CSRSetup time.Duration
+	// InterruptLatency is the completion-signal cost (interrupt path).
+	InterruptLatency time.Duration
+	// SoftwareOverhead is the host-side cost of the FPGA API calls around
+	// one inference-engine invocation (§IV-B item 6); with model transfer it
+	// dominates the small-record breakdowns in Fig. 7a.
+	SoftwareOverhead time.Duration
+	// ModelTransferFixed is the fixed driver/DMA-descriptor cost of the tree
+	// memory load, on top of the PCIe byte time.
+	ModelTransferFixed time.Duration
+	// ResultTransferFixed is the fixed cost of the result read-back DMA.
+	ResultTransferFixed time.Duration
+}
+
+// CycleTime returns the duration of one fabric clock cycle.
+func (f FPGASpec) CycleTime() time.Duration {
+	return time.Duration(float64(time.Second) / f.ClockHz)
+}
+
+// InitiationInterval returns the average cycles between successive record
+// issues when activePEs trees are being evaluated concurrently.
+func (f FPGASpec) InitiationInterval(activePEs int) float64 {
+	if activePEs < 1 {
+		activePEs = 1
+	}
+	if activePEs > f.ProcessingElements {
+		activePEs = f.ProcessingElements
+	}
+	return 1 + f.IssueContention*float64(activePEs-1)
+}
+
+// ScoringCycles returns the cycle count to score records rows against
+// activePEs concurrently-resident trees.
+func (f FPGASpec) ScoringCycles(records int64, activePEs int) int64 {
+	ii := f.InitiationInterval(activePEs)
+	return f.PipelineFillCycles + int64(float64(records)*ii)
+}
+
+// ScoringTime converts ScoringCycles to simulated time.
+func (f FPGASpec) ScoringTime(records int64, activePEs int) time.Duration {
+	return time.Duration(float64(f.ScoringCycles(records, activePEs)) * float64(f.CycleTime()))
+}
+
+// TreeMemoryBytes returns the BRAM footprint of one PE's tree memory for the
+// given depth: the layout assumes a full binary tree with no missing nodes
+// (§III-B), so a depth-d tree consumes 2^d node words regardless of the
+// actual node count.
+func (f FPGASpec) TreeMemoryBytes(depth int) int64 {
+	if depth < 0 {
+		panic(fmt.Sprintf("hw: negative tree depth %d", depth))
+	}
+	return (int64(1) << uint(depth)) * f.NodeWordBytes
+}
+
+// ModelFits reports whether trees of the given depth fit the PE array's BRAM
+// budget alongside the result memory. Returns the per-pass model footprint.
+func (f FPGASpec) ModelFits(trees, depth int) (bytes int64, ok bool) {
+	perTree := f.TreeMemoryBytes(depth)
+	resident := trees
+	if resident > f.ProcessingElements {
+		resident = f.ProcessingElements
+	}
+	bytes = perTree * int64(resident)
+	return bytes, depth <= f.MaxTreeDepth && bytes+f.ResultMemoryBytes <= f.BRAMBytes
+}
+
+// Passes returns how many inference-engine invocations are needed for a
+// forest with the given tree count: trees beyond the PE count require
+// multiple calls (§III-B "If the number of trees is greater than 128, we
+// need to call the inference engine multiple times").
+func (f FPGASpec) Passes(trees int) int {
+	if trees <= 0 {
+		return 0
+	}
+	return (trees + f.ProcessingElements - 1) / f.ProcessingElements
+}

@@ -1,0 +1,57 @@
+package hw
+
+import "time"
+
+// RuntimeSpec models the analytics-pipeline environment around the scoring
+// operation: SQL Server's external-script execution path (§II, Fig. 2).
+// These are the "application/analytics pipeline overheads" that §IV-E
+// distinguishes from the hardware offload overheads.
+type RuntimeSpec struct {
+	// Name identifies the pipeline configuration in reports.
+	Name string
+	// ProcessInvoke is the cost of launching the external Python process
+	// and establishing the script execution context. Fig. 11 shows it
+	// dominating small-query latency.
+	ProcessInvoke time.Duration
+	// IPCBytesPerSec is the sustained DBMS<->external-process copy rate,
+	// including the (transparent) serialization of rows to the script's
+	// dataframe format and back. Deliberately slow (~0.12 GB/s): this is a
+	// pickling/marshalling path, not a memcpy, and it is why data transfer
+	// becomes the dominant end-to-end component once scoring is offloaded
+	// (§IV-D).
+	IPCBytesPerSec float64
+	// ModelDeserializeFixed is the fixed cost of loading the serialized
+	// model blob ("model pre-processing" in Fig. 11).
+	ModelDeserializeFixed time.Duration
+	// ModelDeserializeBytesPerSec is the throughput of model blob parsing.
+	ModelDeserializeBytesPerSec float64
+	// DataPreprocPerValue is the per-cell cost of feature extraction and
+	// dataframe preparation ("data pre-processing" in Fig. 11).
+	DataPreprocPerValue time.Duration
+	// PostprocPerRecord is the per-row cost of assembling the prediction
+	// DataFrame returned to the DBMS.
+	PostprocPerRecord time.Duration
+}
+
+// IPCTime returns the DBMS<->process copy time for a payload of n bytes.
+func (r RuntimeSpec) IPCTime(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / r.IPCBytesPerSec * float64(time.Second))
+}
+
+// ModelDeserializeTime returns the model pre-processing time for a blob of
+// the given size.
+func (r RuntimeSpec) ModelDeserializeTime(bytes int64) time.Duration {
+	return r.ModelDeserializeFixed +
+		time.Duration(float64(bytes)/r.ModelDeserializeBytesPerSec*float64(time.Second))
+}
+
+// DataPreprocTime returns the data pre-processing time for records rows of
+// features columns.
+func (r RuntimeSpec) DataPreprocTime(records, features int64) time.Duration {
+	return time.Duration(records * features * int64(r.DataPreprocPerValue))
+}
+
+// PostprocTime returns the post-processing time for records rows.
+func (r RuntimeSpec) PostprocTime(records int64) time.Duration {
+	return time.Duration(records * int64(r.PostprocPerRecord))
+}

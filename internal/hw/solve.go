@@ -1,0 +1,59 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Solve finds x in [lo, hi] such that eval(x) lands within tolerance of
+// goal, assuming eval is monotone nondecreasing in x. This is the mechanical
+// half of the calibration procedure (EXPERIMENTS.md): given an anchor from
+// the paper — "CPU_ONNX_52th takes ~2.4 s at 1M records x 128 trees" — solve
+// for the per-visit cost that produces it.
+//
+// It returns an error when the goal is outside eval's range over [lo, hi]
+// (the anchor cannot be met by this constant alone).
+func Solve(lo, hi float64, goal, tolerance time.Duration, eval func(x float64) time.Duration) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("hw: Solve bounds inverted [%v, %v]", lo, hi)
+	}
+	if tolerance <= 0 {
+		return 0, fmt.Errorf("hw: Solve needs a positive tolerance")
+	}
+	fLo, fHi := eval(lo), eval(hi)
+	if fLo > fHi {
+		return 0, fmt.Errorf("hw: eval not nondecreasing over [%v, %v] (%v > %v)", lo, hi, fLo, fHi)
+	}
+	if goal < fLo-tolerance || goal > fHi+tolerance {
+		return 0, fmt.Errorf("hw: goal %v outside achievable range [%v, %v]", goal, fLo, fHi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		got := eval(mid)
+		diff := got - goal
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= tolerance {
+			return mid, nil
+		}
+		if got < goal {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0, fmt.Errorf("hw: Solve did not converge to within %v of %v", tolerance, goal)
+}
+
+// SolveDuration is Solve specialized to duration-valued constants: it finds
+// a duration d in [lo, hi] with eval(d) within tolerance of goal.
+func SolveDuration(lo, hi time.Duration, goal, tolerance time.Duration, eval func(d time.Duration) time.Duration) (time.Duration, error) {
+	x, err := Solve(float64(lo), float64(hi), goal, tolerance, func(x float64) time.Duration {
+		return eval(time.Duration(x))
+	})
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(x), nil
+}

@@ -1,0 +1,30 @@
+package logca_test
+
+import (
+	"fmt"
+	"time"
+
+	"accelscore/internal/logca"
+)
+
+// ExampleModel shows the analytical questions LogCA answers for a
+// hypothetical accelerator: when does offload break even, and what is the
+// best achievable speedup?
+func ExampleModel() {
+	m := logca.Model{
+		Name:              "example-accelerator",
+		Overhead:          2 * time.Millisecond, // o: per-offload setup
+		LatencyPerByte:    time.Nanosecond,      // L: 1 GB/s effective
+		HostTimePerRecord: 2 * time.Microsecond, // C: host cost per record
+		Acceleration:      100,                  // A: accelerator compute gain
+		BytesPerRecord:    112,                  // 28 float32 features
+	}
+	g1, _ := m.G1()
+	fmt.Println("break-even records:", g1)
+	fmt.Printf("asymptotic speedup: %.1f\n", m.AsymptoticSpeedup())
+	fmt.Printf("speedup at 1M records: %.1f\n", m.Speedup(1_000_000))
+	// Output:
+	// break-even records: 1071
+	// asymptotic speedup: 15.2
+	// speedup at 1M records: 14.9
+}

@@ -1,0 +1,187 @@
+// Package logca implements the LogCA high-level accelerator performance
+// model (Altaf & Wood, ISCA 2017 — the paper's ref [42], cited in §IV-E as
+// the kind of performance model that should account for offload overheads).
+//
+// LogCA abstracts an accelerator with five parameters:
+//
+//	L — Latency: cycles/time to move one byte (interconnect latency)
+//	o — overhead: fixed host-side cost of setting up one offload
+//	g — granularity: the offloaded work size (records here)
+//	C — Computational index: host time per unit work
+//	A — Acceleration: the accelerator's peak speedup over the host
+//
+// Execution time on the host is T_host(g) = C * g; on the accelerator it is
+// T_acc(g) = o + L * bytes(g) + C * g / A. From these, the model derives the
+// two quantities the paper's analysis revolves around: g1 (the granularity
+// at which offloading breaks even) and g_A/2 (the granularity achieving half
+// of the peak acceleration).
+//
+// The package also fits LogCA parameters to any backend.Backend by probing
+// its Estimate timeline, letting the detailed simulators be summarized — and
+// sanity-checked — by the analytical model (see the validation tests).
+package logca
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/forest"
+	"accelscore/internal/sim"
+)
+
+// Model holds the five LogCA parameters for one (host, accelerator,
+// workload-shape) combination. Work is measured in records; data in bytes.
+type Model struct {
+	// Name identifies the modeled accelerator.
+	Name string
+	// Overhead is o: fixed per-offload host time.
+	Overhead time.Duration
+	// LatencyPerByte is L: transfer time per byte moved.
+	LatencyPerByte time.Duration
+	// HostTimePerRecord is C: host compute time per record.
+	HostTimePerRecord time.Duration
+	// Acceleration is A: the accelerator's asymptotic speedup on the
+	// compute portion.
+	Acceleration float64
+	// BytesPerRecord converts granularity to transferred bytes.
+	BytesPerRecord int64
+}
+
+// Validate checks parameter sanity.
+func (m Model) Validate() error {
+	if m.Overhead < 0 || m.LatencyPerByte < 0 || m.HostTimePerRecord <= 0 {
+		return fmt.Errorf("logca: non-positive parameters: %+v", m)
+	}
+	if m.Acceleration <= 0 {
+		return fmt.Errorf("logca: acceleration must be positive, got %v", m.Acceleration)
+	}
+	if m.BytesPerRecord < 0 {
+		return fmt.Errorf("logca: negative bytes per record")
+	}
+	return nil
+}
+
+// HostTime is T_host(g) = C*g.
+func (m Model) HostTime(g int64) time.Duration {
+	return time.Duration(float64(m.HostTimePerRecord) * float64(g))
+}
+
+// AcceleratorTime is T_acc(g) = o + L*bytes + C*g/A.
+func (m Model) AcceleratorTime(g int64) time.Duration {
+	transfer := float64(m.LatencyPerByte) * float64(g*m.BytesPerRecord)
+	compute := float64(m.HostTimePerRecord) * float64(g) / m.Acceleration
+	return m.Overhead + time.Duration(transfer+compute)
+}
+
+// Speedup is T_host(g) / T_acc(g).
+func (m Model) Speedup(g int64) float64 {
+	acc := m.AcceleratorTime(g)
+	if acc <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.HostTime(g)) / float64(acc)
+}
+
+// G1 returns the break-even granularity: the smallest g with speedup >= 1,
+// i.e. where C*g = o + L*bytes(g) + C*g/A. Returns ok=false when the
+// accelerator never breaks even (transfer cost per record exceeds the
+// compute saving).
+func (m Model) G1() (int64, bool) {
+	// C*g*(1 - 1/A) = o + L*bpr*g
+	// g * (C*(1-1/A) - L*bpr) = o
+	saving := float64(m.HostTimePerRecord) * (1 - 1/m.Acceleration)
+	perRecordTransfer := float64(m.LatencyPerByte) * float64(m.BytesPerRecord)
+	denom := saving - perRecordTransfer
+	if denom <= 0 {
+		return 0, false
+	}
+	g := float64(m.Overhead) / denom
+	return int64(math.Ceil(g)), true
+}
+
+// GHalfA returns g_{A/2}: the granularity at which the achieved speedup
+// reaches half of the asymptotic speedup. The asymptotic speedup is
+// C / (L*bpr + C/A); g_{A/2} solves speedup(g) = asym/2.
+func (m Model) GHalfA() (int64, bool) {
+	perRecordAcc := float64(m.LatencyPerByte)*float64(m.BytesPerRecord) +
+		float64(m.HostTimePerRecord)/m.Acceleration
+	if perRecordAcc <= 0 {
+		return 0, false
+	}
+	// speedup(g) = C*g / (o + perRecordAcc*g); asym = C/perRecordAcc.
+	// C*g / (o + pra*g) = C/(2*pra)  =>  2*pra*g = o + pra*g  =>  g = o/pra.
+	g := float64(m.Overhead) / perRecordAcc
+	return int64(math.Ceil(g)), true
+}
+
+// AsymptoticSpeedup is the g->inf speedup bound: C / (L*bpr + C/A).
+func (m Model) AsymptoticSpeedup() float64 {
+	perRecordAcc := float64(m.LatencyPerByte)*float64(m.BytesPerRecord) +
+		float64(m.HostTimePerRecord)/m.Acceleration
+	if perRecordAcc <= 0 {
+		return math.Inf(1)
+	}
+	return float64(m.HostTimePerRecord) / perRecordAcc
+}
+
+// Fit derives LogCA parameters for an accelerator backend against a host
+// backend by probing their Estimate timelines for the given model stats:
+//
+//   - o comes from the accelerator's time at g=0 (pure overhead),
+//   - C from the host's marginal per-record time at large g,
+//   - L*bytes + C/A from the accelerator's marginal per-record time, split
+//     using the stats' record byte width for the transfer part.
+func Fit(name string, host, accel backend.Backend, stats forest.Stats) (Model, error) {
+	const probeSmall, probeLarge = 1_000, 10_000_000
+	hostSmall, err := host.Estimate(stats, probeSmall)
+	if err != nil {
+		return Model{}, fmt.Errorf("logca: probing host: %w", err)
+	}
+	hostLarge, err := host.Estimate(stats, probeLarge)
+	if err != nil {
+		return Model{}, err
+	}
+	accZero, err := accel.Estimate(stats, 0)
+	if err != nil {
+		return Model{}, fmt.Errorf("logca: probing accelerator: %w", err)
+	}
+	accLarge, err := accel.Estimate(stats, probeLarge)
+	if err != nil {
+		return Model{}, err
+	}
+
+	bytesPerRecord := int64(stats.Features) * 4
+	hostPerRecord := float64(hostLarge.Total()-hostSmall.Total()) / float64(probeLarge-probeSmall)
+	accPerRecord := float64(accLarge.Total()-accZero.Total()) / float64(probeLarge)
+	if hostPerRecord <= 0 || accPerRecord <= 0 {
+		return Model{}, fmt.Errorf("logca: non-positive marginal costs (host %v, accel %v)", hostPerRecord, accPerRecord)
+	}
+
+	m := Model{
+		Name:              name,
+		Overhead:          accZero.Total(),
+		HostTimePerRecord: time.Duration(hostPerRecord),
+		BytesPerRecord:    bytesPerRecord,
+	}
+	// Split the accelerator's marginal cost into transfer and compute: use
+	// the accelerator timeline's own transfer fraction at large g.
+	transferFrac := 0.0
+	if t := accLarge.Total(); t > 0 {
+		transferFrac = float64(accLarge.TotalKind(sim.KindTransfer)) / float64(t)
+	}
+	transferPerRecord := accPerRecord * transferFrac
+	computePerRecord := accPerRecord - transferPerRecord
+	if bytesPerRecord > 0 {
+		m.LatencyPerByte = time.Duration(transferPerRecord / float64(bytesPerRecord))
+	}
+	if computePerRecord <= 0 {
+		computePerRecord = accPerRecord * 0.01
+	}
+	m.Acceleration = hostPerRecord / computePerRecord
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}

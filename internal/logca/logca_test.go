@@ -1,0 +1,237 @@
+package logca
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelscore/internal/forest"
+	"accelscore/internal/platform"
+)
+
+// testModel is a hand-built LogCA instance with easy arithmetic.
+func testModel() Model {
+	return Model{
+		Name:              "test",
+		Overhead:          time.Millisecond,
+		LatencyPerByte:    time.Nanosecond, // 1 ns/B
+		HostTimePerRecord: time.Microsecond,
+		Acceleration:      100,
+		BytesPerRecord:    100,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.Acceleration = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero acceleration accepted")
+	}
+	bad = m
+	bad.HostTimePerRecord = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero host time accepted")
+	}
+	bad = m
+	bad.BytesPerRecord = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative bytes accepted")
+	}
+}
+
+func TestTimes(t *testing.T) {
+	m := testModel()
+	if got := m.HostTime(1000); got != time.Millisecond {
+		t.Fatalf("HostTime = %v", got)
+	}
+	// acc(1000) = 1ms + 1ns*100KB + 1µs*1000/100 = 1ms + 100µs + 10µs
+	want := time.Millisecond + 100*time.Microsecond + 10*time.Microsecond
+	if got := m.AcceleratorTime(1000); got != want {
+		t.Fatalf("AcceleratorTime = %v, want %v", got, want)
+	}
+}
+
+func TestG1BreakEven(t *testing.T) {
+	m := testModel()
+	g1, ok := m.G1()
+	if !ok {
+		t.Fatal("no break-even found")
+	}
+	// Check the defining property: below g1 the host wins, at g1 the
+	// accelerator does not lose.
+	if m.Speedup(g1) < 1 {
+		t.Fatalf("speedup at g1=%d is %v < 1", g1, m.Speedup(g1))
+	}
+	if g1 > 1 && m.Speedup(g1-1) >= 1.0001 {
+		t.Fatalf("speedup already >1 below g1 (g1=%d)", g1)
+	}
+	// Analytic check: g1 = o / (C(1-1/A) - L*bpr)
+	// = 1ms / (1µs*0.99 - 100ns) = 1e6ns / 890ns ≈ 1124.
+	if g1 < 1100 || g1 > 1150 {
+		t.Fatalf("g1 = %d, want ~1124", g1)
+	}
+}
+
+func TestG1NeverBreaksEven(t *testing.T) {
+	m := testModel()
+	// Transfer cost per record exceeds compute saving.
+	m.LatencyPerByte = time.Microsecond
+	if _, ok := m.G1(); ok {
+		t.Fatal("break-even reported for transfer-bound accelerator")
+	}
+}
+
+func TestGHalfAAndAsymptote(t *testing.T) {
+	m := testModel()
+	asym := m.AsymptoticSpeedup()
+	// asym = 1µs / (100ns + 10ns) = 9.09
+	if math.Abs(asym-1000.0/110.0) > 0.01 {
+		t.Fatalf("asymptotic speedup = %v", asym)
+	}
+	gHalf, ok := m.GHalfA()
+	if !ok {
+		t.Fatal("no gHalf")
+	}
+	got := m.Speedup(gHalf)
+	if math.Abs(got-asym/2) > asym*0.01 {
+		t.Fatalf("speedup at gHalf = %v, want ~%v", got, asym/2)
+	}
+	// Speedup is monotone nondecreasing in g.
+	prev := 0.0
+	for g := int64(1); g <= 1_000_000; g *= 10 {
+		s := m.Speedup(g)
+		if s < prev {
+			t.Fatalf("speedup not monotone at g=%d", g)
+		}
+		prev = s
+	}
+}
+
+func TestFitFPGA(t *testing.T) {
+	// Fit LogCA to the detailed FPGA simulator against the best large-batch
+	// CPU engine and check the analytical model reproduces the simulator's
+	// behavior to first order.
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	m, err := Fit("FPGA", tb.SKLearn, tb.FPGA, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted overhead should be the FPGA's ~2 ms invocation floor.
+	if m.Overhead < time.Millisecond || m.Overhead > 4*time.Millisecond {
+		t.Fatalf("fitted overhead = %v", m.Overhead)
+	}
+	// The analytical asymptotic speedup should be within 2x of the
+	// simulator's observed 1M-record speedup (~80x).
+	asym := m.AsymptoticSpeedup()
+	if asym < 40 || asym > 200 {
+		t.Fatalf("fitted asymptotic speedup = %v, want around 80", asym)
+	}
+	// Analytical g1 should land in the same decade as the simulator's
+	// crossover (~500 records).
+	g1, ok := m.G1()
+	if !ok {
+		t.Fatal("fitted model never breaks even")
+	}
+	if g1 < 50 || g1 > 5000 {
+		t.Fatalf("fitted g1 = %d, want same decade as ~500", g1)
+	}
+}
+
+func TestFitPredictionsTrackSimulator(t *testing.T) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	m, err := Fit("FPGA", tb.SKLearn, tb.FPGA, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int64{10_000, 100_000, 1_000_000} {
+		sim, err := tb.FPGA.Estimate(stats, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := m.AcceleratorTime(g)
+		ratio := float64(pred) / float64(sim.Total())
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("g=%d: LogCA %v vs simulator %v (ratio %.2f)", g, pred, sim.Total(), ratio)
+		}
+	}
+}
+
+func TestFitGPURejectsUnsupported(t *testing.T) {
+	tb := platform.New()
+	// RAPIDS cannot estimate a 3-class model; Fit must surface the error.
+	stats := forest.SyntheticStats(8, 10, 4, 3)
+	if _, err := Fit("RAPIDS", tb.SKLearn, tb.RAPIDS, stats); err == nil {
+		t.Fatal("Fit accepted an unsupported configuration")
+	}
+}
+
+func BenchmarkFitAndPredict(b *testing.B) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	for i := 0; i < b.N; i++ {
+		m, err := Fit("FPGA", tb.SKLearn, tb.FPGA, stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = m.G1()
+	}
+}
+
+func TestSpeedupDegenerate(t *testing.T) {
+	m := testModel()
+	m.Overhead = 0
+	m.LatencyPerByte = 0
+	m.BytesPerRecord = 0
+	// Pure compute acceleration: speedup equals A everywhere.
+	if s := m.Speedup(1000); math.Abs(s-100) > 1e-9 {
+		t.Fatalf("pure-compute speedup = %v, want 100", s)
+	}
+}
+
+func TestAsymptoteInfiniteWhenFree(t *testing.T) {
+	m := testModel()
+	m.LatencyPerByte = 0
+	m.BytesPerRecord = 0
+	m.Acceleration = math.Inf(1)
+	if !math.IsInf(m.AsymptoticSpeedup(), 1) {
+		t.Fatalf("free accelerator should have infinite asymptote, got %v", m.AsymptoticSpeedup())
+	}
+}
+
+func TestGHalfAZeroOverhead(t *testing.T) {
+	m := testModel()
+	m.Overhead = 0
+	g, ok := m.GHalfA()
+	if !ok || g != 0 {
+		t.Fatalf("zero-overhead gHalf = %d ok=%v, want 0", g, ok)
+	}
+}
+
+func TestFitRejectsUnsupportedHost(t *testing.T) {
+	tb := platform.New()
+	// Swap roles: RAPIDS as host cannot estimate a 3-class model.
+	stats := forest.SyntheticStats(8, 10, 4, 3)
+	if _, err := Fit("X", tb.RAPIDS, tb.FPGA, stats); err == nil {
+		t.Fatal("unsupported host accepted")
+	}
+}
+
+func TestFitHB(t *testing.T) {
+	tb := platform.New()
+	stats := forest.SyntheticStats(128, 10, 28, 2)
+	m, err := Fit("GPU_HB", tb.SKLearn, tb.HB, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HB's asymptote is far below the FPGA's (visit rate 4.4G vs the PE
+	// array), around 12x.
+	if a := m.AsymptoticSpeedup(); a < 6 || a > 25 {
+		t.Fatalf("HB asymptote = %v, want ~12", a)
+	}
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"accelscore/internal/forest"
+)
+
+// WriteDot renders one tree of a forest in Graphviz dot format, the
+// debugging/visualization aid for inspecting trained or deserialized models.
+// Decision nodes show "feature < threshold"; leaves show the class name.
+func WriteDot(w io.Writer, f *forest.Forest, treeIndex int) error {
+	if treeIndex < 0 || treeIndex >= len(f.Trees) {
+		return fmt.Errorf("model: tree index %d out of range [0,%d)", treeIndex, len(f.Trees))
+	}
+	t := f.Trees[treeIndex]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph tree%d {\n", treeIndex)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var emit func(n *forest.Node) int
+	emit = func(n *forest.Node) int {
+		my := id
+		id++
+		if n.IsLeaf() {
+			label := fmt.Sprintf("class %d", n.Class)
+			if n.Class < len(f.ClassNames) {
+				label = f.ClassNames[n.Class]
+			}
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\nsamples=%d\", style=filled, fillcolor=lightgrey];\n",
+				my, escapeDot(label), n.Samples)
+			return my
+		}
+		feat := fmt.Sprintf("x[%d]", n.Feature)
+		if n.Feature < len(f.FeatureNames) {
+			feat = f.FeatureNames[n.Feature]
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s < %g\\nsamples=%d\"];\n",
+			my, escapeDot(feat), n.Threshold, n.Samples)
+		l := emit(n.Left)
+		r := emit(n.Right)
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"yes\"];\n", my, l)
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"no\"];\n", my, r)
+		return my
+	}
+	emit(t.Root)
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeDot escapes quotes and backslashes for dot string labels.
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Summary returns a one-line human description of a forest, used by the
+// CLI tools and the DB shell.
+func Summary(f *forest.Forest) string {
+	s := struct {
+		trees, nodes, depth int
+	}{}
+	for _, t := range f.Trees {
+		s.trees++
+		s.nodes += t.NodeCount()
+		if d := t.Depth(); d > s.depth {
+			s.depth = d
+		}
+	}
+	return fmt.Sprintf("%s: %d trees, max depth %d, %d nodes, %d features, %d classes",
+		f.Kind, s.trees, s.depth, s.nodes, f.NumFeatures, f.NumClasses)
+}

@@ -1,0 +1,58 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	f := trainIris(t, 2, 4, 21)
+	var sb strings.Builder
+	if err := WriteDot(&sb, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph tree0", "petal", "->", "setosa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces and a closing newline.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces")
+	}
+	// Edge count = node count - 1 for a tree. Edges also carry [label=...]
+	// attributes, so node definitions = label occurrences minus edges.
+	edges := strings.Count(out, "->")
+	nodes := strings.Count(out, "[label=") - edges
+	if edges != nodes-1 {
+		t.Fatalf("%d nodes but %d edges", nodes, edges)
+	}
+}
+
+func TestWriteDotBounds(t *testing.T) {
+	f := trainIris(t, 1, 3, 22)
+	var sb strings.Builder
+	if err := WriteDot(&sb, f, 1); err == nil {
+		t.Fatal("out-of-range tree index accepted")
+	}
+	if err := WriteDot(&sb, f, -1); err == nil {
+		t.Fatal("negative tree index accepted")
+	}
+}
+
+func TestEscapeDot(t *testing.T) {
+	if got := escapeDot(`a"b\c`); got != `a\"b\\c` {
+		t.Fatalf("escapeDot = %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	f := trainIris(t, 3, 5, 23)
+	s := Summary(f)
+	for _, want := range []string{"classifier", "3 trees", "4 features", "3 classes"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

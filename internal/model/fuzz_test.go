@@ -1,0 +1,80 @@
+package model
+
+import (
+	"testing"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the RFX decoder: it must never
+// panic and must reject everything that is not a checksum-valid blob.
+// Run with `go test -fuzz=FuzzUnmarshal ./internal/model` for a real
+// session; the seed corpus (a valid blob plus mutations) runs as a test.
+func FuzzUnmarshal(f *testing.F) {
+	tr, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 2, Tree: forest.TrainConfig{MaxDepth: 4}, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := Marshal(tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("RFX1"))
+	f.Add(blob[:len(blob)/2])
+	mutated := append([]byte(nil), blob...)
+	mutated[len(mutated)/3] ^= 0x55
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be structurally valid and re-marshalable.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Unmarshal accepted an invalid forest: %v", err)
+		}
+		if _, err := Marshal(got); err != nil {
+			t.Fatalf("accepted forest cannot re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzMarshalRoundTrip checks that round-tripping preserves predictions for
+// randomly-shaped (but valid) forests derived from fuzz parameters.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(3), uint64(1))
+	f.Add(uint8(4), uint8(8), uint64(9))
+	f.Fuzz(func(t *testing.T, treesRaw, depthRaw uint8, seed uint64) {
+		trees := int(treesRaw)%5 + 1
+		depth := int(depthRaw)%9 + 1
+		fr, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+			NumTrees:  trees,
+			Tree:      forest.TrainConfig{MaxDepth: depth},
+			Seed:      seed,
+			Bootstrap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Marshal(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := dataset.Iris()
+		for i := 0; i < d.NumRecords(); i += 11 {
+			if fr.PredictClass(d.Row(i)) != got.PredictClass(d.Row(i)) {
+				t.Fatalf("round-trip prediction mismatch on row %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package model implements the serialized model format and the dense node
+// layout used by the accelerator backends.
+//
+// The paper stores models "in serialized binary form, in either an
+// off-the-shelf or custom format" inside database tables (§II) and
+// deserializes them during model pre-processing. RFX is this project's
+// custom binary format — the stand-in for the ONNX blobs in the paper. It is
+// self-describing, versioned, CRC-protected, and round-trips a forest
+// exactly.
+//
+// The dense layout (dense.go) is the Fig. 4b four-field node memory layout
+// the FPGA's tree memories hold.
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"accelscore/internal/forest"
+)
+
+// Magic identifies RFX blobs.
+var Magic = [4]byte{'R', 'F', 'X', '1'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+const (
+	flagLeaf byte = 1 << 0
+)
+
+// Marshal serializes a forest to the RFX binary format.
+func Marshal(f *forest.Forest) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("model: refusing to marshal invalid forest: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	writeU16(&buf, Version)
+	buf.WriteByte(byte(f.Kind))
+	writeF64(&buf, f.BaseScore)
+	writeU32(&buf, uint32(f.NumFeatures))
+	writeU32(&buf, uint32(f.NumClasses))
+	writeU32(&buf, uint32(len(f.Trees)))
+	writeStrings(&buf, f.FeatureNames)
+	writeStrings(&buf, f.ClassNames)
+	for _, t := range f.Trees {
+		writeU32(&buf, uint32(t.NodeCount()))
+		writeNode(&buf, t.Root)
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	writeU32(&buf, sum)
+	return buf.Bytes(), nil
+}
+
+func writeNode(buf *bytes.Buffer, n *forest.Node) {
+	var flags byte
+	if n.IsLeaf() {
+		flags |= flagLeaf
+	}
+	buf.WriteByte(flags)
+	if !n.IsLeaf() {
+		writeU32(buf, uint32(n.Feature))
+		writeF32(buf, n.Threshold)
+	}
+	writeU32(buf, uint32(n.Class))
+	writeF64(buf, n.Value)
+	writeU32(buf, uint32(n.Samples))
+	if !n.IsLeaf() {
+		writeNode(buf, n.Left)
+		writeNode(buf, n.Right)
+	}
+}
+
+// Unmarshal parses an RFX blob back into a forest, verifying the checksum
+// and every structural bound.
+func Unmarshal(blob []byte) (*forest.Forest, error) {
+	if len(blob) < len(Magic)+2+1+4+4+4+4 {
+		return nil, fmt.Errorf("model: blob too short (%d bytes)", len(blob))
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("model: checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	r := &reader{data: body}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != Magic {
+		return nil, fmt.Errorf("model: bad magic %q", magic)
+	}
+	if v := r.u16(); v != Version {
+		return nil, fmt.Errorf("model: unsupported version %d", v)
+	}
+	kind := forest.Kind(r.byte())
+	if kind != forest.Classifier && kind != forest.Regressor && kind != forest.Boosted {
+		return nil, fmt.Errorf("model: unknown kind %d", kind)
+	}
+	baseScore := r.f64()
+	nFeatures := int(r.u32())
+	nClasses := int(r.u32())
+	nTrees := int(r.u32())
+	const maxSane = 1 << 24
+	if nFeatures <= 0 || nFeatures > maxSane || nClasses < 0 || nClasses > maxSane || nTrees <= 0 || nTrees > maxSane {
+		return nil, fmt.Errorf("model: implausible header: features=%d classes=%d trees=%d", nFeatures, nClasses, nTrees)
+	}
+	featureNames, err := r.strings()
+	if err != nil {
+		return nil, err
+	}
+	classNames, err := r.strings()
+	if err != nil {
+		return nil, err
+	}
+	f := &forest.Forest{
+		Kind:         kind,
+		NumFeatures:  nFeatures,
+		NumClasses:   nClasses,
+		FeatureNames: featureNames,
+		ClassNames:   classNames,
+		BaseScore:    baseScore,
+	}
+	for t := 0; t < nTrees; t++ {
+		count := int(r.u32())
+		if count <= 0 || count > maxSane {
+			return nil, fmt.Errorf("model: tree %d has implausible node count %d", t, count)
+		}
+		root, err := readNode(r, &count)
+		if err != nil {
+			return nil, fmt.Errorf("model: tree %d: %w", t, err)
+		}
+		if count != 0 {
+			return nil, fmt.Errorf("model: tree %d: %d trailing node records", t, count)
+		}
+		f.Trees = append(f.Trees, &forest.Tree{Root: root, NumFeatures: nFeatures, NumClasses: nClasses})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("model: %d trailing bytes", len(r.data)-r.pos)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("model: deserialized forest invalid: %w", err)
+	}
+	return f, nil
+}
+
+func readNode(r *reader, budget *int) (*forest.Node, error) {
+	if *budget <= 0 {
+		return nil, fmt.Errorf("node budget exhausted")
+	}
+	*budget--
+	flags := r.byte()
+	n := &forest.Node{}
+	leaf := flags&flagLeaf != 0
+	if !leaf {
+		n.Feature = int(r.u32())
+		n.Threshold = r.f32()
+	}
+	n.Class = int(r.u32())
+	n.Value = r.f64()
+	n.Samples = int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !leaf {
+		var err error
+		if n.Left, err = readNode(r, budget); err != nil {
+			return nil, err
+		}
+		if n.Right, err = readNode(r, budget); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// --- primitive encoding helpers ---
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeF32(buf *bytes.Buffer, v float32) {
+	writeU32(buf, math.Float32bits(v))
+}
+
+func writeF64(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+func writeStrings(buf *bytes.Buffer, ss []string) {
+	writeU32(buf, uint32(len(ss)))
+	for _, s := range ss {
+		writeU16(buf, uint16(len(s)))
+		buf.WriteString(s)
+	}
+}
+
+// reader is a bounds-checked little-endian cursor; the first failure sticks.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("model: truncated blob at offset %d (need %d bytes)", r.pos, n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) bytes(dst []byte) {
+	if b := r.take(len(dst)); b != nil {
+		copy(dst, b)
+	}
+}
+
+func (r *reader) byte() byte {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) f32() float32 {
+	return math.Float32frombits(r.u32())
+}
+
+func (r *reader) f64() float64 {
+	if b := r.take(8); b != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (r *reader) strings() ([]string, error) {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("model: implausible string count %d", n)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l := int(r.u16())
+		b := r.take(l)
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, string(b))
+	}
+	return out, nil
+}
+
+// ApproxNodeBytes is the approximate per-node footprint of the RFX encoding
+// (flags + feature + threshold + class + value + samples, averaged over
+// leaf and decision nodes); experiment harnesses use it to size hypothetical
+// model blobs without training them.
+const ApproxNodeBytes = 21

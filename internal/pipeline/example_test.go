@@ -1,0 +1,43 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+)
+
+// Example runs the paper's Fig. 2 flow end to end: store a model and a
+// table, execute the scoring stored procedure, inspect the result.
+func Example() {
+	database := db.New()
+	data := dataset.Iris().Replicate(1000)
+	tbl, _ := db.TableFromDataset("iris", data)
+	_ = database.CreateTable(tbl)
+
+	f, _ := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 8, Tree: forest.TrainConfig{MaxDepth: 10}, Seed: 1, Bootstrap: true,
+	})
+	_ = database.StoreModel("iris_rf", f)
+
+	tb := platform.New()
+	p := &pipeline.Pipeline{
+		DB: database, Runtime: hw.DefaultRuntime(),
+		Registry: tb.Registry, Advisor: tb.Advisor,
+	}
+	res, err := p.ExecQuery("EXEC sp_score_model @model = 'iris_rf', @data = 'iris', @backend = 'FPGA'")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("backend:", res.Backend)
+	fmt.Println("predictions:", len(res.Predictions))
+	fmt.Println("first prediction:", res.Predictions[0])
+	// Output:
+	// backend: FPGA
+	// predictions: 1000
+	// first prediction: 0
+}

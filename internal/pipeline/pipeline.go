@@ -1,0 +1,264 @@
+// Package pipeline implements the end-to-end analytics and model-scoring
+// pipeline of the paper's Fig. 2: a T-SQL query arrives at the (mini) DBMS,
+// which launches an external Python-like runtime, copies the model blob and
+// the input rows to it, pre-processes both, scores on a chosen backend
+// (CPU, GPU or FPGA), post-processes, and returns the predictions to the
+// DBMS. Every stage is a named span, producing the Fig. 11 end-to-end
+// latency breakdown, and the functional path really executes each stage
+// (deserialization, conversion, scoring, result-table assembly).
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/model"
+	"accelscore/internal/sim"
+)
+
+// ScoreProcName is the stored procedure the pipeline implements, the
+// equivalent of the paper's Fig. 3 Python-script procedure.
+const ScoreProcName = "sp_score_model"
+
+// Stage names of the Fig. 11 breakdown.
+const (
+	StagePythonInvocation = "Python invocation"
+	StageDataTransfer     = "data transfer"
+	StageModelPreproc     = "model pre-processing"
+	StageDataPreproc      = "data pre-processing"
+	StageModelScoring     = "model scoring"
+	StagePostprocessing   = "post-processing"
+)
+
+// Pipeline executes scoring queries end to end.
+type Pipeline struct {
+	// DB is the hosting database.
+	DB *db.Database
+	// Runtime models the external-process environment (hw.DefaultRuntime
+	// for the paper's loose integration, hw.TightlyIntegratedRuntime for
+	// the §IV-E ablation).
+	Runtime hw.RuntimeSpec
+	// Registry resolves backend names from the @backend parameter.
+	Registry *backend.Registry
+	// Advisor, when set, resolves @backend = 'auto' (and missing @backend)
+	// to the predicted-optimal engine.
+	Advisor *core.Advisor
+	// DefaultBackend is used when no @backend parameter is given and no
+	// Advisor is configured.
+	DefaultBackend string
+}
+
+// QueryResult is the outcome of an end-to-end scoring query.
+type QueryResult struct {
+	// Predictions holds one class per scored row.
+	Predictions []int
+	// Table is the result table returned to the DBMS (a "prediction"
+	// column), mirroring the Pandas DataFrame return of §II.
+	Table *db.Table
+	// Backend is the engine that performed the scoring.
+	Backend string
+	// Timeline is the end-to-end breakdown (Fig. 11 stages; the scoring
+	// stage appears as one span).
+	Timeline sim.Timeline
+	// ScoringDetail is the backend's own component breakdown (Fig. 7).
+	ScoringDetail sim.Timeline
+}
+
+// ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
+// the DBMS; EXEC sp_score_model runs the full scoring pipeline.
+func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
+	st, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *db.SelectStmt:
+		tbl, err := p.DB.Select(s)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Table: tbl}, nil
+	case *db.CreateStmt:
+		return &QueryResult{}, p.DB.Create(s)
+	case *db.InsertStmt:
+		_, err := p.DB.InsertRows(s)
+		return &QueryResult{}, err
+	case *db.ExecStmt:
+		if !strings.EqualFold(s.Proc, ScoreProcName) {
+			return nil, fmt.Errorf("pipeline: unknown procedure %q", s.Proc)
+		}
+		return p.ScoreProc(s)
+	default:
+		return nil, fmt.Errorf("pipeline: unsupported statement %T", st)
+	}
+}
+
+// ScoreProc runs the scoring stored procedure:
+//
+//	EXEC sp_score_model @model = '<model>', @data = '<table>'
+//	     [, @backend = '<name>|auto'] [, @limit = n]
+func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
+	modelName, ok := ex.Params["model"]
+	if !ok || !modelName.IsString {
+		return nil, fmt.Errorf("pipeline: %s requires @model = '<name>'", ScoreProcName)
+	}
+	dataName, ok := ex.Params["data"]
+	if !ok || !dataName.IsString {
+		return nil, fmt.Errorf("pipeline: %s requires @data = '<table>'", ScoreProcName)
+	}
+	for name := range ex.Params {
+		switch name {
+		case "model", "data", "backend", "limit":
+		default:
+			return nil, fmt.Errorf("pipeline: unknown parameter @%s", name)
+		}
+	}
+
+	// DBMS side: fetch the model blob and the input rows.
+	blob, err := p.DB.LoadModelBlob(modelName.S)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := p.DB.Table(dataName.S)
+	if err != nil {
+		return nil, err
+	}
+	data, err := db.DatasetFromTable(tbl)
+	if err != nil {
+		return nil, err
+	}
+	if lim, ok := ex.Params["limit"]; ok {
+		n := int(lim.N)
+		if n <= 0 || lim.IsString {
+			return nil, fmt.Errorf("pipeline: @limit must be a positive number")
+		}
+		data = data.Head(n)
+	}
+
+	backendName := ""
+	if b, ok := ex.Params["backend"]; ok {
+		if !b.IsString {
+			return nil, fmt.Errorf("pipeline: @backend must be a string")
+		}
+		backendName = b.S
+	}
+	return p.Run(blob, data, backendName)
+}
+
+// Run executes the pipeline stages over a model blob and a dataset,
+// returning real predictions and the simulated end-to-end breakdown.
+func (p *Pipeline) Run(blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
+	res := &QueryResult{}
+	records := int64(data.NumRecords())
+	features := int64(data.NumFeatures())
+
+	// Stage 1: launch the external runtime.
+	res.Timeline.Add(StagePythonInvocation, sim.KindPipeline, p.Runtime.ProcessInvoke)
+
+	// Stage 2: copy the model blob and the input rows into the runtime.
+	inBytes := int64(len(blob)) + records*features*dataset.BytesPerValue
+	res.Timeline.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(inBytes))
+
+	// Stage 3: model pre-processing — really deserialize the blob.
+	f, err := model.Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
+	}
+	res.Timeline.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(int64(len(blob))))
+
+	// Stage 4: data pre-processing — feature extraction / dataframe prep.
+	res.Timeline.Add(StageDataPreproc, sim.KindPipeline, p.Runtime.DataPreprocTime(records, features))
+
+	// Stage 5: model scoring on the selected backend.
+	eng, err := p.resolveBackend(backendName, f.ComputeStats(), records)
+	if err != nil {
+		return nil, err
+	}
+	scored, err := eng.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
+	}
+	res.Backend = eng.Name()
+	res.Predictions = scored.Predictions
+	res.ScoringDetail = scored.Timeline
+	res.Timeline.Add(StageModelScoring, sim.KindCompute, scored.Timeline.Total())
+
+	// Stage 6: post-processing — build the prediction DataFrame.
+	out, err := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range scored.Predictions {
+		if err := out.Insert([]db.Value{db.Int(int64(c))}); err != nil {
+			return nil, err
+		}
+	}
+	res.Table = out
+	res.Timeline.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
+
+	// Return path: copy predictions back to the DBMS.
+	res.Timeline.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
+	return res, nil
+}
+
+// resolveBackend maps the @backend parameter to an engine, consulting the
+// advisor for "auto" or when unset.
+func (p *Pipeline) resolveBackend(name string, stats forest.Stats, records int64) (backend.Backend, error) {
+	if name == "" {
+		if p.Advisor != nil {
+			name = "auto"
+		} else {
+			name = p.DefaultBackend
+		}
+	}
+	if strings.EqualFold(name, "auto") {
+		if p.Advisor == nil {
+			return nil, fmt.Errorf("pipeline: @backend = 'auto' requires an advisor")
+		}
+		cfg := core.Config{
+			Features: stats.Features, Classes: stats.Classes,
+			Trees: stats.Trees, Depth: stats.MaxDepth, Records: records,
+		}
+		d, err := p.Advisor.Decide(cfg)
+		if err != nil {
+			return nil, err
+		}
+		name = d.Best.Name
+	}
+	eng, ok := p.Registry.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: backend %q is not registered (have %v)", name, p.Registry.Names())
+	}
+	return eng, nil
+}
+
+// Estimate produces the Fig. 11 breakdown for a hypothetical query —
+// records rows of a model with the given stats and serialized size — without
+// materializing data, using the named backend (or the advisor's choice for
+// "auto"/""). This is how the million-record end-to-end rows are generated.
+func (p *Pipeline) Estimate(stats forest.Stats, records int64, blobBytes int64, backendName string) (*sim.Timeline, string, error) {
+	eng, err := p.resolveBackend(backendName, stats, records)
+	if err != nil {
+		return nil, "", err
+	}
+	scoring, err := eng.Estimate(stats, records)
+	if err != nil {
+		return nil, "", err
+	}
+	features := int64(stats.Features)
+	var tl sim.Timeline
+	tl.Add(StagePythonInvocation, sim.KindPipeline, p.Runtime.ProcessInvoke)
+	tl.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(blobBytes+records*features*dataset.BytesPerValue))
+	tl.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(blobBytes))
+	tl.Add(StageDataPreproc, sim.KindPipeline, p.Runtime.DataPreprocTime(records, features))
+	tl.Add(StageModelScoring, sim.KindCompute, scoring.Total())
+	tl.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
+	tl.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
+	return &tl, eng.Name(), nil
+}

@@ -1,0 +1,74 @@
+// Package platform assembles the paper's evaluation testbed: the six
+// backends of Fig. 9/10 (CPU_SKLearn, CPU_ONNX, CPU_ONNX_52th, GPU_HB,
+// GPU_RAPIDS, FPGA) wired to the calibrated hardware models, plus the
+// offload advisor over them. Experiments, commands and examples all start
+// here.
+package platform
+
+import (
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+	"accelscore/internal/engines/cpuonnx"
+	"accelscore/internal/engines/cpusk"
+	"accelscore/internal/engines/fpga"
+	"accelscore/internal/engines/gpu"
+	"accelscore/internal/hw"
+)
+
+// Testbed bundles the paper's hardware configuration.
+type Testbed struct {
+	// The individual engines, exported so ablation harnesses can derive
+	// variants.
+	SKLearn  *cpusk.Engine
+	ONNX1    *cpuonnx.Engine
+	ONNX52   *cpuonnx.Engine
+	HB       *gpu.Hummingbird
+	RAPIDS   *gpu.RAPIDS
+	FPGA     *fpga.Engine
+	Registry *backend.Registry
+	Advisor  *core.Advisor
+}
+
+// New builds the default testbed with the calibrated hardware models.
+func New() *Testbed {
+	cpu := hw.DefaultCPU()
+	gpuSpec := hw.DefaultGPU()
+	fpgaSpec := hw.DefaultFPGA()
+
+	t := &Testbed{
+		SKLearn: cpusk.New(cpu, cpu.HardwareThreads),
+		ONNX1:   cpuonnx.New(cpu, 1),
+		ONNX52:  cpuonnx.New(cpu, cpu.HardwareThreads),
+		HB:      gpu.NewHummingbird(gpuSpec),
+		RAPIDS:  gpu.NewRAPIDS(gpuSpec),
+		FPGA:    fpga.New(fpgaSpec),
+	}
+	t.Registry = backend.NewRegistry()
+	for _, b := range []backend.Backend{t.SKLearn, t.ONNX1, t.ONNX52, t.HB, t.RAPIDS, t.FPGA} {
+		// Names are unique by construction; a duplicate is a programming
+		// error worth crashing on during startup.
+		if err := t.Registry.Register(b); err != nil {
+			panic(err)
+		}
+	}
+	t.Advisor = &core.Advisor{
+		CPU:          []backend.Backend{t.SKLearn, t.ONNX1, t.ONNX52},
+		Accelerators: []backend.Backend{t.HB, t.RAPIDS, t.FPGA},
+	}
+	return t
+}
+
+// CPUBackends returns the non-offloaded engines in display order.
+func (t *Testbed) CPUBackends() []backend.Backend {
+	return []backend.Backend{t.SKLearn, t.ONNX1, t.ONNX52}
+}
+
+// AcceleratorBackends returns the offloaded engines in display order.
+func (t *Testbed) AcceleratorBackends() []backend.Backend {
+	return []backend.Backend{t.HB, t.RAPIDS, t.FPGA}
+}
+
+// AllBackends returns every engine in display order.
+func (t *Testbed) AllBackends() []backend.Backend {
+	return append(t.CPUBackends(), t.AcceleratorBackends()...)
+}

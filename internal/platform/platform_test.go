@@ -1,0 +1,70 @@
+package platform
+
+import (
+	"testing"
+)
+
+func TestNewWiresEverything(t *testing.T) {
+	tb := New()
+	if tb.SKLearn == nil || tb.ONNX1 == nil || tb.ONNX52 == nil ||
+		tb.HB == nil || tb.RAPIDS == nil || tb.FPGA == nil {
+		t.Fatal("engine missing")
+	}
+	if tb.Registry == nil || tb.Advisor == nil {
+		t.Fatal("registry or advisor missing")
+	}
+	if got := len(tb.Registry.Names()); got != 6 {
+		t.Fatalf("registry has %d backends", got)
+	}
+	if len(tb.Advisor.CPU) != 3 || len(tb.Advisor.Accelerators) != 3 {
+		t.Fatalf("advisor split %d/%d", len(tb.Advisor.CPU), len(tb.Advisor.Accelerators))
+	}
+}
+
+func TestBackendGroupings(t *testing.T) {
+	tb := New()
+	if got := len(tb.CPUBackends()); got != 3 {
+		t.Fatalf("CPU backends = %d", got)
+	}
+	if got := len(tb.AcceleratorBackends()); got != 3 {
+		t.Fatalf("accelerator backends = %d", got)
+	}
+	all := tb.AllBackends()
+	if len(all) != 6 {
+		t.Fatalf("all backends = %d", len(all))
+	}
+	// Display order: CPU first.
+	if all[0].Name() != "CPU_SKLearn" || all[5].Name() != "FPGA" {
+		t.Fatalf("display order wrong: %s .. %s", all[0].Name(), all[5].Name())
+	}
+}
+
+func TestNamesMatchPaperFigures(t *testing.T) {
+	tb := New()
+	want := map[string]bool{
+		"CPU_SKLearn": true, "CPU_ONNX": true, "CPU_ONNX_52th": true,
+		"GPU_HB": true, "GPU_RAPIDS": true, "FPGA": true,
+	}
+	for _, b := range tb.AllBackends() {
+		if !want[b.Name()] {
+			t.Fatalf("unexpected backend name %q", b.Name())
+		}
+		delete(want, b.Name())
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing backends: %v", want)
+	}
+}
+
+func TestIndependentInstances(t *testing.T) {
+	a, b := New(), New()
+	if err := a.Registry.Register(b.FPGA); err == nil {
+		// Registering into a's registry under the same name must fail —
+		// but only because the name collides within a, not because state
+		// is shared.
+		t.Fatal("duplicate name accepted")
+	}
+	if len(b.Registry.Names()) != 6 {
+		t.Fatal("registries share state")
+	}
+}

@@ -1,0 +1,43 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"accelscore/internal/platform"
+	"accelscore/internal/sched"
+)
+
+// ExampleSimulator_Compare shows comparing placement policies over the same
+// deterministic query stream.
+func ExampleSimulator_Compare() {
+	tb := platform.New()
+	queries, err := sched.Generate(sched.DefaultWorkload(50, 1))
+	if err != nil {
+		panic(err)
+	}
+	sim := &sched.Simulator{Registry: tb.Registry}
+	metrics, err := sim.Compare(queries,
+		sched.Static{BackendName: "CPU_SKLearn", Registry: tb.Registry},
+		sched.Oracle{Advisor: tb.Advisor},
+	)
+	if err != nil {
+		panic(err)
+	}
+	// The oracle offloads the big queries; static CPU never offloads.
+	fmt.Println(metrics[0].Policy, "offloaded:", metrics[0].Offloaded)
+	fmt.Println(metrics[1].Policy, "offloaded >", metrics[1].Offloaded > 0)
+	// Output:
+	// static-CPU_SKLearn offloaded: 0
+	// oracle offloaded > true
+}
+
+// ExampleDeviceOf shows the backend-to-device mapping used for queueing.
+func ExampleDeviceOf() {
+	fmt.Println(sched.DeviceOf("CPU_ONNX"))
+	fmt.Println(sched.DeviceOf("GPU_RAPIDS"))
+	fmt.Println(sched.DeviceOf("FPGA"))
+	// Output:
+	// cpu
+	// gpu
+	// fpga
+}

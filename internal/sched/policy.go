@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/core"
+)
+
+// Device names the three hardware resources queries contend for. All CPU
+// engines share the host CPU; both GPU libraries share the one GPU; the
+// FPGA is its own device.
+type Device string
+
+// The testbed's devices.
+const (
+	DeviceCPU  Device = "cpu"
+	DeviceGPU  Device = "gpu"
+	DeviceFPGA Device = "fpga"
+)
+
+// DeviceOf maps a backend name to the device it occupies.
+func DeviceOf(backendName string) Device {
+	switch backendName {
+	case "GPU_HB", "GPU_RAPIDS":
+		return DeviceGPU
+	case "FPGA":
+		return DeviceFPGA
+	default:
+		return DeviceCPU
+	}
+}
+
+// ClusterState is the queue visibility a policy gets at decision time.
+type ClusterState struct {
+	// Now is the query's arrival time.
+	Now time.Duration
+	// FreeAt maps each device to the time its queue drains.
+	FreeAt map[Device]time.Duration
+}
+
+// QueueDelay returns how long a query placed now would wait for the device.
+func (s ClusterState) QueueDelay(d Device) time.Duration {
+	free := s.FreeAt[d]
+	if free <= s.Now {
+		return 0
+	}
+	return free - s.Now
+}
+
+// Placement is a policy's verdict for one query.
+type Placement struct {
+	Backend string
+	// Predicted is the policy's predicted service time (zero if the policy
+	// does not predict).
+	Predicted time.Duration
+}
+
+// Policy decides where each query runs.
+type Policy interface {
+	Name() string
+	Place(q Query, state ClusterState) (Placement, error)
+}
+
+// Static always places on one backend (the always-CPU / always-FPGA
+// baselines of the wrong-decision analysis). Queries the backend cannot run
+// fail the simulation, surfacing capability gaps.
+type Static struct {
+	BackendName string
+	Registry    *backend.Registry
+}
+
+// Name implements Policy.
+func (s Static) Name() string { return "static-" + s.BackendName }
+
+// Place implements Policy.
+func (s Static) Place(q Query, _ ClusterState) (Placement, error) {
+	b, ok := s.Registry.Get(s.BackendName)
+	if !ok {
+		return Placement{}, fmt.Errorf("sched: backend %q not registered", s.BackendName)
+	}
+	tl, err := b.Estimate(q.Stats, q.Records)
+	if err != nil {
+		return Placement{}, err
+	}
+	return Placement{Backend: s.BackendName, Predicted: tl.Total()}, nil
+}
+
+// Oracle places each query on its predicted-fastest backend, ignoring
+// queues — the per-query-optimal policy of Fig. 1.
+type Oracle struct {
+	Advisor *core.Advisor
+}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "oracle" }
+
+// Place implements Policy.
+func (o Oracle) Place(q Query, _ ClusterState) (Placement, error) {
+	d, err := o.Advisor.Decide(core.Config{
+		Features: q.Stats.Features, Classes: q.Stats.Classes,
+		Trees: q.Stats.Trees, Depth: q.Stats.MaxDepth, Records: q.Records,
+	})
+	if err != nil {
+		return Placement{}, err
+	}
+	return Placement{Backend: d.Best.Name, Predicted: d.Best.Time}, nil
+}
+
+// ContentionAware minimizes predicted completion time including the
+// device's current queue — the dynamic scheduler the paper's §I calls for.
+type ContentionAware struct {
+	Advisor *core.Advisor
+}
+
+// Name implements Policy.
+func (ContentionAware) Name() string { return "contention-aware" }
+
+// Place implements Policy.
+func (c ContentionAware) Place(q Query, state ClusterState) (Placement, error) {
+	results := c.Advisor.Evaluate(core.Config{
+		Features: q.Stats.Features, Classes: q.Stats.Classes,
+		Trees: q.Stats.Trees, Depth: q.Stats.MaxDepth, Records: q.Records,
+	})
+	best := Placement{}
+	bestCompletion := time.Duration(1<<63 - 1)
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		completion := state.QueueDelay(DeviceOf(r.Name)) + r.Time
+		if completion < bestCompletion {
+			bestCompletion = completion
+			best = Placement{Backend: r.Name, Predicted: r.Time}
+		}
+	}
+	if best.Backend == "" {
+		return Placement{}, fmt.Errorf("sched: no backend supports query %d", q.ID)
+	}
+	return best, nil
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"accelscore/internal/forest"
+)
+
+// WriteTrace serializes a query stream as CSV
+// (id,arrival_ns,trees,depth,features,classes,records) so workloads can be
+// archived and replayed across runs or shared with other tools.
+func WriteTrace(w io.Writer, queries []Query) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival_ns", "trees", "depth", "features", "classes", "records"}); err != nil {
+		return err
+	}
+	for _, q := range queries {
+		rec := []string{
+			strconv.Itoa(q.ID),
+			strconv.FormatInt(q.Arrival.Nanoseconds(), 10),
+			strconv.Itoa(q.Stats.Trees),
+			strconv.Itoa(q.Stats.MaxDepth),
+			strconv.Itoa(q.Stats.Features),
+			strconv.Itoa(q.Stats.Classes),
+			strconv.FormatInt(q.Records, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a stream written by WriteTrace, validating ordering and
+// bounds.
+func ReadTrace(r io.Reader) ([]Query, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sched: reading trace header: %w", err)
+	}
+	if len(header) != 7 || header[0] != "id" {
+		return nil, fmt.Errorf("sched: unrecognized trace header %v", header)
+	}
+	var out []Query
+	var prevArrival time.Duration
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sched: trace line %d: %w", line, err)
+		}
+		ints := make([]int64, len(rec))
+		for i, s := range rec {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: trace line %d field %d: %w", line, i, err)
+			}
+			ints[i] = v
+		}
+		q := Query{
+			ID:      int(ints[0]),
+			Arrival: time.Duration(ints[1]),
+			Stats:   forest.SyntheticStats(int(ints[2]), int(ints[3]), int(ints[4]), int(ints[5])),
+			Records: ints[6],
+		}
+		if q.Arrival < prevArrival {
+			return nil, fmt.Errorf("sched: trace line %d: arrivals not monotone", line)
+		}
+		if q.Records <= 0 || q.Stats.Trees <= 0 || q.Stats.MaxDepth <= 0 {
+			return nil, fmt.Errorf("sched: trace line %d: non-positive workload values", line)
+		}
+		prevArrival = q.Arrival
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package sched implements dynamic offload scheduling for streams of DBMS
+// scoring queries — the scenario that motivates the paper's analysis:
+// "Since both data and models depend on the particular user query presented
+// at run time, a scheduler that aims for the best performance would need to
+// make the accelerator offloading decisions dynamically" (§I).
+//
+// It provides a deterministic workload generator (mixed query sizes and
+// model complexities with Poisson arrivals), pluggable placement policies
+// (static CPU, static FPGA, queue-oblivious oracle, contention-aware), and
+// an event-driven simulator with per-device FIFO queues, producing latency
+// and utilization metrics. The policy comparison quantifies, at workload
+// scale, the wrong-decision penalties the paper reports per query.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"accelscore/internal/forest"
+	"accelscore/internal/xrand"
+)
+
+// Query is one scoring request in the stream.
+type Query struct {
+	// ID orders queries by arrival.
+	ID int
+	// Arrival is the submission time, relative to workload start.
+	Arrival time.Duration
+	// Stats describes the model to score.
+	Stats forest.Stats
+	// Records is the scoring batch size.
+	Records int64
+}
+
+// WorkloadConfig parameterizes the generator.
+type WorkloadConfig struct {
+	// Queries is the stream length.
+	Queries int
+	// MeanInterarrival is the Poisson-process mean gap between queries.
+	MeanInterarrival time.Duration
+	// Features and Classes fix the dataset schema.
+	Features, Classes int
+	// TreeChoices and DepthChoices are sampled uniformly per query.
+	TreeChoices  []int
+	DepthChoices []int
+	// MinRecords and MaxRecords bound the log-uniform record count.
+	MinRecords, MaxRecords int64
+	// Seed makes the stream deterministic.
+	Seed uint64
+}
+
+// Validate checks generator parameters.
+func (c WorkloadConfig) Validate() error {
+	if c.Queries <= 0 {
+		return fmt.Errorf("sched: Queries must be positive")
+	}
+	if c.MeanInterarrival < 0 {
+		return fmt.Errorf("sched: negative interarrival")
+	}
+	if len(c.TreeChoices) == 0 || len(c.DepthChoices) == 0 {
+		return fmt.Errorf("sched: empty model-shape choices")
+	}
+	if c.MinRecords <= 0 || c.MaxRecords < c.MinRecords {
+		return fmt.Errorf("sched: bad record bounds [%d, %d]", c.MinRecords, c.MaxRecords)
+	}
+	return nil
+}
+
+// DefaultWorkload is a mixed analytics workload: mostly small interactive
+// queries with a heavy tail of million-record batch scorings, over models
+// spanning the paper's complexity axis.
+func DefaultWorkload(queries int, seed uint64) WorkloadConfig {
+	return WorkloadConfig{
+		Queries:          queries,
+		MeanInterarrival: 20 * time.Millisecond,
+		Features:         28,
+		Classes:          2,
+		TreeChoices:      []int{1, 8, 32, 128},
+		DepthChoices:     []int{6, 10},
+		MinRecords:       1,
+		MaxRecords:       1_000_000,
+		Seed:             seed,
+	}
+}
+
+// Generate produces the deterministic query stream.
+func Generate(cfg WorkloadConfig) ([]Query, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	queries := make([]Query, cfg.Queries)
+	var clock time.Duration
+	logMin, logMax := logf(cfg.MinRecords), logf(cfg.MaxRecords)
+	for i := range queries {
+		if i > 0 && cfg.MeanInterarrival > 0 {
+			clock += time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		}
+		trees := cfg.TreeChoices[rng.Intn(len(cfg.TreeChoices))]
+		depth := cfg.DepthChoices[rng.Intn(len(cfg.DepthChoices))]
+		// Log-uniform record count: interactive point lookups through
+		// million-record batch jobs.
+		records := int64(expf(logMin + rng.Float64()*(logMax-logMin)))
+		if records < cfg.MinRecords {
+			records = cfg.MinRecords
+		}
+		if records > cfg.MaxRecords {
+			records = cfg.MaxRecords
+		}
+		queries[i] = Query{
+			ID:      i,
+			Arrival: clock,
+			Stats:   forest.SyntheticStats(trees, depth, cfg.Features, cfg.Classes),
+			Records: records,
+		}
+	}
+	return queries, nil
+}
+
+func logf(n int64) float64 { return math.Log(float64(n)) }
+
+func expf(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,40 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"accelscore/internal/sim"
+)
+
+// ExampleTimeline shows composing an offload operation's components in the
+// paper's O/L/C taxonomy and aggregating them.
+func ExampleTimeline() {
+	var tl sim.Timeline
+	tl.Add("FPGA setup", sim.KindOverhead, 3*time.Microsecond)
+	tl.Add("scoring", sim.KindCompute, 40*time.Millisecond)
+	tl.Add("result transfer", sim.KindTransfer, 500*time.Microsecond)
+
+	fmt.Println("total:", tl.Total())
+	fmt.Println("O:", tl.TotalKind(sim.KindOverhead))
+	fmt.Println("L:", tl.TotalKind(sim.KindTransfer))
+	fmt.Println("C:", tl.TotalKind(sim.KindCompute))
+	// Output:
+	// total: 40.503ms
+	// O: 3µs
+	// L: 500µs
+	// C: 40ms
+}
+
+// ExampleTimeline_Overlapped shows the record-stream/compute overlap the
+// FPGA backend models: only the longer phase is charged.
+func ExampleTimeline_Overlapped() {
+	var tl sim.Timeline
+	tl.Overlapped(
+		sim.Span{Name: "scoring", Kind: sim.KindCompute, Duration: 40 * time.Millisecond},
+		sim.Span{Name: "record stream", Kind: sim.KindTransfer, Duration: 9 * time.Millisecond},
+	)
+	fmt.Println(tl.Total())
+	// Output:
+	// 40ms
+}

@@ -1,0 +1,202 @@
+// Package tensor implements a minimal dense float32 matrix library.
+//
+// It exists to support the Hummingbird-style GPU backend, which compiles
+// decision forests into a sequence of matrix operations (see Nakandala et
+// al., OSDI 2020, cited by the paper as [30]). Only the operations that the
+// GEMM compilation strategy needs are provided: matrix multiply, broadcast
+// comparison, element-wise ops, and argmax reductions. Everything is
+// row-major and backed by a single flat slice so the simulated GPU can also
+// reason about memory footprints.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New returns a zero-initialized Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float32 {
+	return m.Data[r*m.Cols+c]
+}
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float32) {
+	m.Data[r*m.Cols+c] = v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SizeBytes reports the memory footprint of the matrix payload.
+func (m *Matrix) SizeBytes() int64 {
+	return int64(len(m.Data)) * 4
+}
+
+// MatMul returns a * b. It panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows of
+	// b and out, which matters once the Hummingbird path multiplies
+	// (records x features) by (features x internalNodes) matrices.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// FlopCount returns the number of multiply-add operations a dense a*b GEMM
+// performs; the GPU timing model uses it to charge simulated compute time.
+func FlopCount(aRows, aCols, bCols int) int64 {
+	return 2 * int64(aRows) * int64(aCols) * int64(bCols)
+}
+
+// LessBroadcast returns a matrix g where g[i][j] = 1 if m[i][j] < row[j],
+// else 0. row must have length m.Cols. This implements Hummingbird's
+// threshold-comparison step (inputs vs per-node split thresholds).
+func LessBroadcast(m *Matrix, row []float32) *Matrix {
+	if len(row) != m.Cols {
+		panic(fmt.Sprintf("tensor: LessBroadcast row length %d != cols %d", len(row), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			if m.Data[base+j] < row[j] {
+				out.Data[base+j] = 1
+			}
+		}
+	}
+	return out
+}
+
+// EqualBroadcast returns g where g[i][j] = 1 if m[i][j] == row[j], else 0.
+// Hummingbird uses it to match the evaluated path vector against each leaf's
+// expected path signature.
+func EqualBroadcast(m *Matrix, row []float32) *Matrix {
+	if len(row) != m.Cols {
+		panic(fmt.Sprintf("tensor: EqualBroadcast row length %d != cols %d", len(row), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			if m.Data[base+j] == row[j] {
+				out.Data[base+j] = 1
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	mustSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale returns m scaled by s.
+func Scale(m *Matrix, s float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ArgmaxRows returns, for each row, the column index of the maximal value.
+// Ties resolve to the lowest index, matching the majority-vote tie-breaking
+// rule used by the forest package.
+func ArgmaxRows(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		best := 0
+		bestV := float32(math.Inf(-1))
+		for j := 0; j < m.Cols; j++ {
+			if v := m.Data[base+j]; v > bestV {
+				bestV = v
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RowSums returns the sum of each row.
+func RowSums(m *Matrix) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		var s float32
+		for j := 0; j < m.Cols; j++ {
+			s += m.Data[base+j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

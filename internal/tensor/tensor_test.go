@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"accelscore/internal/xrand"
+)
+
+func randomMatrix(r *xrand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Float32()*2 - 1
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("bad values: %v", m.Data)
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set did not update value")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float32{{7, 8}, {9, 10}, {11, 12}})
+	c := MatMul(a, b)
+	want := FromRows([][]float32{{58, 64}, {139, 154}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want.Data)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := xrand.New(5)
+	m := randomMatrix(r, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	got := MatMul(m, id)
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("m*I != m at %d: %v vs %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestMatMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := xrand.New(6)
+	for trial := 0; trial < 20; trial++ {
+		ar, ac, bc := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := randomMatrix(r, ar, ac)
+		b := randomMatrix(r, ac, bc)
+		got := MatMul(a, b)
+		for i := 0; i < ar; i++ {
+			for j := 0; j < bc; j++ {
+				var want float32
+				for k := 0; k < ac; k++ {
+					want += a.At(i, k) * b.At(k, j)
+				}
+				diff := got.At(i, j) - want
+				if diff < -1e-4 || diff > 1e-4 {
+					t.Fatalf("trial %d: (%d,%d) = %v, want %v", trial, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	if got := FlopCount(10, 20, 30); got != 2*10*20*30 {
+		t.Fatalf("FlopCount = %d", got)
+	}
+}
+
+func TestLessBroadcast(t *testing.T) {
+	m := FromRows([][]float32{{1, 5}, {3, 2}})
+	g := LessBroadcast(m, []float32{2, 3})
+	want := []float32{1, 0, 0, 1}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("LessBroadcast = %v, want %v", g.Data, want)
+		}
+	}
+}
+
+func TestEqualBroadcast(t *testing.T) {
+	m := FromRows([][]float32{{1, 0}, {1, 1}})
+	g := EqualBroadcast(m, []float32{1, 1})
+	want := []float32{1, 0, 1, 1}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("EqualBroadcast = %v, want %v", g.Data, want)
+		}
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{3, 4}})
+	c := Add(a, b)
+	if c.At(0, 0) != 4 || c.At(0, 1) != 6 {
+		t.Fatalf("Add = %v", c.Data)
+	}
+	s := Scale(c, 0.5)
+	if s.At(0, 0) != 2 || s.At(0, 1) != 3 {
+		t.Fatalf("Scale = %v", s.Data)
+	}
+	AddInPlace(a, b)
+	if a.At(0, 1) != 6 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromRows([][]float32{{0.1, 0.9, 0.5}, {2, 2, 1}, {-3, -1, -2}})
+	got := ArgmaxRows(m)
+	want := []int{1, 0, 1} // ties resolve to lowest index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgmaxRows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	got := RowSums(m)
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("RowSums = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(10, 10).SizeBytes(); got != 400 {
+		t.Fatalf("SizeBytes = %d, want 400", got)
+	}
+}
+
+// Property: (a+b)*c == a*c + b*c within float tolerance.
+func TestMatMulDistributive(t *testing.T) {
+	r := xrand.New(8)
+	f := func(seed uint8) bool {
+		rr := xrand.New(uint64(seed) + 1)
+		a := randomMatrix(rr, 3, 4)
+		b := randomMatrix(rr, 3, 4)
+		c := randomMatrix(rr, 4, 2)
+		left := MatMul(Add(a, b), c)
+		right := Add(MatMul(a, c), MatMul(b, c))
+		for i := range left.Data {
+			d := left.Data[i] - right.Data[i]
+			if d < -1e-4 || d > 1e-4 {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := xrand.New(1)
+	a := randomMatrix(r, 128, 128)
+	c := randomMatrix(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkLessBroadcast(b *testing.B) {
+	r := xrand.New(2)
+	m := randomMatrix(r, 1024, 28)
+	row := make([]float32, 28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LessBroadcast(m, row)
+	}
+}
