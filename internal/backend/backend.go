@@ -18,6 +18,7 @@ import (
 
 	"accelscore/internal/dataset"
 	"accelscore/internal/forest"
+	"accelscore/internal/kernel"
 	"accelscore/internal/sim"
 )
 
@@ -27,6 +28,25 @@ type Request struct {
 	Forest *forest.Forest
 	// Data holds the records to score.
 	Data *dataset.Dataset
+	// Compiled optionally carries Forest pre-lowered to the shared flat
+	// kernel form (the pipeline's compiled-model cache populates it on
+	// warm queries). CPU engines use it to skip per-query compilation; it
+	// MUST be derived from Forest. Nil means the engine compiles itself.
+	Compiled *kernel.Compiled
+	// Stats optionally carries Forest's structural stats, again populated
+	// by the compiled-model cache so engines skip the per-query tree walk
+	// ComputeStats performs. It MUST describe Forest. Nil means the engine
+	// computes stats itself.
+	Stats *forest.Stats
+}
+
+// ModelStats returns the request's structural stats, preferring the
+// pre-computed copy a cache-hit request carries.
+func (r *Request) ModelStats() forest.Stats {
+	if r.Stats != nil {
+		return *r.Stats
+	}
+	return r.Forest.ComputeStats()
 }
 
 // Validate checks the request is complete and consistent.

@@ -96,6 +96,26 @@ func (d *Database) StoreModelBlob(name string, blob []byte) error {
 	return t.Insert([]Value{Text(name), Blob(blob)})
 }
 
+// DeleteModel removes a stored model. Replacing a model (delete + store
+// under the same name) changes the blob checksum, which is what downstream
+// compiled-model caches key invalidation on.
+func (d *Database) DeleteModel(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tables[ModelsTable]
+	nameIdx := t.ColumnIndex("name")
+	for r := 0; r < t.NumRows(); r++ {
+		if t.Cell(r, nameIdx).S == name {
+			for ci := range t.Columns {
+				t.cols[ci] = append(t.cols[ci][:r], t.cols[ci][r+1:]...)
+			}
+			t.bumpVersion()
+			return nil
+		}
+	}
+	return fmt.Errorf("db: model %q not found", name)
+}
+
 // LoadModelBlob fetches a model's serialized bytes — the DBMS-side half of
 // the pipeline's "model pre-processing" stage; deserialization happens in
 // the external runtime.

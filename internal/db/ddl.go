@@ -476,6 +476,7 @@ func (d *Database) Delete(st *DeleteStmt) (int, error) {
 		}
 		t.cols[ci] = kept
 	}
+	t.bumpVersion()
 	return len(victims), nil
 }
 
@@ -509,6 +510,9 @@ func (d *Database) Update(st *UpdateStmt) (int, error) {
 		for _, s := range setters {
 			t.cols[s.col][r] = s.val
 		}
+	}
+	if len(rows) > 0 {
+		t.bumpVersion()
 	}
 	return len(rows), nil
 }

@@ -9,6 +9,8 @@ package db
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"accelscore/internal/dataset"
 )
@@ -76,6 +78,13 @@ type Table struct {
 	Columns []Column
 	// cols[i] holds column i's cells; all columns have equal length.
 	cols [][]Value
+	// version counts mutations; the dataset snapshot cache keys on it.
+	version atomic.Uint64
+	// Dataset snapshot cache (DatasetSnapshot): the last conversion of this
+	// table to a dataset, valid while version is unchanged.
+	snapMu      sync.Mutex
+	snap        *dataset.Dataset
+	snapVersion uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -121,6 +130,14 @@ func (t *Table) ColumnIndex(name string) int {
 	return -1
 }
 
+// Version returns the table's mutation counter. Every Insert, bulk append,
+// DELETE or UPDATE bumps it; caches keyed on it (DatasetSnapshot, and the
+// pipeline's hot path) invalidate automatically.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// bumpVersion records a mutation.
+func (t *Table) bumpVersion() { t.version.Add(1) }
+
 // Insert appends one row. The row length must match the schema.
 func (t *Table) Insert(row []Value) error {
 	if len(row) != len(t.Columns) {
@@ -130,6 +147,28 @@ func (t *Table) Insert(row []Value) error {
 	for i, v := range row {
 		t.cols[i] = append(t.cols[i], v)
 	}
+	t.bumpVersion()
+	return nil
+}
+
+// AppendIntRows bulk-appends one row per value to a table whose schema is a
+// single BIGINT column — the result-assembly fast path: the pipeline's
+// post-processing stage lands a whole prediction column in one allocation
+// instead of N Insert calls.
+func (t *Table) AppendIntRows(vals []int) error {
+	if len(t.Columns) != 1 || t.Columns[0].Type != Int64Col {
+		return fmt.Errorf("db: table %q: AppendIntRows requires a single BIGINT column schema", t.Name)
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	base := len(t.cols[0])
+	t.cols[0] = append(t.cols[0], make([]Value, len(vals))...)
+	dst := t.cols[0][base:]
+	for i, v := range vals {
+		dst[i] = Int(int64(v))
+	}
+	t.bumpVersion()
 	return nil
 }
 
@@ -205,6 +244,26 @@ func TableFromDataset(name string, d *dataset.Dataset) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// DatasetSnapshot returns the table converted to a dataset, cached until
+// the table's next mutation: repeated scoring queries over an unchanged
+// table skip the O(rows x cols) cell-by-cell conversion entirely (the
+// paper's data pre-processing overhead, §IV-E). The returned dataset is
+// shared — callers must treat it as read-only. Safe for concurrent use.
+func (t *Table) DatasetSnapshot() (*dataset.Dataset, error) {
+	v := t.Version()
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if t.snap != nil && t.snapVersion == v {
+		return t.snap, nil
+	}
+	d, err := DatasetFromTable(t)
+	if err != nil {
+		return nil, err
+	}
+	t.snap, t.snapVersion = d, v
+	return d, nil
 }
 
 // DatasetFromTable converts a table's REAL columns back into a dataset; a

@@ -11,8 +11,6 @@ package cpuonnx
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"accelscore/internal/backend"
 	"accelscore/internal/forest"
@@ -70,45 +68,20 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 
 	// Session initialization: flatten the ensemble into the parallel node
 	// arrays the ONNX TreeEnsemble kernels iterate over (the work the
-	// ONNXInvoke timing constant charges for).
-	fe, err := compileFlat(req.Forest)
-	if err != nil {
-		return nil, fmt.Errorf("cpuonnx: %w", err)
+	// ONNXInvoke timing constant charges for). A pre-compiled form from the
+	// pipeline's model cache skips this step.
+	fe := req.Compiled
+	if fe == nil {
+		var err error
+		if fe, err = compileFlat(req.Forest); err != nil {
+			return nil, fmt.Errorf("cpuonnx: %w", err)
+		}
 	}
 
-	workers := e.threads
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			votes := make([]int, maxInt(fe.classes, 1))
-			for i := lo; i < hi; i++ {
-				// Record-at-a-time interpretation over the flat arrays:
-				// vote aggregation for classifiers, margin summation for
-				// boosted ensembles.
-				preds[i] = fe.predict(req.Data.Row(i), votes)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	features := req.Data.NumFeatures()
+	fe.Predict(req.Data.X[:n*features], features, preds, e.threads)
 
-	tl, err := e.Estimate(req.Forest.ComputeStats(), int64(n))
+	tl, err := e.Estimate(req.ModelStats(), int64(n))
 	if err != nil {
 		return nil, err
 	}
@@ -132,11 +105,4 @@ func (e *Engine) Estimate(stats forest.Stats, records int64) (*sim.Timeline, err
 	tl.Add("session invoke", sim.KindOverhead, fixed)
 	tl.Add("scoring", sim.KindCompute, total-fixed)
 	return &tl, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

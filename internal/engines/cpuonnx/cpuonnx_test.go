@@ -152,7 +152,7 @@ func TestFlatEnsembleMatchesPointerWalk(t *testing.T) {
 	votes := make([]int, f.NumClasses)
 	for i := 0; i < d.NumRecords(); i++ {
 		row := d.Row(i)
-		if got, want := fe.predict(row, votes), f.PredictClass(row); got != want {
+		if got, want := fe.PredictRow(row, votes), f.PredictClass(row); got != want {
 			t.Fatalf("flat kernel %d != pointer walk %d on row %d", got, want, i)
 		}
 	}
@@ -161,10 +161,10 @@ func TestFlatEnsembleMatchesPointerWalk(t *testing.T) {
 	for _, tr := range f.Trees {
 		total += tr.NodeCount()
 	}
-	if len(fe.featureIdx) != total {
-		t.Fatalf("flattened %d nodes, forest has %d", len(fe.featureIdx), total)
+	if fe.NumNodes() != total {
+		t.Fatalf("flattened %d nodes, forest has %d", fe.NumNodes(), total)
 	}
-	if int(fe.treeStart[len(fe.treeStart)-1]) != total {
+	if fe.NumTrees() != len(f.Trees) {
 		t.Fatal("tree extents broken")
 	}
 }
@@ -181,8 +181,33 @@ func TestFlatEnsembleBoosted(t *testing.T) {
 	}
 	for i := 0; i < d.NumRecords(); i += 13 {
 		row := d.Row(i)
-		if got, want := fe.predict(row, nil), f.PredictClass(row); got != want {
+		if got, want := fe.PredictRow(row, nil), f.PredictClass(row); got != want {
 			t.Fatalf("boosted flat kernel differs on row %d", i)
+		}
+	}
+}
+
+// TestPrecompiledRequest verifies the cache-hit fast path: a request
+// carrying the pre-lowered kernel form must produce identical predictions.
+func TestPrecompiledRequest(t *testing.T) {
+	f := trainIris(t, 6, 8)
+	data := dataset.Iris().Replicate(500)
+	compiled, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(hw.DefaultCPU(), 52)
+	plain, err := e.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := e.Score(&backend.Request{Forest: f, Data: data, Compiled: compiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Predictions {
+		if plain.Predictions[i] != pre.Predictions[i] {
+			t.Fatalf("precompiled prediction %d differs", i)
 		}
 	}
 }

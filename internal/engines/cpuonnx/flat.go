@@ -1,119 +1,15 @@
 package cpuonnx
 
 import (
-	"fmt"
-
 	"accelscore/internal/forest"
+	"accelscore/internal/kernel"
 )
 
-// flatEnsemble is the engine's compiled execution form: the ONNX Runtime
-// TreeEnsemble kernels flatten every tree into parallel node arrays and
-// iterate with integer indices instead of chasing pointers. Compiling the
-// deserialized model into this layout is the "session initialization" work
-// the ONNXInvoke constant charges for.
-type flatEnsemble struct {
-	// trees[i] indexes into the shared arrays: tree i occupies nodes
-	// [treeStart[i], treeStart[i+1]).
-	treeStart []int32
-	// Parallel node arrays. leftChild < 0 marks a leaf; the class id is
-	// encoded as -(leftChild+1) and value holds the leaf payload.
-	featureIdx []int32
-	threshold  []float32
-	leftChild  []int32
-	rightChild []int32
-	value      []float64
-	class      []int32
-
-	kind    forest.Kind
-	classes int
-	base    float64
-}
-
-// compileFlat lowers a forest into the flat layout.
-func compileFlat(f *forest.Forest) (*flatEnsemble, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	fe := &flatEnsemble{kind: f.Kind, classes: f.NumClasses, base: f.BaseScore}
-	for _, t := range f.Trees {
-		fe.treeStart = append(fe.treeStart, int32(len(fe.featureIdx)))
-		if err := fe.flatten(t.Root); err != nil {
-			return nil, err
-		}
-	}
-	fe.treeStart = append(fe.treeStart, int32(len(fe.featureIdx)))
-	return fe, nil
-}
-
-// flatten appends node n (and recursively its subtree) to the arrays,
-// returning nothing; children are fixed up after their subtrees are
-// emitted.
-func (fe *flatEnsemble) flatten(n *forest.Node) error {
-	idx := len(fe.featureIdx)
-	fe.featureIdx = append(fe.featureIdx, 0)
-	fe.threshold = append(fe.threshold, 0)
-	fe.leftChild = append(fe.leftChild, 0)
-	fe.rightChild = append(fe.rightChild, 0)
-	fe.value = append(fe.value, n.Value)
-	fe.class = append(fe.class, int32(n.Class))
-	if n.IsLeaf() {
-		fe.leftChild[idx] = -int32(n.Class) - 1
-		fe.rightChild[idx] = -1
-		return nil
-	}
-	fe.featureIdx[idx] = int32(n.Feature)
-	fe.threshold[idx] = n.Threshold
-	left := len(fe.featureIdx)
-	if err := fe.flatten(n.Left); err != nil {
-		return err
-	}
-	right := len(fe.featureIdx)
-	if err := fe.flatten(n.Right); err != nil {
-		return err
-	}
-	if left > 1<<30 || right > 1<<30 {
-		return fmt.Errorf("cpuonnx: ensemble too large to flatten")
-	}
-	fe.leftChild[idx] = int32(left)
-	fe.rightChild[idx] = int32(right)
-	return nil
-}
-
-// predict evaluates one row: iterative index-chasing per tree, vote or
-// margin aggregation at the end — the TreeEnsembleClassifier kernel shape.
-func (fe *flatEnsemble) predict(row []float32, votes []int) int {
-	if fe.kind == forest.Boosted {
-		margin := fe.base
-		for t := 0; t < len(fe.treeStart)-1; t++ {
-			margin += fe.value[fe.walk(fe.treeStart[t], row)]
-		}
-		if margin > 0 {
-			return 1
-		}
-		return 0
-	}
-	for i := range votes {
-		votes[i] = 0
-	}
-	for t := 0; t < len(fe.treeStart)-1; t++ {
-		leaf := fe.walk(fe.treeStart[t], row)
-		votes[fe.class[leaf]]++
-	}
-	return forest.Argmax(votes)
-}
-
-// walk descends one flattened tree and returns the leaf's node index.
-func (fe *flatEnsemble) walk(root int32, row []float32) int32 {
-	idx := root
-	for {
-		left := fe.leftChild[idx]
-		if left < 0 && fe.rightChild[idx] == -1 {
-			return idx
-		}
-		if row[fe.featureIdx[idx]] < fe.threshold[idx] {
-			idx = left
-		} else {
-			idx = fe.rightChild[idx]
-		}
-	}
+// compileFlat is the engine's "session initialization": lowering the
+// deserialized model into the flat TreeEnsemble node arrays the ONNX Runtime
+// kernels iterate over. The layout and traversal core now live in the shared
+// internal/kernel package (they were promoted out of this engine); this
+// wrapper is what the ONNXInvoke timing constant charges for.
+func compileFlat(f *forest.Forest) (*kernel.Compiled, error) {
+	return f.Compile()
 }

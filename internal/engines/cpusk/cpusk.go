@@ -1,7 +1,8 @@
 // Package cpusk implements the Scikit-learn-style CPU scoring engine
-// ("CPU_SKLearn" in the paper's figures): batch traversal of pointer-based
-// trees, parallelized across worker goroutines, with a calibrated timing
-// model for the Python-hosted library the paper measured.
+// ("CPU_SKLearn" in the paper's figures): blocked batch traversal through
+// the shared flat kernel (internal/kernel), parallelized across worker
+// goroutines, with a calibrated timing model for the Python-hosted library
+// the paper measured.
 //
 // Fig. 6 Option 1: the CPU backend has no offload or transfer components —
 // its timeline is a fixed batch-setup overhead plus compute.
@@ -9,8 +10,6 @@ package cpusk
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"accelscore/internal/backend"
 	"accelscore/internal/forest"
@@ -43,8 +42,10 @@ func (e *Engine) Name() string { return e.name }
 // Threads returns the configured scoring thread count.
 func (e *Engine) Threads() int { return e.threads }
 
-// Score implements backend.Backend: real goroutine-parallel batch traversal
-// plus the calibrated timeline.
+// Score implements backend.Backend: goroutine-parallel batch traversal
+// through the shared flat kernel plus the calibrated timeline. When the
+// request carries a pre-compiled kernel form (pipeline cache hit), the
+// per-query lowering is skipped entirely.
 func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -52,35 +53,17 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	n := req.Data.NumRecords()
 	preds := make([]int, n)
 
-	workers := e.threads
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	compiled := req.Compiled
+	if compiled == nil {
+		var err error
+		if compiled, err = req.Forest.Compile(); err != nil {
+			return nil, fmt.Errorf("cpusk: %w", err)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				preds[i] = req.Forest.PredictClass(req.Data.Row(i))
-			}
-		}(lo, hi)
 	}
-	wg.Wait()
+	features := req.Data.NumFeatures()
+	compiled.Predict(req.Data.X[:n*features], features, preds, e.threads)
 
-	tl, err := e.Estimate(req.Forest.ComputeStats(), int64(n))
+	tl, err := e.Estimate(req.ModelStats(), int64(n))
 	if err != nil {
 		return nil, err
 	}

@@ -67,7 +67,7 @@ func (c *Cluster) Score(req *backend.Request) (*backend.Result, error) {
 		}
 		copy(preds[lo:hi], res.Predictions)
 	}
-	tl, err := c.Estimate(req.Forest.ComputeStats(), int64(n))
+	tl, err := c.Estimate(req.ModelStats(), int64(n))
 	if err != nil {
 		return nil, err
 	}

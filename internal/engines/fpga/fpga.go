@@ -82,7 +82,7 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	stats := req.Forest.ComputeStats()
+	stats := req.ModelStats()
 	hybrid := stats.MaxDepth > e.spec.MaxTreeDepth
 	if hybrid && e.hybridCPU == nil {
 		return nil, fmt.Errorf("fpga: tree depth %d exceeds the %d-level PE limit; deep trees must be processed by the CPU (§III-B) — enable WithDeepTreeFallback",

@@ -94,7 +94,7 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 		}
 	}
 
-	tl, err := h.Estimate(req.Forest.ComputeStats(), int64(n))
+	tl, err := h.Estimate(req.ModelStats(), int64(n))
 	if err != nil {
 		return nil, err
 	}

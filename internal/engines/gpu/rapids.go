@@ -59,7 +59,7 @@ func (r *RAPIDS) Score(req *backend.Request) (*backend.Result, error) {
 		preds[i] = req.Forest.PredictClass(req.Data.Row(i))
 	}
 
-	tl, err := r.Estimate(req.Forest.ComputeStats(), int64(n))
+	tl, err := r.Estimate(req.ModelStats(), int64(n))
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package forest
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"accelscore/internal/dataset"
 	"accelscore/internal/xrand"
@@ -155,9 +156,21 @@ func (f *Forest) PredictValue(row []float32) float64 {
 	return sum / float64(len(f.Trees))
 }
 
-// PredictBatch classifies every row of d.
+// PredictBatch classifies every row of d through the shared flat traversal
+// kernel (compiled on the fly; forests that fail to compile — e.g. partially
+// constructed ones — fall back to the pointer walk so behavior is
+// unchanged).
 func (f *Forest) PredictBatch(d *dataset.Dataset) []int {
-	out := make([]int, d.NumRecords())
+	n := d.NumRecords()
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	features := d.NumFeatures()
+	if c, err := f.Compile(); err == nil {
+		c.Predict(d.X[:n*features], features, out, runtime.GOMAXPROCS(0))
+		return out
+	}
 	for i := range out {
 		out[i] = f.PredictClass(d.Row(i))
 	}
@@ -170,9 +183,10 @@ func (f *Forest) Accuracy(d *dataset.Dataset) float64 {
 	if d.NumRecords() == 0 {
 		return 0
 	}
+	preds := f.PredictBatch(d)
 	correct := 0
-	for i := 0; i < d.NumRecords(); i++ {
-		if f.PredictClass(d.Row(i)) == d.Y[i] {
+	for i, p := range preds {
+		if p == d.Y[i] {
 			correct++
 		}
 	}
@@ -300,9 +314,9 @@ func (f *Forest) ConfusionMatrix(d *dataset.Dataset) [][]int {
 	for i := range m {
 		m[i] = make([]int, n)
 	}
-	for i := 0; i < d.NumRecords() && i < len(d.Y); i++ {
-		actual := d.Y[i]
-		pred := f.PredictClass(d.Row(i))
+	preds := f.PredictBatch(d)
+	for i := 0; i < len(preds) && i < len(d.Y); i++ {
+		actual, pred := d.Y[i], preds[i]
 		if actual >= 0 && actual < n && pred >= 0 && pred < n {
 			m[actual][pred]++
 		}

@@ -145,6 +145,9 @@ func DefaultRuntime() RuntimeSpec {
 		ModelDeserializeBytesPerSec: 60e6,
 		DataPreprocPerValue:         15 * time.Nanosecond,
 		PostprocPerRecord:           60 * time.Nanosecond,
+		// CRC32 over the blob at memory-ish bandwidth — what a cache hit
+		// costs instead of the deserialize above.
+		ModelCacheVerifyBytesPerSec: 2e9,
 	}
 }
 
@@ -161,5 +164,6 @@ func TightlyIntegratedRuntime() RuntimeSpec {
 		ModelDeserializeBytesPerSec: 200e6,
 		DataPreprocPerValue:         4 * time.Nanosecond,
 		PostprocPerRecord:           10 * time.Nanosecond,
+		ModelCacheVerifyBytesPerSec: 8e9,
 	}
 }

@@ -1,0 +1,133 @@
+package kernel_test
+
+import (
+	"runtime"
+	"testing"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/kernel"
+)
+
+func trainIris(t testing.TB, trees, depth int) *forest.Forest {
+	t.Helper()
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      7,
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestBuilderHandBuilt exercises the builder API directly: one tree with a
+// single split (x0 < 0.5 ? class 0 : class 1).
+func TestBuilderHandBuilt(t *testing.T) {
+	c := kernel.New(2, false, 0)
+	c.BeginTree()
+	root := c.EmitSplit(0, 0.5)
+	left := c.EmitLeaf(0, 0)
+	right := c.EmitLeaf(1, 1)
+	c.SetChildren(root, left, right)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTrees() != 1 || c.NumNodes() != 3 || c.NumClasses() != 2 {
+		t.Fatalf("shape: trees=%d nodes=%d classes=%d", c.NumTrees(), c.NumNodes(), c.NumClasses())
+	}
+	if got := c.PredictRow([]float32{0.2}, nil); got != 0 {
+		t.Fatalf("left branch -> %d", got)
+	}
+	if got := c.PredictRow([]float32{0.9}, nil); got != 1 {
+		t.Fatalf("right branch -> %d", got)
+	}
+	out := make([]int, 4)
+	c.Predict([]float32{0.1, 0.6, 0.49, 0.5}, 1, out, 2)
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("batch[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+// TestPredictMatchesPointerWalk checks the blocked batch loop against the
+// forest's scalar pointer walk at sizes around the block boundaries and at
+// every worker count, including rows%rowBlock != 0 tails.
+func TestPredictMatchesPointerWalk(t *testing.T) {
+	f := trainIris(t, 12, 10)
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 63, 64, 65, 127, 500, 1003} {
+		d := dataset.Iris().Replicate(rows)
+		features := d.NumFeatures()
+		for _, workers := range []int{0, 1, 2, 7, runtime.GOMAXPROCS(0) + 3} {
+			out := make([]int, rows)
+			c.Predict(d.X, features, out, workers)
+			for i := 0; i < rows; i++ {
+				if want := f.PredictClass(d.Row(i)); out[i] != want {
+					t.Fatalf("rows=%d workers=%d row %d: kernel %d != walk %d",
+						rows, workers, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBoosted checks the margin-aggregation path of the blocked loop.
+func TestPredictBoosted(t *testing.T) {
+	d := dataset.Higgs(1500, 13)
+	f, err := forest.TrainBoosted(d, forest.BoostConfig{NumTrees: 10, MaxDepth: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Boosted() {
+		t.Fatal("boosted flag lost")
+	}
+	out := make([]int, d.NumRecords())
+	c.Predict(d.X, d.NumFeatures(), out, 4)
+	for i := range out {
+		if want := f.PredictClass(d.Row(i)); out[i] != want {
+			t.Fatalf("boosted row %d: kernel %d != walk %d", i, out[i], want)
+		}
+	}
+}
+
+// TestCompileAccountsEveryNode verifies the lowering covers the ensemble
+// exactly once.
+func TestCompileAccountsEveryNode(t *testing.T) {
+	f := trainIris(t, 9, 8)
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tr := range f.Trees {
+		total += tr.NodeCount()
+	}
+	if c.NumNodes() != total {
+		t.Fatalf("compiled %d nodes, forest has %d", c.NumNodes(), total)
+	}
+	if c.NumTrees() != len(f.Trees) {
+		t.Fatalf("compiled %d trees, forest has %d", c.NumTrees(), len(f.Trees))
+	}
+}
+
+// TestEmptyBatch must be a no-op.
+func TestEmptyBatch(t *testing.T) {
+	f := trainIris(t, 2, 4)
+	c, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Predict(nil, f.NumFeatures, nil, 4)
+}

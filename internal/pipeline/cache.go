@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"container/list"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"accelscore/internal/forest"
+	"accelscore/internal/kernel"
+)
+
+// ModelCache is a concurrency-safe LRU of compiled models: the deserialized
+// forest, its flat kernel form and its structural stats, keyed by model name
+// plus the RFX blob's CRC32 checksum. Because the checksum is recomputed on
+// every lookup, replacing a model in the models table (same name, new blob)
+// invalidates its entry automatically — no write-path hook needed; the stale
+// entry simply stops matching and ages out of the LRU.
+//
+// This is the "cache compiled execution state across queries" optimization
+// of SQL+ML systems: on a hit, a scoring query skips blob deserialization,
+// kernel compilation and stats computation entirely, leaving model
+// pre-processing at checksum cost (the Fig. 11 "tightly integrated" story).
+type ModelCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// cacheEntry is one cached compiled model.
+type cacheEntry struct {
+	key      string
+	forest   *forest.Forest
+	compiled *kernel.Compiled
+	stats    forest.Stats
+}
+
+// DefaultModelCacheCapacity is used when NewModelCache gets capacity <= 0.
+const DefaultModelCacheCapacity = 8
+
+// NewModelCache returns an empty cache holding at most capacity models.
+func NewModelCache(capacity int) *ModelCache {
+	if capacity <= 0 {
+		capacity = DefaultModelCacheCapacity
+	}
+	return &ModelCache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// String renders the counters for dashboards and logs.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries)
+}
+
+// Stats returns the current counters.
+func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// Len returns the number of cached models.
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey derives the lookup key: model name + blob checksum + length. The
+// checksum makes a replaced blob miss even under an unchanged name.
+func cacheKey(name string, blob []byte) string {
+	return fmt.Sprintf("%s|%08x|%d", name, crc32.ChecksumIEEE(blob), len(blob))
+}
+
+// lookup returns the entry for key, promoting it to most recently used.
+func (c *ModelCache) lookup(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry), true
+	}
+	c.misses++
+	return nil, false
+}
+
+// store inserts (or refreshes) an entry and evicts beyond capacity.
+func (c *ModelCache) store(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[e.key]; ok {
+		// A racing query compiled the same model; keep the existing entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}

@@ -1,0 +1,248 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/pipeline"
+)
+
+// newCachedPipeline is newPipeline plus an enabled compiled-model cache.
+func newCachedPipeline(t testing.TB, trees, depth, rows int) (*pipeline.Pipeline, *forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	p, f, data := newPipeline(t, trees, depth, rows)
+	p.Cache = pipeline.NewModelCache(4)
+	return p, f, data
+}
+
+func TestCacheHitOnRepeatedQuery(t *testing.T) {
+	p, _, _ := newCachedPipeline(t, 8, 10, 300)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
+
+	cold, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	warm, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second query missed the cache")
+	}
+	st := warm.CacheStats
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %v", st)
+	}
+
+	// Predictions must be byte-identical cold vs warm.
+	for i := range cold.Predictions {
+		if cold.Predictions[i] != warm.Predictions[i] {
+			t.Fatalf("prediction %d differs cold vs warm", i)
+		}
+	}
+
+	// The hit's model pre-processing span must be near-zero (Fig. 11
+	// tightly-integrated story), far below the miss's deserialize cost.
+	coldPre := cold.Timeline.Component(pipeline.StageModelPreproc)
+	warmPre := warm.Timeline.Component(pipeline.StageModelPreproc)
+	if warmPre <= 0 {
+		t.Fatal("cache-hit model pre-processing span missing")
+	}
+	if warmPre*10 >= coldPre {
+		t.Fatalf("cache-hit model preproc %v not near-zero vs cold %v", warmPre, coldPre)
+	}
+	if warm.Timeline.Total() >= cold.Timeline.Total() {
+		t.Fatalf("warm simulated total %v not below cold %v",
+			warm.Timeline.Total(), cold.Timeline.Total())
+	}
+}
+
+// TestCachedMatchesUncachedAllCPUEngines verifies the acceptance criterion:
+// cached scoring produces byte-identical predictions to the uncached path
+// across every CPU engine.
+func TestCachedMatchesUncachedAllCPUEngines(t *testing.T) {
+	cached, _, _ := newCachedPipeline(t, 10, 10, 700)
+	plain, _, _ := newPipeline(t, 10, 10, 700)
+	for _, be := range []string{"CPU_SKLearn", "CPU_ONNX", "CPU_ONNX_52th"} {
+		q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='" + be + "'"
+		want, err := plain.ExecQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run twice so the second pass exercises the warm path.
+		for pass := 0; pass < 2; pass++ {
+			got, err := cached.ExecQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Predictions) != len(want.Predictions) {
+				t.Fatalf("%s pass %d: %d vs %d predictions", be, pass, len(got.Predictions), len(want.Predictions))
+			}
+			for i := range want.Predictions {
+				if got.Predictions[i] != want.Predictions[i] {
+					t.Fatalf("%s pass %d: prediction %d differs", be, pass, i)
+				}
+			}
+			// The result table is bulk-assembled; it must mirror predictions.
+			if got.Table.NumRows() != len(want.Predictions) {
+				t.Fatalf("%s: result table rows = %d", be, got.Table.NumRows())
+			}
+			for i := range want.Predictions {
+				if int(got.Table.Cell(i, 0).I) != want.Predictions[i] {
+					t.Fatalf("%s: result table row %d differs", be, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheInvalidationOnModelReplace: replacing a model under the same name
+// must miss (checksum re-check) and score with the new model.
+func TestCacheInvalidationOnModelReplace(t *testing.T) {
+	p, _, data := newCachedPipeline(t, 4, 8, 200)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
+	if _, err := p.ExecQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := p.ExecQuery(q); err != nil || !res.CacheHit {
+		t.Fatalf("warm query: hit=%v err=%v", res.CacheHit, err)
+	}
+
+	// Replace the model with a very different one (single stump).
+	f2, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 1,
+		Tree:     forest.TrainConfig{MaxDepth: 1},
+		Seed:     99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.DeleteModel("iris_rf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.StoreModel("iris_rf", f2); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("stale cache entry served after model replacement")
+	}
+	want := f2.PredictBatch(data)
+	for i := range want {
+		if res.Predictions[i] != want[i] {
+			t.Fatalf("post-replacement prediction %d not from the new model", i)
+		}
+	}
+}
+
+// TestCacheEviction fills the LRU beyond capacity.
+func TestCacheEviction(t *testing.T) {
+	p, _, _ := newCachedPipeline(t, 2, 4, 100)
+	p.Cache = pipeline.NewModelCache(2)
+	names := []string{"m1", "m2", "m3"}
+	for i, name := range names {
+		f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+			NumTrees: 2,
+			Tree:     forest.TrainConfig{MaxDepth: 3},
+			Seed:     uint64(i + 10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.DB.StoreModel(name, f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.ExecQuery("EXEC sp_score_model @model='" + name + "', @data='iris', @backend='CPU_ONNX'"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Cache.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, capacity 2", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// m1 was evicted (LRU): scoring it again misses; m3 still hits.
+	if res, _ := p.ExecQuery("EXEC sp_score_model @model='m1', @data='iris', @backend='CPU_ONNX'"); res.CacheHit {
+		t.Fatal("evicted entry hit")
+	}
+	if res, _ := p.ExecQuery("EXEC sp_score_model @model='m3', @data='iris', @backend='CPU_ONNX'"); !res.CacheHit {
+		t.Fatal("resident entry missed")
+	}
+}
+
+// TestSnapshotCacheInvalidatedByInsert: appending rows to the scored table
+// must be visible to the next query (the snapshot is version-keyed).
+func TestSnapshotCacheInvalidatedByInsert(t *testing.T) {
+	p, _, _ := newCachedPipeline(t, 2, 6, 50)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
+	res, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != 50 {
+		t.Fatalf("baseline rows = %d", len(res.Predictions))
+	}
+	if _, err := p.ExecQuery("INSERT INTO iris VALUES (5.1, 3.5, 1.4, 0.2, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != 51 {
+		t.Fatalf("post-insert rows = %d, snapshot cache stale", len(res.Predictions))
+	}
+}
+
+// TestLimitValidation covers the @limit fix: type errors before value
+// errors.
+func TestLimitValidation(t *testing.T) {
+	p, _, _ := newPipeline(t, 2, 6, 100)
+	_, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @limit='ten'")
+	if err == nil {
+		t.Fatal("string @limit accepted")
+	}
+	if !strings.Contains(err.Error(), "must be a number") {
+		t.Fatalf("string @limit reported %q, want a type error", err)
+	}
+	_, err = p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @limit=0")
+	if err == nil {
+		t.Fatal("zero @limit accepted")
+	}
+	if !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("zero @limit reported %q, want a value error", err)
+	}
+}
+
+// TestEstimateMatchesCachedMissRun: with a cache attached, a cold (miss)
+// query keeps the exact baseline timeline shape.
+func TestEstimateMatchesCachedMissRun(t *testing.T) {
+	p, f, data := newCachedPipeline(t, 8, 10, 400)
+	blob, err := p.DB.LoadModelBlob("iris_rf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := p.Run(blob, data, "FPGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := p.Estimate(f.ComputeStats(), 400, int64(len(blob)), "FPGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Timeline.Total() != est.Total() {
+		t.Fatalf("cold cached Run total %v != Estimate total %v", run.Timeline.Total(), est.Total())
+	}
+}

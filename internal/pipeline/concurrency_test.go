@@ -1,0 +1,114 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/pipeline"
+)
+
+// TestConcurrentPipeline hammers one shared Pipeline from N goroutines with
+// a mix of scoring queries (cache hits), model churn (store/delete, which
+// invalidates and evicts cache entries) and DDL, proving under -race that
+// the compiled-model cache, the dataset snapshot cache and the shared flat
+// kernel are thread-safe. Every scoring result is checked against the
+// single-threaded oracle.
+func TestConcurrentPipeline(t *testing.T) {
+	p, f, data := newPipeline(t, 8, 10, 400)
+	p.Cache = pipeline.NewModelCache(3) // small: force eviction churn
+
+	want := f.PredictBatch(data)
+	churn, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 2,
+		Tree:     forest.TrainConfig{MaxDepth: 4},
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 25
+	backends := []string{"CPU_SKLearn", "CPU_ONNX", "CPU_ONNX_52th", "FPGA"}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0, 1:
+					// Scoring the stable model: always correct.
+					be := backends[(w+i)%len(backends)]
+					res, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @backend='" + be + "'")
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range want {
+						if res.Predictions[j] != want[j] {
+							errs <- fmt.Errorf("worker %d iter %d: prediction %d differs on %s", w, i, j, be)
+							return
+						}
+					}
+				case 2:
+					// Model churn on a shared name: replace then score. Both
+					// the delete and the scoring may race with other workers
+					// (not-found is fine); wrong predictions are not.
+					name := "churn"
+					_ = p.DB.DeleteModel(name)
+					_ = p.DB.StoreModel(name, churn) // duplicate store errors are fine
+					res, err := p.ExecQuery("EXEC sp_score_model @model='churn', @data='iris', @backend='CPU_ONNX'")
+					if err != nil {
+						if strings.Contains(err.Error(), "not found") {
+							continue
+						}
+						errs <- err
+						return
+					}
+					if len(res.Predictions) != len(want) {
+						errs <- fmt.Errorf("worker %d: churn scored %d rows", w, len(res.Predictions))
+						return
+					}
+				case 3:
+					// DDL on worker-private tables plus private-model cache
+					// pressure.
+					tblName := fmt.Sprintf("scratch_%d_%d", w, i)
+					if _, err := p.ExecQuery("CREATE TABLE " + tblName + " (x REAL, label BIGINT)"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := p.ExecQuery("INSERT INTO " + tblName + " VALUES (1.0, 0), (2.0, 1)"); err != nil {
+						errs <- err
+						return
+					}
+					modelName := fmt.Sprintf("m_%d_%d", w, i%3)
+					_ = p.DB.StoreModel(modelName, churn)
+					if _, err := p.ExecQuery("EXEC sp_score_model @model='" + modelName + "', @data='iris', @backend='CPU_SKLearn'"); err != nil &&
+						!strings.Contains(err.Error(), "not found") {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := p.Cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache never exercised: %v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("eviction path never exercised: %v", st)
+	}
+}
