@@ -1,0 +1,88 @@
+// Command conformance runs the cross-engine differential conformance matrix
+// and the golden-figure regression comparison.
+//
+// Usage:
+//
+//	conformance [-short] [-golden DIR] [-report FILE]   run the gate
+//	conformance -bless [-golden DIR]                    re-bless the goldens
+//
+// The matrix checks every registered engine — CPU_SKLearn, both CPU_ONNX
+// variants, GPU_RAPIDS, GPU_HB, the FPGA and its hybrid deep-tree variant —
+// against a double-precision reference oracle over seeded random forests
+// and datasets, plus metamorphic and timing invariants and the end-to-end
+// sp_score_model pipeline. The golden comparison regenerates figures
+// 1/7/8/9/10/11 and diffs them against the blessed CSVs. Exit status is
+// non-zero on any failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accelscore/internal/conformance"
+	"accelscore/internal/experiments"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run the reduced CI matrix (smaller models and sweeps)")
+	bless := flag.Bool("bless", false, "regenerate and overwrite the blessed golden figures, then exit")
+	golden := flag.String("golden", "results/golden", "blessed golden-figure directory")
+	report := flag.String("report", "", "also write the report to this file")
+	flag.Parse()
+
+	if *bless {
+		if err := experiments.NewSuite().WriteGoldenDir(*golden); err != nil {
+			fmt.Fprintln(os.Stderr, "conformance: blessing goldens:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Blessed golden figures into %s\n", *golden)
+		return
+	}
+
+	var out strings.Builder
+	failed := false
+
+	cases, err := conformance.Cases(*short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformance: building cases:", err)
+		os.Exit(1)
+	}
+	rep, err := conformance.NewRunner().Run(cases)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conformance: running matrix:", err)
+		os.Exit(1)
+	}
+	out.WriteString(rep.Summary())
+	if !rep.OK() {
+		failed = true
+	}
+
+	out.WriteString("\nGolden figures: ")
+	diffs, err := experiments.NewSuite().CompareGoldenDir(*golden)
+	switch {
+	case err != nil:
+		fmt.Fprintf(&out, "comparison failed: %v\n", err)
+		failed = true
+	case len(diffs) > 0:
+		fmt.Fprintf(&out, "%d divergence(s) from %s:\n", len(diffs), *golden)
+		for _, d := range diffs {
+			fmt.Fprintf(&out, "  %s\n", d)
+		}
+		failed = true
+	default:
+		fmt.Fprintf(&out, "match %s\n", *golden)
+	}
+
+	fmt.Print(out.String())
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(out.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "conformance: writing report:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

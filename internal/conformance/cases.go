@@ -1,0 +1,314 @@
+package conformance
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+	"accelscore/internal/xrand"
+)
+
+// Seed pins the whole conformance sweep. Changing it invalidates nothing but
+// the specific models exercised; it exists so a failure reproduces exactly on
+// any machine.
+const Seed uint64 = 0x5eed_c04f
+
+// Case is one (model, dataset) pair of the differential matrix.
+type Case struct {
+	// Name identifies the case in reports.
+	Name string
+	// Forest is the model under test.
+	Forest *forest.Forest
+	// Data is the scoring input (may include unlabeled boundary-probe rows).
+	Data *dataset.Dataset
+	// Blob is the RFX serialization of Forest, exercising the
+	// deserialize-then-score path of the ONNX engines and the pipeline.
+	Blob []byte
+	// Pipeline marks cases that additionally run through the end-to-end
+	// sp_score_model pipeline (cold and warm cache paths).
+	Pipeline bool
+	// Trained reports whether the forest came from a real training run (as
+	// opposed to a handcrafted regression construction).
+	Trained bool
+}
+
+// Cases builds the seeded differential matrix. Short mode keeps training
+// small enough for CI; full mode widens the model/data size sweep.
+func Cases(short bool) ([]Case, error) {
+	var cases []Case
+	add := func(c Case, err error) error {
+		if err != nil {
+			return err
+		}
+		cases = append(cases, c)
+		return nil
+	}
+
+	rng := xrand.New(Seed)
+
+	// IRIS: the paper's multi-class dataset, through the full pipeline.
+	irisRows := 180
+	if !short {
+		irisRows = 900
+	}
+	if err := add(irisCase(irisRows, rng.Uint64())); err != nil {
+		return nil, err
+	}
+
+	// HIGGS: the paper's binary dataset — the only shape GPU_RAPIDS accepts.
+	higgsTrain, higgsScore, higgsTrees := 260, 200, 16
+	if !short {
+		higgsTrain, higgsScore, higgsTrees = 900, 1500, 48
+	}
+	if err := add(higgsCase("higgs_rf", higgsTrain, higgsScore, higgsTrees, 6, rng.Uint64())); err != nil {
+		return nil, err
+	}
+	if err := add(boostedCase(higgsTrain, higgsScore, rng.Uint64())); err != nil {
+		return nil, err
+	}
+
+	// Synthetic sweeps: size-swept random forests over generated datasets.
+	type shape struct {
+		name     string
+		features int
+		classes  int
+		trees    int
+		depth    int
+		rows     int
+		grid     bool
+	}
+	shapes := []shape{
+		{"rand_stumps", 5, 2, 3, 1, 120, false},
+		{"rand_binary_grid", 6, 2, 12, 10, 220, true},
+		{"rand_multiclass", 9, 5, 7, 8, 200, false},
+	}
+	if !short {
+		shapes = append(shapes,
+			shape{"rand_binary_wide", 24, 2, 33, 10, 1200, false},
+			shape{"rand_multiclass_grid", 12, 4, 20, 9, 900, true},
+			shape{"rand_single_tree", 7, 3, 1, 10, 600, false},
+		)
+	}
+	for _, sh := range shapes {
+		if err := add(syntheticCase(sh.name, sh.features, sh.classes, sh.trees, sh.depth, sh.rows, sh.grid, rng.Uint64())); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deep forest: trees past the FPGA's 10-level PE limit; the plain FPGA
+	// backend must reject it and the hybrid deep-tree variant must agree
+	// with the oracle.
+	deepRows := 220
+	if !short {
+		deepRows = 900
+	}
+	if err := add(deepCase(deepRows, rng.Uint64())); err != nil {
+		return nil, err
+	}
+
+	// Handcrafted regression constructions: forced vote ties and a boosted
+	// ensemble whose margin is exactly zero.
+	if err := add(tieCase()); err != nil {
+		return nil, err
+	}
+	if err := add(zeroMarginCase()); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+// finish marshals the model and assembles the Case.
+func finish(name string, f *forest.Forest, d *dataset.Dataset, pipeline, trained bool) (Case, error) {
+	blob, err := model.Marshal(f)
+	if err != nil {
+		return Case{}, fmt.Errorf("conformance: %s: %w", name, err)
+	}
+	return Case{Name: name, Forest: f, Data: d, Blob: blob, Pipeline: pipeline, Trained: trained}, nil
+}
+
+func irisCase(rows int, seed uint64) (Case, error) {
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees:  9,
+		Tree:      forest.TrainConfig{MaxDepth: 10},
+		Seed:      seed,
+		Bootstrap: true,
+	})
+	if err != nil {
+		return Case{}, err
+	}
+	return finish("iris_rf", f, dataset.Iris().Replicate(rows), true, true)
+}
+
+func higgsCase(name string, trainRows, scoreRows, trees, depth int, seed uint64) (Case, error) {
+	f, err := forest.Train(dataset.Higgs(trainRows, seed), forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      seed + 1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		return Case{}, err
+	}
+	return finish(name, f, dataset.Higgs(scoreRows, seed+2), true, true)
+}
+
+func boostedCase(trainRows, scoreRows int, seed uint64) (Case, error) {
+	f, err := forest.TrainBoosted(dataset.Higgs(trainRows, seed), forest.BoostConfig{
+		NumTrees: 8,
+		MaxDepth: 4,
+		Seed:     seed + 1,
+	})
+	if err != nil {
+		return Case{}, err
+	}
+	return finish("higgs_gbt", f, dataset.Higgs(scoreRows, seed+2), false, true)
+}
+
+func syntheticCase(name string, features, classes, trees, depth, rows int, grid bool, seed uint64) (Case, error) {
+	train := randomDataset(name+"_train", rows, features, classes, seed, grid)
+	f, err := forest.Train(train, forest.ForestConfig{
+		NumTrees:  trees,
+		Tree:      forest.TrainConfig{MaxDepth: depth},
+		Seed:      seed + 1,
+		Bootstrap: trees > 1,
+	})
+	if err != nil {
+		return Case{}, err
+	}
+	score := randomDataset(name, rows, features, classes, seed+2, grid)
+	appendProbeRows(score)
+	return finish(name, f, score, false, true)
+}
+
+func deepCase(rows int, seed uint64) (Case, error) {
+	train := randomDataset("deep_train", 1200, 8, 2, seed, false)
+	f, err := forest.Train(train, forest.ForestConfig{
+		NumTrees:  5,
+		Tree:      forest.TrainConfig{MaxDepth: 16},
+		Seed:      seed + 1,
+		Bootstrap: true,
+	})
+	if err != nil {
+		return Case{}, err
+	}
+	if f.ComputeStats().MaxDepth <= 10 {
+		return Case{}, fmt.Errorf("conformance: deep case trained only %d levels; raise the training size", f.ComputeStats().MaxDepth)
+	}
+	return finish("deep_rf_d16", f, randomDataset("deep_rf_d16", rows, 8, 2, seed+2, false), false, true)
+}
+
+// tieCase builds a two-stump binary forest whose votes tie on every row
+// (one stump always votes class 1, the other class 0), pinning the
+// project-wide tie convention: the lowest class index wins, so every engine
+// must predict class 0 everywhere.
+func tieCase() (Case, error) {
+	const features = 4
+	f := &forest.Forest{
+		Kind:        forest.Classifier,
+		NumFeatures: features,
+		NumClasses:  2,
+		Trees: []*forest.Tree{
+			{Root: &forest.Node{Class: 1}, NumFeatures: features, NumClasses: 2},
+			{Root: &forest.Node{Class: 0}, NumFeatures: features, NumClasses: 2},
+		},
+	}
+	d := randomDataset("vote_tie", 64, features, 2, Seed+77, true)
+	appendProbeRows(d)
+	return finish("vote_tie", f, d, false, false)
+}
+
+// zeroMarginCase builds a boosted ensemble whose margin is exactly 0.0 for
+// every row (+0.5 and -0.5 leaves, zero base score — both exactly
+// representable), pinning the margin tie convention: margin > 0 is class 1,
+// so an exact zero must score class 0 on every engine.
+func zeroMarginCase() (Case, error) {
+	const features = 3
+	f := &forest.Forest{
+		Kind:        forest.Boosted,
+		NumFeatures: features,
+		NumClasses:  2,
+		Trees: []*forest.Tree{
+			{Root: &forest.Node{Class: 1, Value: 0.5}, NumFeatures: features, NumClasses: 2},
+			{Root: &forest.Node{Class: 0, Value: -0.5}, NumFeatures: features, NumClasses: 2},
+		},
+	}
+	d := randomDataset("zero_margin", 48, features, 2, Seed+78, false)
+	return finish("zero_margin", f, d, false, false)
+}
+
+// randomDataset generates a labeled dataset from the pinned xrand stream.
+// Grid mode draws features from a coarse 0.25-step lattice so that split
+// thresholds and feature values collide constantly, exercising the strict
+// x < threshold boundary on every engine; continuous mode draws standard
+// normals. Labels carry real signal (a noisy linear rule over the first
+// features) so CART training produces structured trees.
+func randomDataset(name string, rows, features, classes int, seed uint64, grid bool) *dataset.Dataset {
+	rng := xrand.New(seed)
+	d := &dataset.Dataset{Name: name}
+	for i := 0; i < features; i++ {
+		d.FeatureNames = append(d.FeatureNames, fmt.Sprintf("f%d", i))
+	}
+	for c := 0; c < classes; c++ {
+		d.ClassNames = append(d.ClassNames, fmt.Sprintf("c%d", c))
+	}
+	d.X = make([]float32, rows*features)
+	d.Y = make([]int, rows)
+	for r := 0; r < rows; r++ {
+		var s float64
+		for c := 0; c < features; c++ {
+			var v float32
+			if grid {
+				v = float32(rng.Intn(13)-6) / 4
+			} else {
+				v = float32(rng.NormFloat64())
+			}
+			d.X[r*features+c] = v
+			if c < 3 {
+				s += float64(v)
+			}
+		}
+		label := 0
+		if s > 0 {
+			label = int(s) + 1
+		}
+		if label >= classes {
+			label = classes - 1
+		}
+		if rng.Float64() < 0.1 { // label noise keeps leaves impure
+			label = rng.Intn(classes)
+		}
+		d.Y[r] = label
+	}
+	return d
+}
+
+// appendProbeRows adds unlabeled boundary rows: zeros and huge-but-finite
+// magnitudes that every traversal must route identically. (Non-finite values
+// are exercised separately at the unit level: the GEMM tensor strategy's
+// 0*Inf products make NaN propagation engine-specific by construction.)
+func appendProbeRows(d *dataset.Dataset) {
+	features := d.NumFeatures()
+	probes := [][]float32{
+		make([]float32, features), // all zeros
+		make([]float32, features),
+		make([]float32, features),
+		make([]float32, features),
+	}
+	for c := 0; c < features; c++ {
+		probes[1][c] = 1e30
+		probes[2][c] = -1e30
+		if c%2 == 0 {
+			probes[3][c] = 3e18
+		} else {
+			probes[3][c] = -3e18
+		}
+	}
+	hadLabels := len(d.Y) > 0
+	for _, p := range probes {
+		d.X = append(d.X, p...)
+		if hadLabels {
+			d.Y = append(d.Y, 0)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package conformance
+
+import (
+	"fmt"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/platform"
+	"accelscore/internal/sim"
+)
+
+// blobScorer is the deserialize-then-score seam the ONNX engines expose.
+type blobScorer interface {
+	ScoreBlob(blob []byte, req *backend.Request) (*backend.Result, error)
+}
+
+// namedBackend relabels an engine variant so it reports under its own
+// column (the hybrid FPGA shares the plain engine's "FPGA" name).
+type namedBackend struct {
+	backend.Backend
+	name string
+}
+
+func (n *namedBackend) Name() string { return n.name }
+
+// Runner drives the differential matrix.
+type Runner struct {
+	// Engines are the backends under test.
+	Engines []backend.Backend
+	// Runtime is the pipeline environment for the end-to-end checks.
+	Runtime hw.RuntimeSpec
+}
+
+// NewRunner builds the default runner: the paper's six engines from the
+// calibrated testbed, plus the hybrid FPGA+CPU deep-tree variant (§III-B)
+// so models past the 10-level PE limit are differentially covered too.
+func NewRunner() *Runner {
+	tb := platform.New()
+	engines := append([]backend.Backend{}, tb.AllBackends()...)
+	hybrid := tb.FPGA.WithDeepTreeFallback(hw.DefaultCPU(), 0)
+	engines = append(engines, &namedBackend{Backend: hybrid, name: "FPGA_hybrid"})
+	return &Runner{Engines: engines, Runtime: hw.DefaultRuntime()}
+}
+
+// Run executes every check of the matrix over the given cases.
+func (r *Runner) Run(cases []Case) (*Report, error) {
+	rep := &Report{Cases: len(cases)}
+	for _, c := range cases {
+		ref, err := Score(c.Forest, c.Data)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: case %s: %w", c.Name, err)
+		}
+		r.kernelChecks(rep, c, ref)
+		for _, eng := range r.Engines {
+			r.engineChecks(rep, c, eng, ref)
+			r.metamorphicChecks(rep, c, eng)
+		}
+		if c.Pipeline {
+			r.pipelineChecks(rep, c, ref)
+		}
+	}
+	return rep, nil
+}
+
+// kernelChecks compares the repo's two CPU traversal paths — the naive
+// pointer walk and the shared flat kernel — against the oracle, including
+// the kernel's per-row vote tallies and its parallel batch path.
+func (r *Runner) kernelChecks(rep *Report, c Case, ref *Reference) {
+	n := c.Data.NumRecords()
+	features := c.Data.NumFeatures()
+
+	// Naive pointer traversal (Forest.PredictClass) vs oracle.
+	naiveOK := true
+	for i := 0; i < n; i++ {
+		if got := c.Forest.PredictClass(c.Data.Row(i)); got != ref.Predictions[i] {
+			rep.fail(c.Name, "", "naive-vs-oracle",
+				fmt.Sprintf("row %d: naive traversal %d, oracle %d", i, got, ref.Predictions[i]))
+			naiveOK = false
+			break
+		}
+	}
+	if naiveOK {
+		rep.pass(c.Name, "", "naive-vs-oracle")
+	}
+
+	compiled, err := c.Forest.Compile()
+	if err != nil {
+		rep.fail(c.Name, "", "kernel-compile", err.Error())
+		return
+	}
+
+	// Flat kernel, row at a time, with vote tallies.
+	votes := make([]int, compiled.NumClasses())
+	rowOK := true
+	for i := 0; i < n && rowOK; i++ {
+		got := compiled.PredictRow(c.Data.Row(i), votes)
+		if got != ref.Predictions[i] {
+			rep.fail(c.Name, "", "kernel-row-vs-oracle",
+				fmt.Sprintf("row %d: kernel %d, oracle %d", i, got, ref.Predictions[i]))
+			rowOK = false
+			break
+		}
+		if ref.Votes != nil {
+			for cls, v := range ref.Votes[i] {
+				if votes[cls] != v {
+					rep.fail(c.Name, "", "kernel-row-vs-oracle",
+						fmt.Sprintf("row %d class %d: kernel votes %d, oracle votes %d", i, cls, votes[cls], v))
+					rowOK = false
+					break
+				}
+			}
+		}
+	}
+	if rowOK {
+		rep.pass(c.Name, "", "kernel-row-vs-oracle")
+	}
+
+	// Flat kernel, blocked parallel batch, run twice: the worker fan-out
+	// must be deterministic and identical to the row path.
+	batch := func(workers int) []int {
+		out := make([]int, n)
+		compiled.Predict(c.Data.X[:n*features], features, out, workers)
+		return out
+	}
+	first := batch(4)
+	if d := firstDiff(first, ref.Predictions); d >= 0 {
+		rep.fail(c.Name, "", "kernel-batch-vs-oracle",
+			fmt.Sprintf("row %d: batch kernel %d, oracle %d", d, first[d], ref.Predictions[d]))
+	} else if d := firstDiff(batch(4), first); d >= 0 {
+		rep.fail(c.Name, "", "kernel-batch-vs-oracle",
+			fmt.Sprintf("row %d: parallel batch not deterministic across runs", d))
+	} else if d := firstDiff(batch(1), first); d >= 0 {
+		rep.fail(c.Name, "", "kernel-batch-vs-oracle",
+			fmt.Sprintf("row %d: 1-worker batch differs from 4-worker batch", d))
+	} else {
+		rep.pass(c.Name, "", "kernel-batch-vs-oracle")
+	}
+}
+
+// engineChecks runs one engine over the case cold (engine compiles itself),
+// warm (pre-compiled kernel form and stats ride the request, as on a
+// pipeline cache hit) and via the serialized-blob seam, then verifies the
+// timing invariants.
+func (r *Runner) engineChecks(rep *Report, c Case, eng backend.Backend, ref *Reference) {
+	name := eng.Name()
+	n := int64(c.Data.NumRecords())
+	stats := c.Forest.ComputeStats()
+
+	cold, err := eng.Score(&backend.Request{Forest: c.Forest, Data: c.Data})
+	if err != nil {
+		rep.skip(c.Name, name, "differential-cold", err.Error())
+		return
+	}
+	if d := firstDiff(cold.Predictions, ref.Predictions); d >= 0 {
+		rep.fail(c.Name, name, "differential-cold", mismatchDetail(d, cold.Predictions[d], ref))
+	} else {
+		rep.pass(c.Name, name, "differential-cold")
+	}
+
+	// Warm path: the compiled form MUST be derived from Forest; engines
+	// that ignore it must still agree.
+	compiled, cerr := c.Forest.Compile()
+	if cerr != nil {
+		rep.fail(c.Name, name, "differential-warm", cerr.Error())
+	} else {
+		warm, werr := eng.Score(&backend.Request{Forest: c.Forest, Data: c.Data, Compiled: compiled, Stats: &stats})
+		switch {
+		case werr != nil:
+			rep.fail(c.Name, name, "differential-warm",
+				fmt.Sprintf("cold path scored but warm path errored: %v", werr))
+		case firstDiff(warm.Predictions, ref.Predictions) >= 0:
+			d := firstDiff(warm.Predictions, ref.Predictions)
+			rep.fail(c.Name, name, "differential-warm", mismatchDetail(d, warm.Predictions[d], ref))
+		case warm.Timeline.Total() > cold.Timeline.Total():
+			rep.fail(c.Name, name, "differential-warm",
+				fmt.Sprintf("warm simulated time %v exceeds cold %v", warm.Timeline.Total(), cold.Timeline.Total()))
+		default:
+			rep.pass(c.Name, name, "differential-warm")
+		}
+	}
+
+	// Serialized-blob seam (ONNX engines): deserialize-then-score must
+	// agree too, covering the RFX round trip.
+	if bs, ok := eng.(blobScorer); ok {
+		res, berr := bs.ScoreBlob(c.Blob, &backend.Request{Forest: c.Forest, Data: c.Data})
+		if berr != nil {
+			rep.fail(c.Name, name, "differential-blob", berr.Error())
+		} else if d := firstDiff(res.Predictions, ref.Predictions); d >= 0 {
+			rep.fail(c.Name, name, "differential-blob", mismatchDetail(d, res.Predictions[d], ref))
+		} else {
+			rep.pass(c.Name, name, "differential-blob")
+		}
+	}
+
+	// Timing invariants: every span non-negative, the timeline total is
+	// exactly the sum of its O/L/C/pipeline components, Score's simulated
+	// time equals Estimate for the same shape, and Estimate is
+	// deterministic.
+	if detail := timelineDetail(&cold.Timeline); detail != "" {
+		rep.fail(c.Name, name, "timing-consistency", detail)
+		return
+	}
+	est1, err1 := eng.Estimate(stats, n)
+	est2, err2 := eng.Estimate(stats, n)
+	switch {
+	case err1 != nil || err2 != nil:
+		rep.fail(c.Name, name, "timing-consistency",
+			fmt.Sprintf("Score succeeded but Estimate errored: %v / %v", err1, err2))
+	case est1.Total() != cold.Timeline.Total():
+		rep.fail(c.Name, name, "timing-consistency",
+			fmt.Sprintf("Score total %v != Estimate total %v", cold.Timeline.Total(), est1.Total()))
+	case est1.Total() != est2.Total():
+		rep.fail(c.Name, name, "timing-consistency",
+			fmt.Sprintf("Estimate not deterministic: %v then %v", est1.Total(), est2.Total()))
+	default:
+		rep.pass(c.Name, name, "timing-consistency")
+	}
+}
+
+// timelineDetail returns a description of the first timing-invariant
+// violation in tl, or "" when the timeline is consistent.
+func timelineDetail(tl *sim.Timeline) string {
+	for _, s := range tl.Spans() {
+		if s.Duration < 0 {
+			return fmt.Sprintf("negative span %q: %v", s.Name, s.Duration)
+		}
+	}
+	kinds := tl.TotalKind(sim.KindOverhead) + tl.TotalKind(sim.KindTransfer) +
+		tl.TotalKind(sim.KindCompute) + tl.TotalKind(sim.KindPipeline)
+	if kinds != tl.Total() {
+		return fmt.Sprintf("total %v != O+L+C_A+pipeline %v", tl.Total(), kinds)
+	}
+	return ""
+}
+
+// mismatchDetail describes one diverging row, including the oracle's vote
+// tally or margin so tie-break bugs are immediately visible.
+func mismatchDetail(row, got int, ref *Reference) string {
+	if ref.Votes != nil {
+		return fmt.Sprintf("row %d: engine %d, oracle %d (votes %v)", row, got, ref.Predictions[row], ref.Votes[row])
+	}
+	return fmt.Sprintf("row %d: engine %d, oracle %d (margin %g)", row, got, ref.Predictions[row], ref.Margins[row])
+}
+
+// firstDiff returns the first index where a and b differ (-1 if equal).
+// Length mismatch counts as a difference at the shorter length.
+func firstDiff(a, b []int) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return len(a)
+		}
+		return len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// singleTreeForest wraps one tree of f as a standalone forest, preserving
+// the schema — the decomposition invariant's building block.
+func singleTreeForest(f *forest.Forest, i int) *forest.Forest {
+	return &forest.Forest{
+		Trees:        []*forest.Tree{f.Trees[i]},
+		Kind:         f.Kind,
+		NumFeatures:  f.NumFeatures,
+		NumClasses:   f.NumClasses,
+		FeatureNames: f.FeatureNames,
+		ClassNames:   f.ClassNames,
+		BaseScore:    f.BaseScore,
+	}
+}

@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"testing"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/forest"
+)
+
+// TestMatrixShort runs the short differential matrix: every engine against
+// the float64 oracle, metamorphic invariants, kernel paths and the
+// end-to-end pipeline. In -short test runs this IS the CI conformance gate.
+func TestMatrixShort(t *testing.T) {
+	cases, err := Cases(true)
+	if err != nil {
+		t.Fatalf("building cases: %v", err)
+	}
+	rep, err := NewRunner().Run(cases)
+	if err != nil {
+		t.Fatalf("running matrix: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("conformance failures:\n%s", rep.Summary())
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("matrix produced no findings")
+	}
+}
+
+// TestMatrixFull widens the sweep (bigger models, more rows, extra shapes).
+func TestMatrixFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix skipped in -short mode")
+	}
+	cases, err := Cases(false)
+	if err != nil {
+		t.Fatalf("building cases: %v", err)
+	}
+	rep, err := NewRunner().Run(cases)
+	if err != nil {
+		t.Fatalf("running matrix: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("conformance failures:\n%s", rep.Summary())
+	}
+}
+
+// TestOracleTieCounting pins the oracle's own tie-break bookkeeping on the
+// handcrafted all-ties forest: every row ties and every prediction is the
+// lowest class index.
+func TestOracleTieCounting(t *testing.T) {
+	c, err := tieCase()
+	if err != nil {
+		t.Fatalf("tie case: %v", err)
+	}
+	ref, err := Score(c.Forest, c.Data)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if ref.Ties != c.Data.NumRecords() {
+		t.Fatalf("tie forest: oracle counted %d ties over %d rows", ref.Ties, c.Data.NumRecords())
+	}
+	for i, p := range ref.Predictions {
+		if p != 0 {
+			t.Fatalf("row %d: tied votes must resolve to class 0, got %d (votes %v)", i, p, ref.Votes[i])
+		}
+	}
+}
+
+// TestTieBreakAcrossEngines is the explicit tie-break regression test: on
+// the forced-tie and exact-zero-margin forests, every engine that accepts
+// the shape must predict class 0 on every row — the project-wide
+// lowest-class-index / margin>0 convention.
+func TestTieBreakAcrossEngines(t *testing.T) {
+	for _, build := range []func() (Case, error){tieCase, zeroMarginCase} {
+		c, err := build()
+		if err != nil {
+			t.Fatalf("building case: %v", err)
+		}
+		for _, eng := range NewRunner().Engines {
+			res, err := eng.Score(&backend.Request{Forest: c.Forest, Data: c.Data})
+			if err != nil {
+				t.Logf("%s / %s: engine rejected the shape (%v)", c.Name, eng.Name(), err)
+				continue
+			}
+			for i, p := range res.Predictions {
+				if p != 0 {
+					t.Errorf("%s / %s row %d: tie-break produced class %d, want 0",
+						c.Name, eng.Name(), i, p)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDeepCaseExceedsFPGALimit guards the deep sweep's premise: the trained
+// forest really is deeper than the plain FPGA's PE chain, so the skip it
+// reports is exercising the documented limitation, not an accident.
+func TestDeepCaseExceedsFPGALimit(t *testing.T) {
+	c, err := deepCase(64, 0xdeeb)
+	if err != nil {
+		t.Fatalf("deep case: %v", err)
+	}
+	if got := c.Forest.ComputeStats().MaxDepth; got <= 10 {
+		t.Fatalf("deep case trained only %d levels, need > 10", got)
+	}
+}
+
+// TestSingleTreeForestPreservesSchema guards the decomposition helper.
+func TestSingleTreeForestPreservesSchema(t *testing.T) {
+	c, err := tieCase()
+	if err != nil {
+		t.Fatalf("tie case: %v", err)
+	}
+	s := singleTreeForest(c.Forest, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("single-tree forest invalid: %v", err)
+	}
+	if s.NumFeatures != c.Forest.NumFeatures || s.NumClasses != c.Forest.NumClasses {
+		t.Fatalf("schema not preserved: %d/%d vs %d/%d",
+			s.NumFeatures, s.NumClasses, c.Forest.NumFeatures, c.Forest.NumClasses)
+	}
+	if s.Kind != forest.Classifier || len(s.Trees) != 1 {
+		t.Fatalf("unexpected single-tree forest shape: kind %v, %d trees", s.Kind, len(s.Trees))
+	}
+}

@@ -1,0 +1,119 @@
+// Package conformance implements the cross-engine differential and
+// metamorphic testing subsystem: a simple double-precision reference
+// traversal acts as the oracle, and every registered scoring engine —
+// CPU_SKLearn, both CPU_ONNX variants, GPU_RAPIDS, GPU_HB, the FPGA and its
+// hybrid deep-tree variant — is checked against it over seeded, size-swept
+// random forests and datasets.
+//
+// The paper's whole argument (the Fig. 1/8/11 shmoos) rests on all backends
+// computing the same predictions so that only the offload overhead O, the
+// transfer cost L and the accelerator compute C_A differ between them. The
+// oracle pins that assumption: predictions must agree bit-exactly, vote
+// counts must agree with the reference tally, and each engine's simulated
+// timeline must stay self-consistent (total == O + L + C_A (+ pipeline)).
+package conformance
+
+import (
+	"fmt"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+)
+
+// Reference is the oracle's output for one (forest, dataset) pair.
+type Reference struct {
+	// Classes is the vote-vector width (2 for boosted ensembles).
+	Classes int
+	// Predictions holds one class id per row.
+	Predictions []int
+	// Votes holds the per-row per-class vote tally (nil for boosted
+	// ensembles, which aggregate margins instead of votes).
+	Votes [][]int
+	// Margins holds the per-row raw log-odds for boosted ensembles (nil
+	// otherwise).
+	Margins []float64
+	// Ties counts rows whose winning vote count is shared by more than one
+	// class — the rows where tie-break convention (lowest class index wins)
+	// decides the prediction.
+	Ties int
+}
+
+// Score runs the reference traversal: an independent double-precision
+// pointer walk over every tree, deliberately written without reusing the
+// flat kernel, the dense FPGA layout or the tensor compiler, so that a bug
+// shared by the production paths cannot hide here.
+func Score(f *forest.Forest, d *dataset.Dataset) (*Reference, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("conformance: oracle model: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("conformance: oracle data: %w", err)
+	}
+	if d.NumFeatures() != f.NumFeatures {
+		return nil, fmt.Errorf("conformance: oracle: data has %d features, model expects %d",
+			d.NumFeatures(), f.NumFeatures)
+	}
+	n := d.NumRecords()
+	classes := f.NumClasses
+	if classes < 1 {
+		classes = 1
+	}
+	ref := &Reference{Classes: classes, Predictions: make([]int, n)}
+	if f.Kind == forest.Boosted {
+		ref.Margins = make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := d.Row(i)
+			m := f.BaseScore
+			for _, t := range f.Trees {
+				m += refLeaf(t.Root, row).Value
+			}
+			ref.Margins[i] = m
+			if m > 0 {
+				ref.Predictions[i] = 1
+			}
+		}
+		return ref, nil
+	}
+	ref.Votes = make([][]int, n)
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		votes := make([]int, classes)
+		for _, t := range f.Trees {
+			votes[refLeaf(t.Root, row).Class]++
+		}
+		best := 0
+		for c, v := range votes {
+			if v > votes[best] {
+				best = c
+			}
+		}
+		ref.Votes[i] = votes
+		ref.Predictions[i] = best
+		tied := false
+		for c, v := range votes {
+			if c != best && v == votes[best] {
+				tied = true
+			}
+		}
+		if tied {
+			ref.Ties++
+		}
+	}
+	return ref, nil
+}
+
+// refLeaf walks one pointer tree in float64: an input goes left when
+// float64(x[feature]) < float64(threshold) — exactly the project-wide split
+// convention, with the comparison widened so the oracle cannot inherit a
+// float32 quirk from the production kernels (float32 widening is exact, so
+// the decision is provably identical when both sides are finite floats).
+func refLeaf(n *forest.Node, row []float32) *forest.Node {
+	for !n.IsLeaf() {
+		if float64(row[n.Feature]) < float64(n.Threshold) {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"fmt"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/db"
+	"accelscore/internal/pipeline"
+)
+
+// pipelineChecks drives the full sp_score_model path for one case: dataset →
+// table → snapshot → blob deserialization → engine, once cold and once warm,
+// per engine. The cold query must miss the compiled-model cache and the warm
+// repeat must hit it, and both must reproduce the oracle's predictions —
+// proving the cache returns the same compiled model the cold path lowered,
+// not just "a" model.
+func (r *Runner) pipelineChecks(rep *Report, c Case, ref *Reference) {
+	database := db.New()
+	tbl, err := db.TableFromDataset("scoring_input", c.Data)
+	if err != nil {
+		rep.fail(c.Name, "", "pipeline-setup", err.Error())
+		return
+	}
+	if err := database.CreateTable(tbl); err != nil {
+		rep.fail(c.Name, "", "pipeline-setup", err.Error())
+		return
+	}
+	if err := database.StoreModelBlob("m", c.Blob); err != nil {
+		rep.fail(c.Name, "", "pipeline-setup", err.Error())
+		return
+	}
+	reg := backend.NewRegistry()
+	for _, eng := range r.Engines {
+		if err := reg.Register(eng); err != nil {
+			rep.fail(c.Name, eng.Name(), "pipeline-setup", err.Error())
+			return
+		}
+	}
+
+	for _, eng := range r.Engines {
+		name := eng.Name()
+		p := &pipeline.Pipeline{
+			DB:       database,
+			Runtime:  r.Runtime,
+			Registry: reg,
+			Cache:    pipeline.NewModelCache(4),
+		}
+		query := fmt.Sprintf("EXEC sp_score_model @model = 'm', @data = 'scoring_input', @backend = '%s'", name)
+
+		cold, err := p.ExecQuery(query)
+		if err != nil {
+			rep.skip(c.Name, name, "pipeline-cold", err.Error())
+			continue
+		}
+		switch {
+		case cold.CacheHit:
+			rep.fail(c.Name, name, "pipeline-cold", "first query reported a cache hit on an empty cache")
+		case cold.Backend != name:
+			rep.fail(c.Name, name, "pipeline-cold",
+				fmt.Sprintf("@backend = %q resolved to %q", name, cold.Backend))
+		case firstDiff(cold.Predictions, ref.Predictions) >= 0:
+			d := firstDiff(cold.Predictions, ref.Predictions)
+			rep.fail(c.Name, name, "pipeline-cold", mismatchDetail(d, cold.Predictions[d], ref))
+		case tableMismatch(cold) != "":
+			rep.fail(c.Name, name, "pipeline-cold", tableMismatch(cold))
+		default:
+			rep.pass(c.Name, name, "pipeline-cold")
+		}
+
+		warm, err := p.ExecQuery(query)
+		switch {
+		case err != nil:
+			rep.fail(c.Name, name, "pipeline-warm",
+				fmt.Sprintf("cold query scored but warm repeat errored: %v", err))
+		case !warm.CacheHit:
+			rep.fail(c.Name, name, "pipeline-warm",
+				fmt.Sprintf("repeated query missed the compiled-model cache (%s)", warm.CacheStats))
+		case firstDiff(warm.Predictions, ref.Predictions) >= 0:
+			d := firstDiff(warm.Predictions, ref.Predictions)
+			rep.fail(c.Name, name, "pipeline-warm", mismatchDetail(d, warm.Predictions[d], ref))
+		default:
+			rep.pass(c.Name, name, "pipeline-warm")
+		}
+	}
+}
+
+// tableMismatch checks the result table the pipeline returns to the DBMS
+// against the in-memory predictions, returning "" when consistent.
+func tableMismatch(res *pipeline.QueryResult) string {
+	if res.Table == nil {
+		return "result table is nil"
+	}
+	if res.Table.NumRows() != len(res.Predictions) {
+		return fmt.Sprintf("result table has %d rows for %d predictions",
+			res.Table.NumRows(), len(res.Predictions))
+	}
+	for i, p := range res.Predictions {
+		if got := int(res.Table.Cell(i, 0).I); got != p {
+			return fmt.Sprintf("result table row %d holds %d, prediction is %d", i, got, p)
+		}
+	}
+	return ""
+}

@@ -632,3 +632,40 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+func TestDeleteModel(t *testing.T) {
+	d := New()
+	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 1, Tree: forest.TrainConfig{MaxDepth: 2}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteModel("absent"); err == nil {
+		t.Fatal("deleting a missing model succeeded")
+	}
+	if err := d.StoreModel("m", f); err != nil {
+		t.Fatal(err)
+	}
+	models, err := d.Table(ModelsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionBefore := models.Version()
+	if err := d.DeleteModel("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadModelBlob("m"); err == nil {
+		t.Fatal("deleted model still loadable")
+	}
+	if models.Version() == versionBefore {
+		t.Fatal("DeleteModel did not bump the models table version")
+	}
+	// Delete + store under the same name is the documented replacement path.
+	if err := d.StoreModel("m", f); err != nil {
+		t.Fatalf("re-storing after delete: %v", err)
+	}
+	if names := d.ModelNames(); len(names) != 1 || names[0] != "m" {
+		t.Fatalf("ModelNames after replace = %v", names)
+	}
+}

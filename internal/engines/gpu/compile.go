@@ -52,8 +52,8 @@ func compilePTT(t *forest.Tree, depth int) *pttTree {
 }
 
 // fill recursively writes the padded slots. A leaf encountered above the
-// final level becomes a chain of always-left dummy nodes (attr 0, +Inf
-// threshold) terminating at a leaf slot holding its class.
+// final level becomes a subtree of dummy nodes (attr 0, +Inf threshold)
+// whose every slot holds the leaf's class.
 func (p *pttTree) fill(n *forest.Node, idx, depth int) {
 	if depth == p.depth {
 		p.leafClass[idx-len(p.attrs)] = int32(n.Class)
@@ -62,9 +62,13 @@ func (p *pttTree) fill(n *forest.Node, idx, depth int) {
 	}
 	if n.IsLeaf() {
 		p.attrs[idx] = 0
-		p.thresh[idx] = float32(math.Inf(1)) // x[0] < +Inf: always left
+		p.thresh[idx] = float32(math.Inf(1)) // x[0] < +Inf: finite inputs go left
+		// Pad BOTH subtrees with the leaf: a NaN or +Inf feature value fails
+		// the < +Inf comparison and descends right, so a left-only dummy
+		// chain would land such rows on zero-initialized slots and silently
+		// report class 0 instead of the real leaf.
 		p.fill(n, 2*idx+1, depth+1)
-		// The right subtree is unreachable; leave it as padded zeros.
+		p.fill(n, 2*idx+2, depth+1)
 		return
 	}
 	p.attrs[idx] = int32(n.Feature)

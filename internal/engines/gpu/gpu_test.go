@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -321,5 +322,74 @@ func TestDeviceMemoryBatching(t *testing.T) {
 	}
 	if got := g.InputBatches(100); got != 1 {
 		t.Fatalf("small InputBatches = %d", got)
+	}
+}
+
+// TestPTTPaddingHandlesNonFiniteFeatures is the regression test for the
+// padded-leaf bug: a leaf above the final PTT level used to be padded with a
+// left-only dummy chain (attr 0, x < +Inf), so a NaN or +Inf value in
+// feature 0 failed the comparison, descended into the zero-initialized right
+// half, and silently scored class 0. Both dummy subtrees must carry the
+// leaf.
+func TestPTTPaddingHandlesNonFiniteFeatures(t *testing.T) {
+	// Root splits on feature 1; its LEFT child is a shallow class-1 leaf,
+	// its right side is a depth-4 chain so the forest exceeds the GEMM depth
+	// limit and compiles with the PTT strategy.
+	leaf := func(c int) *forest.Node { return &forest.Node{Class: c} }
+	deep := &forest.Node{Feature: 0, Threshold: 0,
+		Left: leaf(0),
+		Right: &forest.Node{Feature: 0, Threshold: 1,
+			Left: leaf(0),
+			Right: &forest.Node{Feature: 0, Threshold: 2,
+				Left: leaf(0), Right: leaf(1)}}}
+	f := &forest.Forest{
+		Kind:        forest.Classifier,
+		NumFeatures: 2,
+		NumClasses:  2,
+		Trees: []*forest.Tree{{
+			Root:        &forest.Node{Feature: 1, Threshold: 0.5, Left: leaf(1), Right: deep},
+			NumFeatures: 2,
+			NumClasses:  2,
+		}},
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	data := &dataset.Dataset{
+		Name:         "nonfinite",
+		FeatureNames: []string{"f0", "f1"},
+		ClassNames:   []string{"c0", "c1"},
+		// Every row routes LEFT at the root (f1 = 0 < 0.5) and must score
+		// the shallow leaf's class 1 regardless of f0.
+		X: []float32{
+			inf, 0,
+			-inf, 0,
+			nan, 0,
+			3, 0,
+		},
+	}
+	hb := NewHummingbird(hw.DefaultGPU())
+	res, err := hb.Score(&backend.Request{Forest: f, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compileHB(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.strategy != "ptt" {
+		t.Fatalf("forest compiled with %q, the regression needs the PTT strategy", prog.strategy)
+	}
+	for i := 0; i < data.NumRecords(); i++ {
+		want := f.PredictClass(data.Row(i))
+		if want != 1 {
+			t.Fatalf("row %d: naive traversal gives %d, test construction expects 1", i, want)
+		}
+		if res.Predictions[i] != want {
+			t.Errorf("row %d (f0=%v): PTT predicted %d, naive traversal %d",
+				i, data.Row(i)[0], res.Predictions[i], want)
+		}
 	}
 }

@@ -117,3 +117,47 @@ func WriteFig11CSV(w io.Writer, rows []Fig11Row) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteFig1CSV writes the concept grid as long-form CSV
+// (records,complexity,device).
+func WriteFig1CSV(w io.Writer, r *Fig1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"records", "complexity", "device"}); err != nil {
+		return err
+	}
+	for i, row := range r.Cells {
+		for j, cell := range row {
+			if err := cw.Write([]string{r.RowLabels[i], r.ColLabels[j], cell}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV writes the FPGA breakdown bars as long-form CSV
+// (dataset,trees,depth,records,component,duration_ns).
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "trees", "depth", "records", "component", "duration_ns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, c := range r.Components {
+			rec := []string{
+				r.Dataset,
+				strconv.Itoa(r.Trees),
+				strconv.Itoa(r.Depth),
+				strconv.FormatInt(r.Records, 10),
+				c.Name,
+				strconv.FormatInt(c.Duration.Nanoseconds(), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -246,3 +246,82 @@ func TestEstimateMatchesCachedMissRun(t *testing.T) {
 		t.Fatalf("cold cached Run total %v != Estimate total %v", run.Timeline.Total(), est.Total())
 	}
 }
+
+// TestCacheReplaceBlobRelowersAndKeepsOldEntry extends the invalidation
+// test down to the blob level: replacing the stored bytes in place (same
+// model name) must make the next query miss, pay the full deserialize +
+// compile cost again, and leave BOTH compiled entries resident (the stale
+// one stops matching and ages out of the LRU rather than being purged).
+func TestCacheReplaceBlobRelowersAndKeepsOldEntry(t *testing.T) {
+	p, _, data := newCachedPipeline(t, 6, 8, 250)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_ONNX'"
+
+	cold, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("warm query missed")
+	}
+
+	f2, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees:  6,
+		Tree:      forest.TrainConfig{MaxDepth: 8},
+		Seed:      4242, // different seed => different trees, same shape
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.DeleteModel("iris_rf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.StoreModel("iris_rf", f2); err != nil {
+		t.Fatal(err)
+	}
+
+	missesBefore := p.Cache.Stats().Misses
+	replaced, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced.CacheHit {
+		t.Fatal("replaced blob served from the stale entry")
+	}
+	st := replaced.CacheStats
+	if st.Misses != missesBefore+1 {
+		t.Fatalf("misses %d -> %d, want one new miss", missesBefore, st.Misses)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d after replacement, want stale + fresh", st.Entries)
+	}
+
+	// The miss must pay full model pre-processing again (re-lowering), the
+	// same order as the original cold query and far above the hit cost.
+	coldPre := cold.Timeline.Component(pipeline.StageModelPreproc)
+	warmPre := warm.Timeline.Component(pipeline.StageModelPreproc)
+	replPre := replaced.Timeline.Component(pipeline.StageModelPreproc)
+	if replPre <= warmPre*10 {
+		t.Fatalf("replacement preproc %v not re-lowered (hit cost %v, cold %v)", replPre, warmPre, coldPre)
+	}
+
+	want := f2.PredictBatch(data)
+	for i := range want {
+		if replaced.Predictions[i] != want[i] {
+			t.Fatalf("prediction %d not from the replacement model", i)
+		}
+	}
+
+	// And the replacement itself is now cached.
+	again, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("replacement model not cached after its miss")
+	}
+}

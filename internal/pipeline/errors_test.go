@@ -1,0 +1,145 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+	"accelscore/internal/pipeline"
+)
+
+// TestModelReplacedMidStreamCorruptThenValid covers the operational
+// sequence of a model push going wrong between queries: a working model is
+// replaced in place by a corrupt blob (the next query must fail in model
+// pre-processing without poisoning the compiled-model cache), then by a
+// valid retrained blob (the next query must miss, re-lower, and score with
+// the new model).
+func TestModelReplacedMidStreamCorruptThenValid(t *testing.T) {
+	p, _, data := newCachedPipeline(t, 4, 8, 150)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
+
+	if _, err := p.ExecQuery(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace with garbage: deserialization must fail loudly.
+	if err := p.DB.DeleteModel("iris_rf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.StoreModelBlob("iris_rf", []byte("not an RFX blob")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.ExecQuery(q)
+	if err == nil {
+		t.Fatal("corrupt model blob scored")
+	}
+	if !strings.Contains(err.Error(), "model pre-processing") {
+		t.Fatalf("corrupt blob error %q does not name the failing stage", err)
+	}
+
+	// Replace with a valid, very different model: the next query must score
+	// with it (no stale entry, no residue from the failed query).
+	f2, err := forest.Train(dataset.Iris(), forest.ForestConfig{
+		NumTrees: 1,
+		Tree:     forest.TrainConfig{MaxDepth: 1},
+		Seed:     321,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := model.Marshal(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.DeleteModel("iris_rf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DB.StoreModelBlob("iris_rf", blob2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.ExecQuery(q)
+	if err != nil {
+		t.Fatalf("valid replacement rejected: %v", err)
+	}
+	if res.CacheHit {
+		t.Fatal("replacement blob served from cache")
+	}
+	want := f2.PredictBatch(data)
+	for i := range want {
+		if res.Predictions[i] != want[i] {
+			t.Fatalf("prediction %d not from the replacement model", i)
+		}
+	}
+}
+
+// TestLimitBeyondTableClamps: @limit larger than the table is a clamp, not
+// an error (Head semantics), and the prediction count reflects the table.
+func TestLimitBeyondTableClamps(t *testing.T) {
+	p, _, _ := newPipeline(t, 2, 6, 80)
+	res, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_ONNX', @limit=10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != 80 {
+		t.Fatalf("over-large @limit produced %d predictions, table has 80 rows", len(res.Predictions))
+	}
+}
+
+// TestScoreProcParamErrors pins the remaining sp_score_model parameter
+// error paths: numeric @data, and the type-before-value ordering for a
+// negative string... i.e. @limit reported as a type problem even when the
+// string would also be an invalid value.
+func TestScoreProcParamErrors(t *testing.T) {
+	p, _, _ := newPipeline(t, 2, 6, 50)
+	if _, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data=7"); err == nil {
+		t.Fatal("numeric @data accepted")
+	}
+	_, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @limit='-3'")
+	if err == nil {
+		t.Fatal("string @limit accepted")
+	}
+	if !strings.Contains(err.Error(), "must be a number") {
+		t.Fatalf("string @limit '-3' reported %q, want the type error first", err)
+	}
+}
+
+// TestScoringTableUnchangedByFailedQuery: a query that fails at the engine
+// (RAPIDS on multi-class) must not leave a predictions table behind or
+// mutate the input table.
+func TestScoringTableUnchangedByFailedQuery(t *testing.T) {
+	p, _, _ := newPipeline(t, 2, 6, 60)
+	tbl, err := p.DB.Table("iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionBefore := tbl.Version()
+	if _, err := p.ExecQuery("EXEC sp_score_model @model='iris_rf', @data='iris', @backend='GPU_RAPIDS'"); err == nil {
+		t.Fatal("RAPIDS accepted the 3-class model")
+	}
+	if got := tbl.Version(); got != versionBefore {
+		t.Fatalf("failed query mutated the input table (version %d -> %d)", versionBefore, got)
+	}
+	for _, name := range p.DB.TableNames() {
+		if name == "predictions" {
+			t.Fatal("failed query registered a predictions table")
+		}
+	}
+}
+
+// TestUncachedPipelineNeverReportsHits guards the zero-value contract:
+// without a cache, CacheHit and CacheStats stay zero across repeats.
+func TestUncachedPipelineNeverReportsHits(t *testing.T) {
+	p, _, _ := newPipeline(t, 2, 6, 50)
+	q := "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
+	for pass := 0; pass < 2; pass++ {
+		res, err := p.ExecQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit || res.CacheStats != (pipeline.CacheStats{}) {
+			t.Fatalf("pass %d: cacheless pipeline reported hit=%v stats=%v", pass, res.CacheHit, res.CacheStats)
+		}
+	}
+}
