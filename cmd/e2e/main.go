@@ -6,7 +6,7 @@
 // Usage:
 //
 //	e2e [-dataset IRIS|HIGGS] [-trees N] [-depth N] [-records N]
-//	    [-backend NAME|auto] [-tight]
+//	    [-backend NAME|auto] [-tight] [-trace out.json]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"accelscore/internal/db"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
+	"accelscore/internal/obs"
 	"accelscore/internal/pipeline"
 	"accelscore/internal/platform"
 	"accelscore/internal/sim"
@@ -30,15 +31,16 @@ func main() {
 	records := flag.Int("records", 10000, "records to score")
 	backendName := flag.String("backend", "auto", "backend name or 'auto'")
 	tight := flag.Bool("tight", false, "use the tightly-integrated (in-process) pipeline")
+	tracePath := flag.String("trace", "", "write the query's Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	if err := run(*ds, *trees, *depth, *records, *backendName, *tight); err != nil {
+	if err := run(*ds, *trees, *depth, *records, *backendName, *tight, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "e2e:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, trees, depth, records int, backendName string, tight bool) error {
+func run(ds string, trees, depth, records int, backendName string, tight bool, tracePath string) error {
 	var data *dataset.Dataset
 	switch ds {
 	case "IRIS":
@@ -87,6 +89,11 @@ func run(ds string, trees, depth, records int, backendName string, tight bool) e
 		Registry: tb.Registry,
 		Advisor:  tb.Advisor,
 	}
+	var o *obs.Observer
+	if tracePath != "" {
+		o = obs.NewObserver()
+		p.Obs = o
+	}
 
 	query := fmt.Sprintf("EXEC sp_score_model @model = 'rf_model', @data = 'scoring_data', @backend = '%s'", backendName)
 	fmt.Println("executing:", query)
@@ -103,5 +110,25 @@ func run(ds string, trees, depth, records int, backendName string, tight bool) e
 	fmt.Printf("simulated end-to-end latency: %s, scoring throughput: %.2f M records/s\n",
 		sim.FormatDuration(res.Timeline.Total()),
 		sim.Throughput(len(res.Predictions), res.ScoringDetail.Total())/1e6)
+
+	if tracePath != "" {
+		tr, ok := o.Tracer.Get(res.TraceID)
+		if !ok {
+			return fmt.Errorf("trace %q not retained", res.TraceID)
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace %s to %s (open in chrome://tracing or Perfetto)\n",
+			res.TraceID, tracePath)
+	}
 	return nil
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-fig 1|7|8|9|10|11|headline|ext|report|all] [-out DIR] [-csv]
+//	      [-trace out.json]
 package main
 
 import (
@@ -14,12 +15,14 @@ import (
 	"strings"
 
 	"accelscore/internal/experiments"
+	"accelscore/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 1, 7, 8, 9, 10, 11, headline, ext, report, or all")
 	out := flag.String("out", "", "directory to write per-figure .txt files (default: stdout)")
 	csvOut := flag.Bool("csv", false, "also write machine-readable .csv files (requires -out)")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the pipeline queries run while building figures")
 	flag.Parse()
 
 	if *csvOut && *out == "" {
@@ -27,10 +30,21 @@ func main() {
 		os.Exit(1)
 	}
 	s := experiments.NewSuite()
+	var o *obs.Observer
+	if *tracePath != "" {
+		o = obs.NewObserver()
+		s.Pipe.Obs = o
+	}
 	sections, err := build(s, *fig, *csvOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(o, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
 	}
 	if *out == "" {
 		for _, sec := range sections {
@@ -52,6 +66,29 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 	}
+}
+
+// writeTrace dumps every trace the suite's pipeline retained — the Fig. 11
+// estimates route through pipeline.Estimate, so -fig 11 (or all) records one
+// trace per table/backend pair.
+func writeTrace(o *obs.Observer, path string) error {
+	n := o.Tracer.Len()
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "repro: warning: no pipeline queries ran for this figure; trace will be empty")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d traces to %s (open in chrome://tracing or Perfetto)\n", n, path)
+	return nil
 }
 
 type section struct {

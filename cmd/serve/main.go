@@ -1,6 +1,10 @@
 // Command serve exposes the reproduction as a small web dashboard: each
 // paper figure regenerates on request and renders as preformatted text, so
-// results can be browsed without a terminal.
+// results can be browsed without a terminal. The server is also the live
+// observability surface: every query it runs is metered and traced, and the
+// telemetry is exported on /metrics (Prometheus text format), /debug/queries
+// (recent queries with stage breakdowns) and /debug/trace/<id> (Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto).
 //
 // Usage:
 //
@@ -8,21 +12,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
-	"accelscore/internal/dataset"
-	"accelscore/internal/db"
 	"accelscore/internal/experiments"
-	"accelscore/internal/forest"
-	"accelscore/internal/hw"
-	"accelscore/internal/pipeline"
-	"accelscore/internal/platform"
+	"accelscore/internal/obs"
 )
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
@@ -60,22 +65,151 @@ var nav = []navEntry{
 	{"/fig/11", "Fig. 11"},
 	{"/fig/ext", "Extensions"},
 	{"/fig/hotpath", "Hot path"},
+	{"/query", "Run query"},
+	{"/debug/queries", "Recent queries"},
+	{"/metrics", "Metrics"},
 }
 
-// server regenerates figures on demand.
+// server regenerates figures on demand and runs live queries against a
+// persistent demo environment. Handlers run concurrently, so every access to
+// suite and demo — neither of which is internally synchronized — holds mu.
+// The obs.Observer itself is concurrency-safe and is shared by both
+// pipelines, so /metrics and /debug read it without the lock.
 type server struct {
+	mu    sync.Mutex
 	suite *experiments.Suite
+	demo  *experiments.Demo
+	obs   *obs.Observer
+
+	// demoRecords sizes freshly built hot-path demos (tests shrink it).
+	demoRecords int
+}
+
+// newServer builds the shared state and the routed handler. demoRecords <= 0
+// means the default demo size.
+func newServer(demoRecords int) (*server, http.Handler, error) {
+	demo, err := experiments.NewDemo(demoRecords)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &server{
+		suite:       experiments.NewSuite(),
+		demo:        demo,
+		obs:         obs.NewObserver(),
+		demoRecords: demoRecords,
+	}
+	s.suite.Pipe.Obs = s.obs
+	s.demo.Pipe.Obs = s.obs
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/fig/", s.handleFig)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	return s, s.withLogging(mux), nil
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
-	s := &server{suite: experiments.NewSuite()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/fig/", s.handleFig)
-	log.Printf("accelscore dashboard listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	_, handler, err := newServer(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("accelscore dashboard listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}
+}
+
+// HTTP telemetry metric names.
+const (
+	// MetricHTTPRequestsTotal counts requests by route and status code.
+	MetricHTTPRequestsTotal = "accelscore_http_requests_total"
+	// MetricHTTPRequestSeconds is the request latency histogram by route.
+	MetricHTTPRequestSeconds = "accelscore_http_request_seconds"
+)
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel maps a request path to a bounded metric label so an attacker
+// probing random URLs cannot blow up metric cardinality.
+func routeLabel(path string) string {
+	switch {
+	case path == "/":
+		return "/"
+	case path == "/query":
+		return "/query"
+	case path == "/metrics":
+		return "/metrics"
+	case path == "/debug/queries":
+		return "/debug/queries"
+	case strings.HasPrefix(path, "/debug/trace/"):
+		return "/debug/trace/:id"
+	case strings.HasPrefix(path, "/fig/"):
+		return "/fig/:fig"
+	default:
+		return "other"
+	}
+}
+
+// withLogging wraps the mux with request logging and HTTP-level metrics.
+func (s *server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		s.obs.Metrics().Counter(MetricHTTPRequestsTotal,
+			"HTTP requests served, by route and status code.",
+			"route", route, "code", fmt.Sprint(sw.code)).Inc()
+		s.obs.Metrics().Histogram(MetricHTTPRequestSeconds,
+			"HTTP request latency in seconds, by route.",
+			obs.DefBuckets, "route", route).Observe(elapsed.Seconds())
+		log.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.code, elapsed.Round(time.Microsecond))
+	})
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -85,7 +219,11 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	s.render(w, "Index", "Pick a figure from the navigation bar above.\n\n"+
 		"Figures 7-11 mirror the paper's evaluation section; Extensions holds\n"+
-		"the dynamic-scheduling, LogCA and calibration-sensitivity studies.")
+		"the dynamic-scheduling, LogCA and calibration-sensitivity studies.\n\n"+
+		"Observability: \"Run query\" scores the demo table through the\n"+
+		"instrumented pipeline; /metrics exposes Prometheus counters and\n"+
+		"latency histograms; /debug/queries lists recent queries with their\n"+
+		"per-stage breakdowns and downloadable Chrome traces.")
 }
 
 func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
@@ -98,8 +236,120 @@ func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
 	s.render(w, "Figure "+fig, body)
 }
 
-// build regenerates one figure's text rendering.
+// handleQuery runs the canonical demo scoring query through the persistent,
+// instrumented pipeline and shows the result with a link to its trace.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	res, err := s.demo.Pipe.ExecQuery(experiments.DemoQuery)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("query: " + experiments.DemoQuery + "\n\n")
+	fmt.Fprintf(&sb, "backend          %s\n", res.Backend)
+	fmt.Fprintf(&sb, "records scored   %d\n", len(res.Predictions))
+	fmt.Fprintf(&sb, "model cache      hit=%v\n", res.CacheHit)
+	fmt.Fprintf(&sb, "simulated total  %v\n", res.Timeline.Total().Round(time.Microsecond))
+	fmt.Fprintf(&sb, "trace            %s (download: /debug/trace/%s)\n", res.TraceID, res.TraceID)
+	sb.WriteString("\nsimulated per-stage breakdown (Fig. 11 stages):\n")
+	for _, row := range res.Timeline.Aggregate().Rows {
+		fmt.Fprintf(&sb, "  %-28s %v\n", row.Name, row.Duration)
+	}
+	sb.WriteString("\nRe-run this page to watch the warm path: the model cache hit flips\n" +
+		"to true and model pre-processing collapses to checksum cost. The\n" +
+		"/metrics page accumulates every run.")
+	s.render(w, "Run query", sb.String())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("metrics: %v", err)
+	}
+}
+
+// handleDebugQueries lists the tracer's retained queries, newest first, with
+// wall-clock and simulated stage breakdowns.
+func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	recent := s.obs.Tracer.Recent()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d recent queries (newest first, ring capacity %d)\n\n",
+		len(recent), obs.DefaultTraceCapacity)
+	for _, tr := range recent { // Recent is already newest-first
+		snap := tr.Snapshot()
+		status := "running"
+		if snap.Done {
+			status = "done"
+			if snap.Attrs["error"] != "" {
+				status = "error: " + snap.Attrs["error"]
+			}
+		}
+		fmt.Fprintf(&sb, "%s  %-22s wall %-12v %s\n",
+			snap.ID, snap.Name, snap.Wall.Round(time.Microsecond), status)
+		for k, v := range snap.Attrs {
+			if k == "error" {
+				continue
+			}
+			fmt.Fprintf(&sb, "    %-26s %s\n", k, v)
+		}
+		for _, span := range snap.WallSpans {
+			fmt.Fprintf(&sb, "    wall  %-26s %v\n", span.Name, span.Duration.Round(time.Microsecond))
+		}
+		for _, track := range snap.Tracks {
+			fmt.Fprintf(&sb, "    track %s (total %v)\n", track.Name, track.Total)
+			for _, span := range track.Spans {
+				fmt.Fprintf(&sb, "      [%-8s] %-26s %v\n", span.Kind, span.Name, span.Duration)
+			}
+		}
+		fmt.Fprintf(&sb, "    download: /debug/trace/%s\n\n", snap.ID)
+	}
+	if len(recent) == 0 {
+		sb.WriteString("No queries traced yet — visit /query or /fig/hotpath first.\n")
+	}
+	s.render(w, "Recent queries", sb.String())
+}
+
+// handleDebugTrace serves one retained trace as downloadable Chrome
+// trace-event JSON.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" {
+		http.Error(w, "trace id required: /debug/trace/<id>", http.StatusBadRequest)
+		return
+	}
+	tr, ok := s.obs.Tracer.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("trace %q not retained (ring keeps the last %d)",
+			id, obs.DefaultTraceCapacity), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".json"))
+	if err := tr.WriteChromeTrace(w); err != nil {
+		log.Printf("trace %s: %v", id, err)
+	}
+}
+
+// build regenerates one figure's text rendering. Callers hold no lock; build
+// serializes access to the shared suite itself.
 func (s *server) build(fig string) (string, error) {
+	if fig == "hotpath" {
+		// A fresh demo per request keeps the cold/warm contrast visible; it
+		// shares the server's observer so its queries land in /metrics and
+		// /debug/queries too.
+		demo, err := experiments.NewDemo(s.demoRecords)
+		if err != nil {
+			return "", err
+		}
+		demo.Pipe.Obs = s.obs
+		return demo.HotPathReport()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch fig {
 	case "7":
 		rows, err := s.suite.Fig7()
@@ -158,68 +408,9 @@ func (s *server) build(fig string) (string, error) {
 		return experiments.RenderScheduler(sc) + "\n" +
 			experiments.RenderLogCA(fits) + "\n" +
 			experiments.RenderSensitivity(sens), nil
-	case "hotpath":
-		return buildHotPath()
 	default:
 		return "", fmt.Errorf("unknown figure %q", fig)
 	}
-}
-
-// buildHotPath demonstrates the compiled-model cache live: one cold query
-// against a fresh pipeline, then repeated warm queries against the same
-// pipeline, with the per-stage simulated breakdown, measured wall-clock cost
-// and the cache's hit/miss/eviction counters.
-func buildHotPath() (string, error) {
-	tb := platform.New()
-	d := db.New()
-	data := dataset.Iris().Replicate(2000)
-	tbl, err := db.TableFromDataset("iris", data)
-	if err != nil {
-		return "", err
-	}
-	if err := d.CreateTable(tbl); err != nil {
-		return "", err
-	}
-	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
-		NumTrees:  32,
-		Tree:      forest.TrainConfig{MaxDepth: 10},
-		Seed:      1,
-		Bootstrap: true,
-	})
-	if err != nil {
-		return "", err
-	}
-	if err := d.StoreModel("iris_rf", f); err != nil {
-		return "", err
-	}
-	p := &pipeline.Pipeline{DB: d, Runtime: hw.DefaultRuntime(), Registry: tb.Registry,
-		Cache: pipeline.NewModelCache(8)}
-
-	const query = "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
-	var sb strings.Builder
-	sb.WriteString("Compiled-model cache on repeated scoring queries\n")
-	sb.WriteString("query: " + query + "\n\n")
-	for i := 0; i < 4; i++ {
-		t0 := time.Now()
-		res, err := p.ExecQuery(query)
-		if err != nil {
-			return "", err
-		}
-		wall := time.Since(t0)
-		label := "cold (cache miss)"
-		if res.CacheHit {
-			label = "warm (cache hit)"
-		}
-		fmt.Fprintf(&sb, "query %d: %-17s wall-clock %-12v simulated model-preproc %-12v simulated total %v\n",
-			i+1, label, wall.Round(time.Microsecond),
-			res.Timeline.Component(pipeline.StageModelPreproc),
-			res.Timeline.Total().Round(time.Microsecond))
-	}
-	sb.WriteString("\ncache counters: " + p.Cache.Stats().String() + "\n")
-	sb.WriteString("\nOn a hit the query skips blob deserialization, stats computation and\n" +
-		"kernel lowering; model pre-processing collapses to a checksum check and\n" +
-		"the input table is served from the version-keyed dataset snapshot.\n")
-	return sb.String(), nil
 }
 
 func (s *server) render(w http.ResponseWriter, title, body string) {

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"accelscore/internal/pipeline"
+)
+
+// startTestServer builds the full routed handler (logging middleware
+// included) over a small demo table so tests stay fast.
+func startTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	_, handler, err := newServer(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsAfterQueries is the acceptance check at the HTTP layer: after
+// scoring queries run, GET /metrics returns Prometheus text containing query
+// counters, per-stage latency histograms, backend selection counters and
+// cache hit/miss counters.
+func TestMetricsAfterQueries(t *testing.T) {
+	ts := startTestServer(t)
+	for i := 0; i < 2; i++ {
+		if code, body := get(t, ts.URL+"/query"); code != http.StatusOK {
+			t.Fatalf("/query = %d: %s", code, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, needle := range []string{
+		pipeline.MetricQueriesTotal + `{status="ok"} 2`,
+		pipeline.MetricStageSimSeconds + `_count{stage="model scoring"} 2`,
+		pipeline.MetricBackendSelectedTotal + `{backend="CPU_SKLearn",source="param"} 2`,
+		pipeline.MetricModelCacheEventsTotal + `{event="miss"} 1`,
+		pipeline.MetricModelCacheEventsTotal + `{event="hit"} 1`,
+		MetricHTTPRequestsTotal + `{code="200",route="/query"} 2`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("/metrics missing %q", needle)
+		}
+	}
+}
+
+// TestDebugQueriesAndTraceDownload drives a query, finds it on
+// /debug/queries and downloads its Chrome trace.
+func TestDebugQueriesAndTraceDownload(t *testing.T) {
+	ts := startTestServer(t)
+	if code, body := get(t, ts.URL+"/query"); code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", code, body)
+	}
+
+	if code, body := get(t, ts.URL+"/query"); code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/queries = %d", code)
+	}
+	first := strings.Index(body, "q-000001")
+	second := strings.Index(body, "q-000002")
+	if first < 0 || second < 0 {
+		t.Fatalf("/debug/queries does not list both queries:\n%s", body)
+	}
+	if second > first {
+		t.Error("/debug/queries is not newest-first")
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace/q-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", resp.StatusCode)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "q-000001.json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	if code, _ := get(t, ts.URL+"/debug/trace/q-999999"); code != http.StatusNotFound {
+		t.Errorf("missing trace = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/trace/"); code != http.StatusBadRequest {
+		t.Errorf("empty trace id = %d, want 400", code)
+	}
+}
+
+// TestIndexAndHotPath smoke-tests the dashboard pages that exercise the
+// shared suite and the per-request demo.
+func TestIndexAndHotPath(t *testing.T) {
+	ts := startTestServer(t)
+	if code, body := get(t, ts.URL+"/"); code != http.StatusOK || !strings.Contains(body, "accelscore") {
+		t.Fatalf("index = %d:\n%s", code, body)
+	}
+	code, body := get(t, ts.URL+"/fig/hotpath")
+	if code != http.StatusOK {
+		t.Fatalf("/fig/hotpath = %d", code)
+	}
+	for _, needle := range []string{"cold (cache miss)", "warm (cache hit)"} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("/fig/hotpath missing %q", needle)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/fig/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown figure = %d, want 404", code)
+	}
+}
+
+// TestConcurrentQueries hammers the shared demo pipeline from many
+// goroutines; run under -race this pins the satellite fix for the previously
+// unsynchronized shared state.
+func TestConcurrentQueries(t *testing.T) {
+	ts := startTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				resp, err := http.Get(ts.URL + "/query")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/query = %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, pipeline.MetricQueriesTotal+`{status="ok"} 24`) {
+		t.Error("expected 24 ok queries in /metrics")
+	}
+}
+
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	for path, want := range map[string]string{
+		"/":                    "/",
+		"/query":               "/query",
+		"/fig/7":               "/fig/:fig",
+		"/fig/hotpath":         "/fig/:fig",
+		"/debug/trace/q-00001": "/debug/trace/:id",
+		"/debug/queries":       "/debug/queries",
+		"/metrics":             "/metrics",
+		"/etc/passwd":          "other",
+		"/favicon.ico":         "other",
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -252,18 +252,27 @@ func TableFromDataset(name string, d *dataset.Dataset) (*Table, error) {
 // paper's data pre-processing overhead, §IV-E). The returned dataset is
 // shared — callers must treat it as read-only. Safe for concurrent use.
 func (t *Table) DatasetSnapshot() (*dataset.Dataset, error) {
+	d, _, err := t.DatasetSnapshotCached()
+	return d, err
+}
+
+// DatasetSnapshotCached is DatasetSnapshot plus a hit report: hit is true
+// when the cached conversion was served unchanged, false when the table had
+// to be re-converted. The pipeline feeds the report into its snapshot-cache
+// observability counters.
+func (t *Table) DatasetSnapshotCached() (*dataset.Dataset, bool, error) {
 	v := t.Version()
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
 	if t.snap != nil && t.snapVersion == v {
-		return t.snap, nil
+		return t.snap, true, nil
 	}
 	d, err := DatasetFromTable(t)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	t.snap, t.snapVersion = d, v
-	return d, nil
+	return d, false, nil
 }
 
 // DatasetFromTable converts a table's REAL columns back into a dataset; a

@@ -1,0 +1,35 @@
+package cpuonnx_test
+
+import (
+	"testing"
+
+	"accelscore/internal/engines/cpuonnx"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/sim"
+)
+
+// TestTimelineSpansCarryOLCKinds pins the Fig. 6 contract the observability
+// layer depends on: every span the ONNX engine emits is tagged overhead,
+// transfer or compute, and the three kinds account for the whole timeline.
+func TestTimelineSpansCarryOLCKinds(t *testing.T) {
+	for _, threads := range []int{1, 52} {
+		e := cpuonnx.New(hw.DefaultCPU(), threads)
+		stats := forest.SyntheticStats(32, 8, 28, 2)
+		tl, err := e.Estimate(stats, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range tl.Spans() {
+			switch s.Kind {
+			case sim.KindOverhead, sim.KindTransfer, sim.KindCompute:
+			default:
+				t.Errorf("%s: span %q has non-O/L/C kind %v", e.Name(), s.Name, s.Kind)
+			}
+		}
+		sum := tl.TotalKind(sim.KindOverhead) + tl.TotalKind(sim.KindTransfer) + tl.TotalKind(sim.KindCompute)
+		if sum != tl.Total() {
+			t.Errorf("%s: O+L+C = %v, total = %v", e.Name(), sum, tl.Total())
+		}
+	}
+}

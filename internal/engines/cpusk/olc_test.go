@@ -1,0 +1,34 @@
+package cpusk_test
+
+import (
+	"testing"
+
+	"accelscore/internal/engines/cpusk"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/sim"
+)
+
+// TestTimelineSpansCarryOLCKinds pins the Fig. 6 contract the observability
+// layer depends on: every span an engine emits is tagged overhead, transfer
+// or compute — never the pipeline kind — so the live per-kind counters
+// account for all simulated scoring time.
+func TestTimelineSpansCarryOLCKinds(t *testing.T) {
+	e := cpusk.New(hw.DefaultCPU(), 4)
+	stats := forest.SyntheticStats(32, 8, 28, 2)
+	tl, err := e.Estimate(stats, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tl.Spans() {
+		switch s.Kind {
+		case sim.KindOverhead, sim.KindTransfer, sim.KindCompute:
+		default:
+			t.Errorf("span %q has non-O/L/C kind %v", s.Name, s.Kind)
+		}
+	}
+	sum := tl.TotalKind(sim.KindOverhead) + tl.TotalKind(sim.KindTransfer) + tl.TotalKind(sim.KindCompute)
+	if sum != tl.Total() {
+		t.Errorf("O+L+C = %v, total = %v", sum, tl.Total())
+	}
+}

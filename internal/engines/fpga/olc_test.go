@@ -1,0 +1,37 @@
+package fpga_test
+
+import (
+	"testing"
+
+	"accelscore/internal/engines/fpga"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/sim"
+)
+
+// TestTimelineSpansCarryOLCKinds pins the Fig. 6 contract the observability
+// layer depends on: every span the FPGA engine emits is tagged overhead,
+// transfer or compute, and the three kinds account for the whole timeline
+// (the overlapped streaming span is retained at zero incremental cost, so
+// the identity still holds).
+func TestTimelineSpansCarryOLCKinds(t *testing.T) {
+	e := fpga.New(hw.DefaultFPGA())
+	for _, records := range []int64{1, 10_000} {
+		stats := forest.SyntheticStats(32, 8, 28, 2)
+		tl, err := e.Estimate(stats, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range tl.Spans() {
+			switch s.Kind {
+			case sim.KindOverhead, sim.KindTransfer, sim.KindCompute:
+			default:
+				t.Errorf("records=%d: span %q has non-O/L/C kind %v", records, s.Name, s.Kind)
+			}
+		}
+		sum := tl.TotalKind(sim.KindOverhead) + tl.TotalKind(sim.KindTransfer) + tl.TotalKind(sim.KindCompute)
+		if sum != tl.Total() {
+			t.Errorf("records=%d: O+L+C = %v, total = %v", records, sum, tl.Total())
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"accelscore/internal/sim"
+)
+
+func sampleTimeline() *sim.Timeline {
+	var tl sim.Timeline
+	tl.Add("Python invocation", sim.KindPipeline, 5*time.Millisecond)
+	tl.Add("data transfer", sim.KindTransfer, 2*time.Millisecond)
+	tl.Add("model scoring", sim.KindCompute, 7*time.Millisecond)
+	tl.Add("post-processing", sim.KindPipeline, 1*time.Millisecond)
+	return &tl
+}
+
+func TestTracerIDsAndRing(t *testing.T) {
+	tr := NewTracer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, tr.Start("q").ID())
+	}
+	if ids[0] == "" || ids[0] == ids[1] {
+		t.Fatalf("ids not unique: %v", ids)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("ring length = %d, want 3", tr.Len())
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if _, ok := tr.Get(ids[4]); !ok {
+		t.Fatal("latest trace not retrievable")
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 || recent[0].ID() != ids[4] || recent[2].ID() != ids[2] {
+		t.Fatalf("Recent not newest-first: %v %v %v", recent[0].ID(), recent[1].ID(), recent[2].ID())
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.SetAttr("k", "v")
+	tr.AddTimeline("t", sampleTimeline())
+	tr.Finish()
+	if tr.ID() != "" || tr.Name() != "" {
+		t.Fatal("nil trace has identity")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil trace export did not error")
+	}
+	var tc *Tracer
+	if tc.Start("x") != nil {
+		t.Fatal("nil tracer started a trace")
+	}
+	if tc.Len() != 0 || tc.Recent() != nil {
+		t.Fatal("nil tracer has contents")
+	}
+}
+
+// chromeFile mirrors the trace-event JSON envelope for unmarshalling.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceRoundTrip verifies the export is valid Chrome trace-event
+// JSON and that the simulated track's span structure matches the recorded
+// sim.Timeline stage for stage.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tc := NewTracer(8)
+	tr := tc.Start("sp_score_model")
+	end := tr.StartSpan("model scoring")
+	end()
+	tr.SetAttr("backend", "FPGA")
+	tl := sampleTimeline()
+	tr.AddTimeline("simulated end-to-end (Fig. 11)", tl)
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	// Find the simulated track's tid via its thread_name metadata event.
+	simTID := -1
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "simulated end-to-end (Fig. 11)" {
+			simTID = ev.TID
+		}
+	}
+	if simTID < 0 {
+		t.Fatal("simulated track has no thread_name metadata")
+	}
+
+	// Collect its X events in order; they must match the timeline's spans in
+	// name, kind category, duration, and sequential layout.
+	spans := tl.Spans()
+	var cursor float64
+	idx := 0
+	for _, ev := range file.TraceEvents {
+		if ev.TID != simTID || ev.Ph != "X" {
+			continue
+		}
+		if idx >= len(spans) {
+			t.Fatalf("more sim events than timeline spans (%d)", len(spans))
+		}
+		want := spans[idx]
+		if ev.Name != want.Name {
+			t.Errorf("span %d name = %q, want %q", idx, ev.Name, want.Name)
+		}
+		if ev.Cat != want.Kind.String() {
+			t.Errorf("span %d cat = %q, want %q", idx, ev.Cat, want.Kind.String())
+		}
+		if wantDur := float64(want.Duration.Nanoseconds()) / 1e3; ev.Dur != wantDur {
+			t.Errorf("span %d dur = %v, want %v", idx, ev.Dur, wantDur)
+		}
+		if ev.TS != cursor {
+			t.Errorf("span %d ts = %v, want %v (sequential layout)", idx, ev.TS, cursor)
+		}
+		cursor += float64(want.Duration.Nanoseconds()) / 1e3
+		idx++
+	}
+	if idx != len(spans) {
+		t.Fatalf("simulated track has %d events, timeline has %d spans", idx, len(spans))
+	}
+
+	// The wall-clock track carries the measured span and the attrs instant.
+	foundWall, foundAttrs := false, false
+	for _, ev := range file.TraceEvents {
+		if ev.TID == 1 && ev.Ph == "X" && ev.Name == "model scoring" && ev.Cat == "wall" {
+			foundWall = true
+		}
+		if ev.Ph == "i" && ev.Args["backend"] == "FPGA" {
+			foundAttrs = true
+		}
+	}
+	if !foundWall {
+		t.Error("wall-clock span missing")
+	}
+	if !foundAttrs {
+		t.Error("attrs instant event missing")
+	}
+}
+
+// TestTracerCombinedExport checks the multi-trace export keeps traces apart
+// by pid and remains valid JSON.
+func TestTracerCombinedExport(t *testing.T) {
+	tc := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr := tc.Start(fmt.Sprintf("query-%d", i))
+		tr.AddTimeline("sim", sampleTimeline())
+		tr.Finish()
+	}
+	var buf bytes.Buffer
+	if err := tc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("combined export invalid: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		pids[ev.PID] = true
+	}
+	if len(pids) != 3 {
+		t.Fatalf("combined export has %d pids, want 3", len(pids))
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tc := NewTracer(2)
+	tr := tc.Start("q")
+	end := tr.StartSpan("stage")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddTimeline("sim", sampleTimeline())
+	tr.Finish()
+	snap := tr.Snapshot()
+	if !snap.Done || snap.Wall <= 0 {
+		t.Fatalf("snapshot not finished: %+v", snap)
+	}
+	if len(snap.WallSpans) != 1 || snap.WallSpans[0].Duration <= 0 {
+		t.Fatalf("wall spans = %+v", snap.WallSpans)
+	}
+	if len(snap.Tracks) != 1 || snap.Tracks[0].Total != 15*time.Millisecond {
+		t.Fatalf("tracks = %+v", snap.Tracks)
+	}
+}

@@ -98,20 +98,24 @@ func (c *ModelCache) lookup(key string) (*cacheEntry, bool) {
 	return nil, false
 }
 
-// store inserts (or refreshes) an entry and evicts beyond capacity.
-func (c *ModelCache) store(e *cacheEntry) {
+// store inserts (or refreshes) an entry and evicts beyond capacity,
+// returning how many entries were evicted so callers can publish the events.
+func (c *ModelCache) store(e *cacheEntry) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[e.key]; ok {
 		// A racing query compiled the same model; keep the existing entry.
 		c.ll.MoveToFront(el)
-		return
+		return 0
 	}
 	c.index[e.key] = c.ll.PushFront(e)
+	evicted := 0
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.index, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+		evicted++
 	}
+	return evicted
 }

@@ -10,7 +10,9 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"accelscore/internal/backend"
 	"accelscore/internal/core"
@@ -20,6 +22,7 @@ import (
 	"accelscore/internal/hw"
 	"accelscore/internal/kernel"
 	"accelscore/internal/model"
+	"accelscore/internal/obs"
 	"accelscore/internal/sim"
 )
 
@@ -35,6 +38,45 @@ const (
 	StageDataPreproc      = "data pre-processing"
 	StageModelScoring     = "model scoring"
 	StagePostprocessing   = "post-processing"
+)
+
+// Metric names the pipeline publishes into an attached obs.Observer.
+// Simulated durations carry the _sim_ infix; wall-clock ones do not.
+const (
+	// MetricQueriesTotal counts scoring queries by terminal status
+	// {status="ok"|"error"}.
+	MetricQueriesTotal = "accelscore_queries_total"
+	// MetricStatementsTotal counts parsed statements by kind
+	// {kind="select"|"create"|"insert"|"exec"|"parse_error"}.
+	MetricStatementsTotal = "accelscore_statements_total"
+	// MetricQueryWallSeconds is the measured wall-clock histogram of
+	// successful scoring queries.
+	MetricQueryWallSeconds = "accelscore_query_wall_seconds"
+	// MetricStageSimSeconds is the simulated per-stage latency histogram
+	// {stage=<Fig. 11 stage name>}.
+	MetricStageSimSeconds = "accelscore_stage_sim_seconds"
+	// MetricBackendSimSeconds is the simulated scoring-stage latency
+	// histogram {backend=<engine name>}.
+	MetricBackendSimSeconds = "accelscore_backend_sim_seconds"
+	// MetricBackendSelectedTotal counts scoring-backend resolutions
+	// {backend, source="param"|"advisor"|"default"}.
+	MetricBackendSelectedTotal = "accelscore_backend_selected_total"
+	// MetricAdvisorDecisionsTotal counts offload-advisor picks
+	// {backend=<chosen engine>}.
+	MetricAdvisorDecisionsTotal = "accelscore_advisor_decisions_total"
+	// MetricOLCSimSecondsTotal accumulates the scoring detail by the Fig. 6
+	// taxonomy {backend, kind="overhead"|"transfer"|"compute"}.
+	MetricOLCSimSecondsTotal = "accelscore_olc_sim_seconds_total"
+	// MetricModelCacheEventsTotal counts compiled-model cache activity
+	// {event="hit"|"miss"|"eviction"}.
+	MetricModelCacheEventsTotal = "accelscore_model_cache_events_total"
+	// MetricModelCacheEntries gauges the resident compiled models.
+	MetricModelCacheEntries = "accelscore_model_cache_entries"
+	// MetricSnapshotCacheEventsTotal counts dataset snapshot-cache activity
+	// {event="hit"|"miss"}.
+	MetricSnapshotCacheEventsTotal = "accelscore_snapshot_cache_events_total"
+	// MetricEstimatesTotal counts Estimate calls {backend=<engine name>}.
+	MetricEstimatesTotal = "accelscore_estimates_total"
 )
 
 // Pipeline executes scoring queries end to end.
@@ -59,6 +101,11 @@ type Pipeline struct {
 	// datasets through their version-keyed snapshot cache. Nil reproduces
 	// the paper's baseline, which redoes all pre-processing per query.
 	Cache *ModelCache
+	// Obs, when set, publishes per-query telemetry: stage/backend latency
+	// histograms, query/error/cache/advisor counters into Obs.Registry, and
+	// one trace per query (wall-clock spans plus the simulated Fig. 11 and
+	// Fig. 7 timelines) into Obs.Tracer. Nil disables all publication.
+	Obs *obs.Observer
 }
 
 // QueryResult is the outcome of an end-to-end scoring query.
@@ -81,6 +128,9 @@ type QueryResult struct {
 	// CacheStats snapshots the cache counters after the query (zero value
 	// when the pipeline has no cache).
 	CacheStats CacheStats
+	// TraceID identifies the query's trace in the pipeline's observer
+	// (empty when no observer with a tracer is attached).
+	TraceID string
 }
 
 // ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
@@ -88,21 +138,26 @@ type QueryResult struct {
 func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
 	st, err := db.Parse(sql)
 	if err != nil {
+		p.countStatement("parse_error")
 		return nil, err
 	}
 	switch s := st.(type) {
 	case *db.SelectStmt:
+		p.countStatement("select")
 		tbl, err := p.DB.Select(s)
 		if err != nil {
 			return nil, err
 		}
 		return &QueryResult{Table: tbl}, nil
 	case *db.CreateStmt:
+		p.countStatement("create")
 		return &QueryResult{}, p.DB.Create(s)
 	case *db.InsertStmt:
+		p.countStatement("insert")
 		_, err := p.DB.InsertRows(s)
 		return &QueryResult{}, err
 	case *db.ExecStmt:
+		p.countStatement("exec")
 		if !strings.EqualFold(s.Proc, ScoreProcName) {
 			return nil, fmt.Errorf("pipeline: unknown procedure %q", s.Proc)
 		}
@@ -116,7 +171,18 @@ func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
 //
 //	EXEC sp_score_model @model = '<model>', @data = '<table>'
 //	     [, @backend = '<name>|auto'] [, @limit = n]
-func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
+func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (res *QueryResult, err error) {
+	// Failures before the stage loop (bad parameters, missing model or
+	// table) never reach run's own accounting, so count them here.
+	reachedRun := false
+	defer func() {
+		if err != nil && !reachedRun {
+			if reg := p.Obs.Metrics(); reg != nil {
+				reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
+					"status", "error").Inc()
+			}
+		}
+	}()
 	modelName, ok := ex.Params["model"]
 	if !ok || !modelName.IsString {
 		return nil, fmt.Errorf("pipeline: %s requires @model = '<name>'", ScoreProcName)
@@ -146,7 +212,17 @@ func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
 	}
 	var data *dataset.Dataset
 	if p.Cache != nil {
-		data, err = tbl.DatasetSnapshot()
+		var snapHit bool
+		data, snapHit, err = tbl.DatasetSnapshotCached()
+		if reg := p.Obs.Metrics(); reg != nil && err == nil {
+			ev := "miss"
+			if snapHit {
+				ev = "hit"
+			}
+			reg.Counter(MetricSnapshotCacheEventsTotal,
+				"Dataset snapshot cache activity on the scoring-query input path.",
+				"event", ev).Inc()
+		}
 	} else {
 		data, err = db.DatasetFromTable(tbl)
 	}
@@ -173,6 +249,7 @@ func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
 		}
 		backendName = b.S
 	}
+	reachedRun = true
 	return p.run(modelName.S, blob, data, backendName)
 }
 
@@ -185,10 +262,17 @@ func (p *Pipeline) Run(blob []byte, data *dataset.Dataset, backendName string) (
 // run is the stage loop behind Run and ScoreProc. modelName (may be empty
 // for direct Run calls) only contributes to the cache key; the blob checksum
 // does the real identification.
-func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
-	res := &QueryResult{}
+func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, backendName string) (res *QueryResult, err error) {
+	res = &QueryResult{}
 	records := int64(data.NumRecords())
 	features := int64(data.NumFeatures())
+
+	tr := p.Obs.StartTrace(ScoreProcName)
+	res.TraceID = tr.ID()
+	tr.SetAttr("model", modelName)
+	tr.SetAttr("records", strconv.FormatInt(records, 10))
+	start := time.Now()
+	defer func() { p.observeQuery(tr, start, res, err) }()
 
 	// Cache probe: recomputing the blob checksum on every query is the
 	// invalidation mechanism — a replaced model produces a different key and
@@ -204,6 +288,13 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 		key = cacheKey(modelName, blob)
 		if e, ok := p.Cache.lookup(key); ok {
 			f, compiled, stats, hit = e.forest, e.compiled, e.stats, true
+		}
+		if reg := p.Obs.Metrics(); reg != nil {
+			ev := "miss"
+			if hit {
+				ev = "hit"
+			}
+			reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", ev).Inc()
 		}
 	}
 
@@ -223,10 +314,10 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 	// the flat kernel form, or, on a hit, just the checksum verification the
 	// cache probe performed (near-zero: the Fig. 11 "tightly integrated"
 	// model cost, reproduced by the cache).
+	endPreproc := tr.StartSpan(StageModelPreproc)
 	if hit {
 		res.Timeline.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelCacheHitTime(int64(len(blob))))
 	} else {
-		var err error
 		f, err = model.Unmarshal(blob)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
@@ -238,9 +329,14 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
 			}
-			p.Cache.store(&cacheEntry{key: key, forest: f, compiled: compiled, stats: stats})
+			evicted := p.Cache.store(&cacheEntry{key: key, forest: f, compiled: compiled, stats: stats})
+			if reg := p.Obs.Metrics(); reg != nil && evicted > 0 {
+				reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", "eviction").
+					Add(float64(evicted))
+			}
 		}
 	}
+	endPreproc()
 	res.CacheHit = hit
 
 	// Stage 4: data pre-processing — feature extraction / dataframe prep.
@@ -248,11 +344,18 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 
 	// Stage 5: model scoring on the selected backend. The pre-compiled
 	// kernel form rides along so CPU engines skip their per-query lowering.
-	eng, err := p.resolveBackend(backendName, stats, records)
+	eng, source, err := p.resolveBackend(backendName, stats, records)
 	if err != nil {
 		return nil, err
 	}
+	if reg := p.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricBackendSelectedTotal,
+			"Scoring-backend resolutions by engine and decision source.",
+			"backend", eng.Name(), "source", source).Inc()
+	}
+	endScoring := tr.StartSpan(StageModelScoring)
 	scored, err := eng.Score(&backend.Request{Forest: f, Data: data, Compiled: compiled, Stats: &stats})
+	endScoring()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
 	}
@@ -263,6 +366,7 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 
 	// Stage 6: post-processing — land the prediction column in one bulk
 	// append instead of one Insert per row.
+	endPost := tr.StartSpan(StagePostprocessing)
 	out, err := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
 	if err != nil {
 		return nil, err
@@ -270,6 +374,7 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 	if err := out.AppendIntRows(scored.Predictions); err != nil {
 		return nil, err
 	}
+	endPost()
 	res.Table = out
 	res.Timeline.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
 
@@ -281,19 +386,88 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 	return res, nil
 }
 
+const helpModelCacheEvents = "Compiled-model cache hits, misses and evictions."
+
+// countStatement bumps the statement-kind counter when an observer is
+// attached.
+func (p *Pipeline) countStatement(kind string) {
+	if reg := p.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricStatementsTotal, "Parsed T-SQL statements by kind.", "kind", kind).Inc()
+	}
+}
+
+// observeQuery publishes one finished scoring query: status counters, the
+// wall-clock and simulated latency histograms, the O/L/C component
+// accumulation, cache gauges, and the trace's simulated timelines. It runs
+// via defer so error paths are counted exactly once.
+func (p *Pipeline) observeQuery(tr *obs.Trace, start time.Time, res *QueryResult, err error) {
+	if p.Obs == nil {
+		return
+	}
+	wall := time.Since(start)
+	if reg := p.Obs.Registry; reg != nil {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.", "status", status).Inc()
+		if err == nil && res != nil {
+			reg.Histogram(MetricQueryWallSeconds,
+				"Measured wall-clock latency of successful scoring queries.", obs.DefBuckets).
+				Observe(wall.Seconds())
+			for _, row := range res.Timeline.Aggregate().Rows {
+				reg.Histogram(MetricStageSimSeconds,
+					"Simulated per-stage latency of the Fig. 11 end-to-end breakdown.",
+					obs.DefBuckets, "stage", row.Name).Observe(row.Duration.Seconds())
+			}
+			reg.Histogram(MetricBackendSimSeconds,
+				"Simulated scoring-stage latency by backend.",
+				obs.DefBuckets, "backend", res.Backend).Observe(res.ScoringDetail.Total().Seconds())
+			for _, kind := range []sim.Kind{sim.KindOverhead, sim.KindTransfer, sim.KindCompute} {
+				if d := res.ScoringDetail.TotalKind(kind); d > 0 {
+					reg.Counter(MetricOLCSimSecondsTotal,
+						"Simulated scoring time by the Fig. 6 O/L/C taxonomy.",
+						"backend", res.Backend, "kind", kind.String()).Add(d.Seconds())
+				}
+			}
+		}
+		if p.Cache != nil {
+			reg.Gauge(MetricModelCacheEntries, "Compiled models resident in the cache.").
+				Set(float64(p.Cache.Len()))
+		}
+	}
+	if tr != nil {
+		if err != nil {
+			tr.SetAttr("error", err.Error())
+		} else if res != nil {
+			tr.SetAttr("backend", res.Backend)
+			if res.CacheHit {
+				tr.SetAttr("model_cache", "hit")
+			}
+			tr.AddTimeline("simulated end-to-end (Fig. 11)", &res.Timeline)
+			tr.AddTimeline("simulated scoring detail (Fig. 7)", &res.ScoringDetail)
+		}
+		tr.Finish()
+	}
+}
+
 // resolveBackend maps the @backend parameter to an engine, consulting the
-// advisor for "auto" or when unset.
-func (p *Pipeline) resolveBackend(name string, stats forest.Stats, records int64) (backend.Backend, error) {
+// advisor for "auto" or when unset. The returned source labels the decision
+// path for the selection counters: "param", "advisor" or "default".
+func (p *Pipeline) resolveBackend(name string, stats forest.Stats, records int64) (backend.Backend, string, error) {
+	source := "param"
 	if name == "" {
 		if p.Advisor != nil {
 			name = "auto"
 		} else {
 			name = p.DefaultBackend
+			source = "default"
 		}
 	}
 	if strings.EqualFold(name, "auto") {
+		source = "advisor"
 		if p.Advisor == nil {
-			return nil, fmt.Errorf("pipeline: @backend = 'auto' requires an advisor")
+			return nil, "", fmt.Errorf("pipeline: @backend = 'auto' requires an advisor")
 		}
 		cfg := core.Config{
 			Features: stats.Features, Classes: stats.Classes,
@@ -301,15 +475,19 @@ func (p *Pipeline) resolveBackend(name string, stats forest.Stats, records int64
 		}
 		d, err := p.Advisor.Decide(cfg)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		name = d.Best.Name
+		if reg := p.Obs.Metrics(); reg != nil {
+			reg.Counter(MetricAdvisorDecisionsTotal,
+				"Offload-advisor backend picks.", "backend", name).Inc()
+		}
 	}
 	eng, ok := p.Registry.Get(name)
 	if !ok {
-		return nil, fmt.Errorf("pipeline: backend %q is not registered (have %v)", name, p.Registry.Names())
+		return nil, "", fmt.Errorf("pipeline: backend %q is not registered (have %v)", name, p.Registry.Names())
 	}
-	return eng, nil
+	return eng, source, nil
 }
 
 // Estimate produces the Fig. 11 breakdown for a hypothetical query —
@@ -317,7 +495,7 @@ func (p *Pipeline) resolveBackend(name string, stats forest.Stats, records int64
 // materializing data, using the named backend (or the advisor's choice for
 // "auto"/""). This is how the million-record end-to-end rows are generated.
 func (p *Pipeline) Estimate(stats forest.Stats, records int64, blobBytes int64, backendName string) (*sim.Timeline, string, error) {
-	eng, err := p.resolveBackend(backendName, stats, records)
+	eng, _, err := p.resolveBackend(backendName, stats, records)
 	if err != nil {
 		return nil, "", err
 	}
@@ -334,5 +512,17 @@ func (p *Pipeline) Estimate(stats forest.Stats, records int64, blobBytes int64, 
 	tl.Add(StageModelScoring, sim.KindCompute, scoring.Total())
 	tl.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
 	tl.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
+	if p.Obs != nil {
+		if reg := p.Obs.Registry; reg != nil {
+			reg.Counter(MetricEstimatesTotal, "Hypothetical-query estimates by backend.",
+				"backend", eng.Name()).Inc()
+		}
+		tr := p.Obs.StartTrace("estimate " + eng.Name())
+		tr.SetAttr("backend", eng.Name())
+		tr.SetAttr("records", strconv.FormatInt(records, 10))
+		tr.AddTimeline("simulated end-to-end (Fig. 11)", &tl)
+		tr.AddTimeline("simulated scoring detail (Fig. 7)", scoring)
+		tr.Finish()
+	}
 	return &tl, eng.Name(), nil
 }
