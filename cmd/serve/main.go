@@ -277,7 +277,7 @@ func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	recent := s.obs.Tracer.Recent()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d recent queries (newest first, ring capacity %d)\n\n",
-		len(recent), obs.DefaultTraceCapacity)
+		len(recent), s.obs.Tracer.Capacity())
 	for _, tr := range recent { // Recent is already newest-first
 		snap := tr.Snapshot()
 		status := "running"
@@ -323,7 +323,7 @@ func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	tr, ok := s.obs.Tracer.Get(id)
 	if !ok {
 		http.Error(w, fmt.Sprintf("trace %q not retained (ring keeps the last %d)",
-			id, obs.DefaultTraceCapacity), http.StatusNotFound)
+			id, s.obs.Tracer.Capacity()), http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -29,6 +29,10 @@ func TestRegistryTracerHammer(t *testing.T) {
 			label := fmt.Sprintf("w%d", w%4)
 			for i := 0; i < iters; i++ {
 				r.Counter("hammer_events_total", "", "worker", label).Inc()
+				// Fresh label value every iteration: guarantees family-map
+				// inserts keep racing with concurrent WritePrometheus scrapes
+				// for the whole run, not just the warm-up iterations.
+				r.Counter("hammer_unique_total", "", "id", fmt.Sprintf("w%d_i%d", w, i)).Inc()
 				r.Gauge("hammer_depth", "").Set(float64(i))
 				r.Histogram("hammer_seconds", "", nil, "worker", label).Observe(float64(i) * 1e-5)
 

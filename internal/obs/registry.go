@@ -243,24 +243,34 @@ func (r *Registry) child(name, help string, typ metricType, buckets []float64, l
 // format (version 0.0.4): families sorted by name, children sorted by label
 // string, histograms expanded to cumulative _bucket/_sum/_count series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot every family's children while holding the lock: child()
+	// inserts into fam.metrics concurrently, so the maps must not be
+	// iterated after release. The *child instruments themselves are
+	// immutable after creation (their values are atomics), so rendering
+	// from the copied slices outside the lock is safe.
+	type famSnap struct {
+		fam      *family
+		children []*child
+	}
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	fams := make([]famSnap, 0, len(r.families))
 	for _, f := range r.families {
-		fams = append(fams, f)
+		children := make([]*child, 0, len(f.metrics))
+		for _, c := range f.metrics {
+			children = append(children, c)
+		}
+		fams = append(fams, famSnap{fam: f, children: children})
 	}
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	sort.Slice(fams, func(i, j int) bool { return fams[i].fam.name < fams[j].fam.name })
 
 	var sb strings.Builder
-	for _, fam := range fams {
+	for _, snap := range fams {
+		fam, children := snap.fam, snap.children
 		if fam.help != "" {
 			fmt.Fprintf(&sb, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
 		}
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", fam.name, fam.typ)
-		children := make([]*child, 0, len(fam.metrics))
-		for _, c := range fam.metrics {
-			children = append(children, c)
-		}
 		sort.Slice(children, func(i, j int) bool { return children[i].labelStr < children[j].labelStr })
 		for _, c := range children {
 			switch fam.typ {

@@ -84,6 +84,14 @@ func (t *Tracer) Recent() []*Trace {
 	return out
 }
 
+// Capacity returns the ring size; a nil tracer reports 0.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
 // Len returns the number of retained traces.
 func (t *Tracer) Len() int {
 	if t == nil {
