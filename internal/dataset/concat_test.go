@@ -1,0 +1,47 @@
+package dataset_test
+
+import (
+	"testing"
+
+	"accelscore/internal/dataset"
+)
+
+func TestConcat(t *testing.T) {
+	iris := dataset.Iris()
+	a, b, c := iris.Head(10), iris.Head(25), iris.Head(3)
+	merged, err := dataset.Concat([]*dataset.Dataset{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRecords() != 38 {
+		t.Fatalf("merged has %d records, want 38", merged.NumRecords())
+	}
+	if merged.NumFeatures() != iris.NumFeatures() {
+		t.Fatalf("merged has %d features", merged.NumFeatures())
+	}
+	// Row order is part-by-part: row 10 of the merge is row 0 of b.
+	for j, v := range b.Row(0) {
+		if merged.Row(10)[j] != v {
+			t.Fatalf("row 10 feature %d = %v, want %v", j, merged.Row(10)[j], v)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Single-part concat copies the rows through unchanged.
+	one, err := dataset.Concat([]*dataset.Dataset{a})
+	if err != nil || one.NumRecords() != 10 {
+		t.Fatalf("single concat: %v records=%d", err, one.NumRecords())
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := dataset.Concat(nil); err == nil {
+		t.Fatal("empty concat did not fail")
+	}
+	iris := dataset.Iris()
+	other := &dataset.Dataset{Name: "narrow", FeatureNames: []string{"a", "b"}, X: []float32{1, 2}}
+	if _, err := dataset.Concat([]*dataset.Dataset{iris.Head(5), other}); err == nil {
+		t.Fatal("feature-mismatch concat did not fail")
+	}
+}

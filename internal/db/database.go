@@ -86,14 +86,17 @@ func (d *Database) StoreModelBlob(name string, blob []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t := d.tables[ModelsTable]
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
 	if idx := t.ColumnIndex("name"); idx >= 0 {
-		for r := 0; r < t.NumRows(); r++ {
-			if t.Cell(r, idx).S == name {
+		for r := 0; r < t.numRowsLocked(); r++ {
+			if t.cellLocked(r, idx).S == name {
 				return fmt.Errorf("db: model %q already stored", name)
 			}
 		}
 	}
-	return t.Insert([]Value{Text(name), Blob(blob)})
+	t.insertLocked([]Value{Text(name), Blob(blob)})
+	return nil
 }
 
 // DeleteModel removes a stored model. Replacing a model (delete + store
@@ -103,9 +106,11 @@ func (d *Database) DeleteModel(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t := d.tables[ModelsTable]
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
 	nameIdx := t.ColumnIndex("name")
-	for r := 0; r < t.NumRows(); r++ {
-		if t.Cell(r, nameIdx).S == name {
+	for r := 0; r < t.numRowsLocked(); r++ {
+		if t.cellLocked(r, nameIdx).S == name {
 			for ci := range t.Columns {
 				t.cols[ci] = append(t.cols[ci][:r], t.cols[ci][r+1:]...)
 			}
@@ -123,10 +128,12 @@ func (d *Database) LoadModelBlob(name string) ([]byte, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	t := d.tables[ModelsTable]
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
 	nameIdx, blobIdx := t.ColumnIndex("name"), t.ColumnIndex("model")
-	for r := 0; r < t.NumRows(); r++ {
-		if t.Cell(r, nameIdx).S == name {
-			return t.Cell(r, blobIdx).B, nil
+	for r := 0; r < t.numRowsLocked(); r++ {
+		if t.cellLocked(r, nameIdx).S == name {
+			return t.cellLocked(r, blobIdx).B, nil
 		}
 	}
 	return nil, fmt.Errorf("db: model %q not found", name)
@@ -137,10 +144,12 @@ func (d *Database) ModelNames() []string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	t := d.tables[ModelsTable]
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
 	idx := t.ColumnIndex("name")
-	out := make([]string, 0, t.NumRows())
-	for r := 0; r < t.NumRows(); r++ {
-		out = append(out, t.Cell(r, idx).S)
+	out := make([]string, 0, t.numRowsLocked())
+	for r := 0; r < t.numRowsLocked(); r++ {
+		out = append(out, t.cellLocked(r, idx).S)
 	}
 	return out
 }

@@ -243,7 +243,7 @@ func (d *Database) aggregate(src *Table, rows []int, aggs []AggExpr) (*Table, er
 			return nil, fmt.Errorf("db: cannot aggregate non-numeric column %q", a.Column)
 		}
 		cell := func(r int) float64 {
-			v := src.Cell(r, ci)
+			v := src.cellLocked(r, ci)
 			if typ == Float32Col {
 				return float64(v.F)
 			}
@@ -302,7 +302,7 @@ func orderRows(src *Table, rows []int, column string, desc bool) error {
 		return fmt.Errorf("db: cannot ORDER BY VARBINARY column %q", column)
 	}
 	less := func(a, b int) bool {
-		va, vb := src.Cell(a, ci), src.Cell(b, ci)
+		va, vb := src.cellLocked(a, ci), src.cellLocked(b, ci)
 		switch typ {
 		case Float32Col:
 			return va.F < vb.F
@@ -412,6 +412,8 @@ func (p *parser) updateStmt() (Statement, error) {
 }
 
 // matchRows evaluates WHERE predicates and returns matching row indices.
+// Callers hold src.rowsMu (read for SELECT-like scans, write when the match
+// feeds a mutation so the matched indices stay valid).
 func (d *Database) matchRows(src *Table, where []Condition) ([]int, error) {
 	type pred struct {
 		col  int
@@ -434,10 +436,10 @@ func (d *Database) matchRows(src *Table, where []Condition) ([]int, error) {
 		preds = append(preds, pred{col: idx, typ: typ, cond: c})
 	}
 	var out []int
-	for r := 0; r < src.NumRows(); r++ {
+	for r := 0; r < src.numRowsLocked(); r++ {
 		ok := true
 		for _, p := range preds {
-			if !evalPred(src.Cell(r, p.col), p.typ, p.cond) {
+			if !evalPred(src.cellLocked(r, p.col), p.typ, p.cond) {
 				ok = false
 				break
 			}
@@ -450,11 +452,15 @@ func (d *Database) matchRows(src *Table, where []Condition) ([]int, error) {
 }
 
 // Delete executes a DELETE statement, returning the number of removed rows.
+// The match and the mutation happen under one write lock so concurrent
+// readers never see half-deleted rows.
 func (d *Database) Delete(st *DeleteStmt) (int, error) {
 	t, err := d.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
 	victims, err := d.matchRows(t, st.Where)
 	if err != nil {
 		return 0, err
@@ -466,7 +472,7 @@ func (d *Database) Delete(st *DeleteStmt) (int, error) {
 	for _, r := range victims {
 		drop[r] = true
 	}
-	n := t.NumRows()
+	n := t.numRowsLocked()
 	for ci := range t.Columns {
 		kept := t.cols[ci][:0]
 		for r := 0; r < n; r++ {
@@ -481,11 +487,14 @@ func (d *Database) Delete(st *DeleteStmt) (int, error) {
 }
 
 // Update executes an UPDATE statement, returning the number of changed rows.
+// Match and mutation share one write lock, like Delete.
 func (d *Database) Update(st *UpdateStmt) (int, error) {
 	t, err := d.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
 	type setter struct {
 		col int
 		val Value

@@ -6,11 +6,16 @@ import (
 )
 
 // Select executes a SELECT statement and returns the result as a new table.
+// The source table's read lock is held for the whole scan, so a SELECT sees
+// one consistent row set while concurrent SELECTs and scoring queries over
+// the same table proceed in parallel.
 func (d *Database) Select(st *SelectStmt) (*Table, error) {
 	src, err := d.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
+	src.rowsMu.RLock()
+	defer src.rowsMu.RUnlock()
 
 	// Resolve projection.
 	var colIdx []int
@@ -55,10 +60,10 @@ func (d *Database) Select(st *SelectStmt) (*Table, error) {
 	// ordering or aggregation follows.
 	earlyStop := st.Top > 0 && st.OrderBy == "" && len(st.Aggregates) == 0
 	var matched []int
-	for r := 0; r < src.NumRows(); r++ {
+	for r := 0; r < src.numRowsLocked(); r++ {
 		match := true
 		for _, p := range preds {
-			if !evalPred(src.Cell(r, p.col), p.typ, p.cond) {
+			if !evalPred(src.cellLocked(r, p.col), p.typ, p.cond) {
 				match = false
 				break
 			}
@@ -95,7 +100,7 @@ func (d *Database) Select(st *SelectStmt) (*Table, error) {
 	for _, r := range matched {
 		row := make([]Value, len(colIdx))
 		for i, ci := range colIdx {
-			row[i] = src.Cell(r, ci)
+			row[i] = src.cellLocked(r, ci)
 		}
 		if err := out.Insert(row); err != nil {
 			return nil, err

@@ -25,13 +25,21 @@ func (d *Database) Save(w io.Writer) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var snap snapshot
-	// Deterministic order for reproducible files.
+	// Deterministic order for reproducible files. Column vectors are deep
+	// copied under each table's read lock so a concurrent UPDATE (which
+	// rewrites cells in place) cannot tear the encoded snapshot.
 	for _, name := range d.tableNamesLocked() {
 		t := d.tables[name]
+		t.rowsMu.RLock()
+		cols := make([][]Value, len(t.cols))
+		for ci, col := range t.cols {
+			cols[ci] = append([]Value(nil), col...)
+		}
+		t.rowsMu.RUnlock()
 		snap.Tables = append(snap.Tables, tableSnapshot{
 			Name:    t.Name,
 			Columns: t.Columns,
-			Cols:    t.cols,
+			Cols:    cols,
 		})
 	}
 	return gob.NewEncoder(w).Encode(snap)

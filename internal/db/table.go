@@ -72,16 +72,31 @@ func Text(s string) Value { return Value{S: s} }
 // Blob returns a binary cell.
 func Blob(b []byte) Value { return Value{B: b} }
 
-// Table is an in-memory columnar table.
+// Table is an in-memory columnar table. It is safe for concurrent use:
+// row access is guarded by a reader/writer lock so parallel scoring queries
+// and SELECTs proceed concurrently while INSERT/DELETE/UPDATE serialize.
+//
+// Locking discipline for package-internal code: exported accessors (Cell,
+// NumRows, Rows, ...) take rowsMu themselves; code that already holds rowsMu
+// must use the unexported unlocked variants (cellLocked, numRowsLocked) —
+// never the exported ones, since a nested RLock can deadlock against a
+// queued writer. The schema (Name, Columns) is immutable after NewTable and
+// needs no lock.
 type Table struct {
 	Name    string
 	Columns []Column
+	// rowsMu guards cols. version is written only while rowsMu is held for
+	// writing, so readers holding the read lock see an exact version.
+	rowsMu sync.RWMutex
 	// cols[i] holds column i's cells; all columns have equal length.
 	cols [][]Value
 	// version counts mutations; the dataset snapshot cache keys on it.
 	version atomic.Uint64
 	// Dataset snapshot cache (DatasetSnapshot): the last conversion of this
-	// table to a dataset, valid while version is unchanged.
+	// table to a dataset, valid while version is unchanged. snapMu guards
+	// only the published pointer — conversion itself runs outside it (see
+	// DatasetSnapshotCached) so a slow conversion never blocks readers that
+	// hit the cache.
 	snapMu      sync.Mutex
 	snap        *dataset.Dataset
 	snapVersion uint64
@@ -114,6 +129,13 @@ func NewTable(name string, columns []Column) (*Table, error) {
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	return t.numRowsLocked()
+}
+
+// numRowsLocked is NumRows for callers already holding rowsMu.
+func (t *Table) numRowsLocked() int {
 	if len(t.cols) == 0 {
 		return 0
 	}
@@ -135,7 +157,7 @@ func (t *Table) ColumnIndex(name string) int {
 // pipeline's hot path) invalidate automatically.
 func (t *Table) Version() uint64 { return t.version.Load() }
 
-// bumpVersion records a mutation.
+// bumpVersion records a mutation; callers hold rowsMu for writing.
 func (t *Table) bumpVersion() { t.version.Add(1) }
 
 // Insert appends one row. The row length must match the schema.
@@ -144,11 +166,19 @@ func (t *Table) Insert(row []Value) error {
 		return fmt.Errorf("db: table %q: row has %d values, schema has %d columns",
 			t.Name, len(row), len(t.Columns))
 	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
+	t.insertLocked(row)
+	return nil
+}
+
+// insertLocked appends a schema-length row; callers hold rowsMu for writing
+// and have validated the length.
+func (t *Table) insertLocked(row []Value) {
 	for i, v := range row {
 		t.cols[i] = append(t.cols[i], v)
 	}
 	t.bumpVersion()
-	return nil
 }
 
 // AppendIntRows bulk-appends one row per value to a table whose schema is a
@@ -162,6 +192,8 @@ func (t *Table) AppendIntRows(vals []int) error {
 	if len(vals) == 0 {
 		return nil
 	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
 	base := len(t.cols[0])
 	t.cols[0] = append(t.cols[0], make([]Value, len(vals))...)
 	dst := t.cols[0][base:]
@@ -174,12 +206,21 @@ func (t *Table) AppendIntRows(vals []int) error {
 
 // Cell returns the value at (row, col).
 func (t *Table) Cell(row, col int) Value {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	return t.cols[col][row]
+}
+
+// cellLocked is Cell for callers already holding rowsMu.
+func (t *Table) cellLocked(row, col int) Value {
 	return t.cols[col][row]
 }
 
 // Rows materializes all rows (copies).
 func (t *Table) Rows() [][]Value {
-	out := make([][]Value, t.NumRows())
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	out := make([][]Value, t.numRowsLocked())
 	for r := range out {
 		row := make([]Value, len(t.Columns))
 		for c := range t.Columns {
@@ -193,6 +234,8 @@ func (t *Table) Rows() [][]Value {
 // SizeBytes approximates the table payload size, used by the pipeline's
 // transfer model.
 func (t *Table) SizeBytes() int64 {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
 	var total int64
 	for ci, col := range t.Columns {
 		switch col.Type {
@@ -258,26 +301,61 @@ func (t *Table) DatasetSnapshot() (*dataset.Dataset, error) {
 
 // DatasetSnapshotCached is DatasetSnapshot plus a hit report: hit is true
 // when the cached conversion was served unchanged, false when the table had
-// to be re-converted. The pipeline feeds the report into its snapshot-cache
-// observability counters.
+// to be re-converted.
+//
+// The conversion runs outside snapMu (double-checked publish): holding the
+// lock across the whole table→dataset conversion would serialize every
+// concurrent reader of the table behind one converter. Instead the cached
+// pointer is checked under the lock, the conversion runs under only the
+// table's read lock (so concurrent cache hits and other readers proceed),
+// and the result is re-published under snapMu keyed by the exact version the
+// conversion observed — a stale converter can never overwrite a newer
+// snapshot because publication requires its version to be >= the resident
+// one.
 func (t *Table) DatasetSnapshotCached() (*dataset.Dataset, bool, error) {
 	v := t.Version()
 	t.snapMu.Lock()
-	defer t.snapMu.Unlock()
 	if t.snap != nil && t.snapVersion == v {
-		return t.snap, true, nil
+		d := t.snap
+		t.snapMu.Unlock()
+		return d, true, nil
 	}
-	d, err := DatasetFromTable(t)
+	t.snapMu.Unlock()
+
+	d, dv, err := t.convertDataset()
 	if err != nil {
 		return nil, false, err
 	}
-	t.snap, t.snapVersion = d, v
+
+	t.snapMu.Lock()
+	if t.snap == nil || dv >= t.snapVersion {
+		t.snap, t.snapVersion = d, dv
+	}
+	t.snapMu.Unlock()
 	return d, false, nil
+}
+
+// convertDataset converts the table under its read lock, returning the
+// exact version the conversion observed (version writes happen only under
+// the write lock, so the pair is consistent).
+func (t *Table) convertDataset() (*dataset.Dataset, uint64, error) {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	v := t.version.Load()
+	d, err := t.datasetLocked()
+	return d, v, err
 }
 
 // DatasetFromTable converts a table's REAL columns back into a dataset; a
 // BIGINT column named "label" becomes the labels.
 func DatasetFromTable(t *Table) (*dataset.Dataset, error) {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	return t.datasetLocked()
+}
+
+// datasetLocked is the conversion body; callers hold rowsMu.
+func (t *Table) datasetLocked() (*dataset.Dataset, error) {
 	d := &dataset.Dataset{Name: t.Name}
 	var featureCols []int
 	labelCol := -1
@@ -293,15 +371,15 @@ func DatasetFromTable(t *Table) (*dataset.Dataset, error) {
 	if len(featureCols) == 0 {
 		return nil, fmt.Errorf("db: table %q has no REAL feature columns", t.Name)
 	}
-	n := t.NumRows()
+	n := t.numRowsLocked()
 	d.X = make([]float32, 0, n*len(featureCols))
 	maxLabel := -1
 	for r := 0; r < n; r++ {
 		for _, ci := range featureCols {
-			d.X = append(d.X, t.Cell(r, ci).F)
+			d.X = append(d.X, t.cellLocked(r, ci).F)
 		}
 		if labelCol >= 0 {
-			y := int(t.Cell(r, labelCol).I)
+			y := int(t.cellLocked(r, labelCol).I)
 			d.Y = append(d.Y, y)
 			if y > maxLabel {
 				maxLabel = y

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"time"
+
+	"accelscore/internal/pipeline"
+)
+
+// pendingBatch is one open coalescing batch: the first query for a
+// (model, backend) key becomes the leader; companions arriving before the
+// batch seals join as followers. The batch seals when the window timer
+// fires, when MaxBatch queries have joined, or — group-commit style — the
+// moment the previous batch for the same key finishes executing, whichever
+// comes first. At that point the leader executes it as ONE pipeline run and
+// every member receives its own QueryResult. The chained seal is what makes
+// the batch size adapt to load without added latency: under a steady stream
+// the window timer only ever pays off the first batch per key.
+type pendingBatch struct {
+	key   string
+	reqs  []*pipeline.ScoreRequest
+	timer *time.Timer
+
+	sealed bool
+	ready  chan struct{} // closed at seal; wakes the leader
+
+	results []*pipeline.QueryResult
+	err     error
+	done    chan struct{} // closed after execution; wakes followers
+}
+
+// coalesceKey groups queries that can share one pipeline run. Input tables
+// may differ (the pipeline snapshots each), so the key is only the pair the
+// batch must agree on.
+func coalesceKey(req *pipeline.ScoreRequest) string {
+	return req.Model + "\x00" + req.Backend
+}
+
+// coalesce joins or opens the batch for req's key and blocks until the
+// batch has executed, returning this query's own result.
+func (e *Executor) coalesce(req *pipeline.ScoreRequest) (*pipeline.QueryResult, error) {
+	key := coalesceKey(req)
+	e.mu.Lock()
+	if b, ok := e.pending[key]; ok {
+		// Follower: join the open batch. Sealed batches are removed from
+		// pending, so this batch is still accepting members.
+		idx := len(b.reqs)
+		b.reqs = append(b.reqs, req)
+		if len(b.reqs) >= e.cfg.MaxBatch {
+			e.sealLocked(b)
+		}
+		e.mu.Unlock()
+		<-b.done
+		if b.err != nil {
+			return nil, b.err
+		}
+		return b.results[idx], nil
+	}
+	// Leader: open a batch and arm the window timer.
+	b := &pendingBatch{
+		key:   key,
+		reqs:  []*pipeline.ScoreRequest{req},
+		ready: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	e.pending[key] = b
+	b.timer = time.AfterFunc(e.cfg.CoalesceWindow, func() {
+		e.mu.Lock()
+		e.sealLocked(b)
+		e.mu.Unlock()
+	})
+	e.mu.Unlock()
+
+	<-b.ready
+	e.mu.Lock()
+	e.inflightKeys[key]++
+	e.mu.Unlock()
+	b.results, b.err = e.runBatch(b.reqs)
+	e.mu.Lock()
+	e.inflightKeys[key]--
+	if e.inflightKeys[key] == 0 {
+		delete(e.inflightKeys, key)
+		// Group commit: what queued behind this run executes next as one
+		// batch without waiting out its window — but only if it actually
+		// batched. Chaining singletons would convoy batch-of-1 runs, each
+		// paying the full fixed cost the coalescer exists to amortize.
+		if nb, ok := e.pending[key]; ok && len(nb.reqs) >= 2 {
+			e.sealLocked(nb)
+		}
+	}
+	e.mu.Unlock()
+	close(b.done)
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.results[0], nil
+}
+
+// sealLocked closes a batch to new members and wakes its leader. Callers
+// hold e.mu; sealing twice (timer vs. MaxBatch race) is a no-op.
+func (e *Executor) sealLocked(b *pendingBatch) {
+	if b.sealed {
+		return
+	}
+	b.sealed = true
+	delete(e.pending, b.key)
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	close(b.ready)
+}

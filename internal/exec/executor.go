@@ -1,0 +1,253 @@
+// Package exec is the concurrent scoring executor: the multi-query hot path
+// in front of the analytics pipeline. It replaces "one global mutex around
+// ExecQuery" serving with a bounded admission queue (backpressure instead of
+// unbounded pileup), a worker pool, per-device concurrency limits that reuse
+// the scheduling model's device taxonomy (all CPU engines share the host
+// CPU; the GPU and the FPGA each serialize), and request coalescing:
+// concurrent sp_score_model queries against the same (model, backend) that
+// arrive within a short window are merged into ONE pipeline run — one
+// Python-invocation charge, one model pre-processing, one backend call over
+// the concatenated rows — and the predictions are fanned back out with
+// per-query timelines showing the amortized overhead.
+//
+// This is the serving-side version of the paper's core observation: fixed
+// per-query overheads (O and L in the Fig. 6 taxonomy, process invocation
+// and model pre-processing in Fig. 11) dominate small-batch scoring, so the
+// way to make a stream of small queries fast is to pay those overheads once
+// per batch, not once per query.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelscore/internal/db"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/sched"
+)
+
+// ErrRejected is returned when the admission queue is full: the caller
+// should shed load (HTTP 503) rather than queue unboundedly.
+var ErrRejected = errors.New("exec: admission queue full, query rejected")
+
+// Metric names the executor publishes into the pipeline's observer.
+const (
+	// MetricQueueDepth gauges queries admitted but not yet executing
+	// (waiting for a worker, a device, or a coalescing window).
+	MetricQueueDepth = "accelscore_exec_queue_depth"
+	// MetricInflight gauges queries currently executing in the pipeline.
+	MetricInflight = "accelscore_exec_inflight_queries"
+	// MetricRejectedTotal counts queries shed at admission.
+	MetricRejectedTotal = "accelscore_exec_rejected_total"
+	// MetricBatchSize is the histogram of scoring-batch sizes actually
+	// executed (1 = no coalescing happened for that run).
+	MetricBatchSize = "accelscore_exec_coalesced_batch_size"
+)
+
+// batchSizeBuckets resolves power-of-two batch sizes up to typical MaxBatch.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32}
+
+// Config tunes the executor. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers bounds concurrently executing queries (default
+	// max(1, GOMAXPROCS)).
+	Workers int
+	// QueueDepth bounds queries in the system — waiting plus executing.
+	// Beyond it, ExecQuery fails fast with ErrRejected (default 64).
+	QueueDepth int
+	// CoalesceWindow is how long the first query of a (model, backend) key
+	// waits for companions before scoring. 0 disables coalescing.
+	CoalesceWindow time.Duration
+	// MaxBatch seals a coalescing batch early when this many queries have
+	// joined, so a full batch never waits out the window (default 16).
+	MaxBatch int
+	// DeviceLimits caps concurrent scoring per hardware device (defaults:
+	// cpu=Workers, gpu=1, fpga=1 — CPU engines share host cores, the
+	// accelerators serialize).
+	DeviceLimits map[sched.Device]int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	limits := map[sched.Device]int{
+		sched.DeviceCPU:  c.Workers,
+		sched.DeviceGPU:  1,
+		sched.DeviceFPGA: 1,
+	}
+	for d, n := range c.DeviceLimits {
+		if n > 0 {
+			limits[d] = n
+		}
+	}
+	c.DeviceLimits = limits
+	return c
+}
+
+// Executor runs queries concurrently against one Pipeline.
+type Executor struct {
+	pipe *pipeline.Pipeline
+	cfg  Config
+
+	admission chan struct{}                  // in-system token, cap QueueDepth
+	workers   chan struct{}                  // executing token, cap Workers
+	devices   map[sched.Device]chan struct{} // per-device scoring tokens
+
+	mu           sync.Mutex
+	pending      map[string]*pendingBatch // open coalescing batches by key
+	inflightKeys map[string]int           // keys with a batch mid-execution (chains group-commit seals)
+
+	admitted atomic.Int64 // queries holding an admission token
+	running  atomic.Int64 // queries currently executing
+}
+
+// New builds an executor over the pipeline, publishing telemetry into the
+// pipeline's observer.
+func New(pipe *pipeline.Pipeline, cfg Config) *Executor {
+	cfg = cfg.withDefaults()
+	e := &Executor{
+		pipe:         pipe,
+		cfg:          cfg,
+		admission:    make(chan struct{}, cfg.QueueDepth),
+		workers:      make(chan struct{}, cfg.Workers),
+		devices:      make(map[sched.Device]chan struct{}, len(cfg.DeviceLimits)),
+		pending:      make(map[string]*pendingBatch),
+		inflightKeys: make(map[string]int),
+	}
+	for d, n := range cfg.DeviceLimits {
+		e.devices[d] = make(chan struct{}, n)
+	}
+	return e
+}
+
+// Config returns the resolved configuration.
+func (e *Executor) Config() Config { return e.cfg }
+
+// ExecQuery parses and runs one T-SQL statement through the concurrent hot
+// path. Scoring queries may be coalesced with concurrent queries for the
+// same (model, backend); everything else takes a worker slot and executes
+// directly. Returns ErrRejected when the admission queue is full.
+func (e *Executor) ExecQuery(sql string) (*pipeline.QueryResult, error) {
+	select {
+	case e.admission <- struct{}{}:
+	default:
+		if reg := e.pipe.Obs.Metrics(); reg != nil {
+			reg.Counter(MetricRejectedTotal, "Queries shed at admission (queue full).").Inc()
+		}
+		return nil, ErrRejected
+	}
+	e.admitted.Add(1)
+	e.publishGauges()
+	defer func() {
+		e.admitted.Add(-1)
+		e.publishGauges()
+		<-e.admission
+	}()
+
+	st, err := db.Parse(sql)
+	if err != nil {
+		e.pipe.NoteStatement("parse_error")
+		return nil, err
+	}
+	if ex, ok := st.(*db.ExecStmt); ok && strings.EqualFold(ex.Proc, pipeline.ScoreProcName) {
+		e.pipe.NoteStatement("exec")
+		req, perr := pipeline.ParseScoreParams(ex)
+		if perr != nil {
+			// Re-run through ScoreProc so parameter errors carry the same
+			// metric accounting as the serialized path.
+			return e.pipe.ScoreProc(ex)
+		}
+		if e.cfg.CoalesceWindow > 0 && e.cfg.MaxBatch > 1 {
+			return e.coalesce(req)
+		}
+		results, err := e.runBatch([]*pipeline.ScoreRequest{req})
+		if err != nil {
+			return nil, err
+		}
+		return results[0], nil
+	}
+
+	// Non-scoring statements execute in the DBMS under a worker slot; the
+	// db layer's own fine-grained locks make them safe alongside scoring.
+	e.workers <- struct{}{}
+	e.noteRunning(1)
+	defer func() {
+		e.noteRunning(-1)
+		<-e.workers
+	}()
+	return e.pipe.ExecStatement(st)
+}
+
+// runBatch executes one scoring batch under a worker slot and the target
+// device's concurrency token, and records the executed batch size.
+func (e *Executor) runBatch(reqs []*pipeline.ScoreRequest) ([]*pipeline.QueryResult, error) {
+	e.workers <- struct{}{}
+	defer func() { <-e.workers }()
+	// The device limit keys on the requested backend name; "auto" and ""
+	// resolve in-pipeline and are treated as CPU-resident for admission.
+	dev := sched.DeviceOf(reqs[0].Backend)
+	sem, ok := e.devices[dev]
+	if !ok {
+		return nil, fmt.Errorf("exec: no device limit for %q", dev)
+	}
+	sem <- struct{}{}
+	defer func() { <-sem }()
+
+	e.noteRunning(int64(len(reqs)))
+	defer e.noteRunning(int64(-len(reqs)))
+	if reg := e.pipe.Obs.Metrics(); reg != nil {
+		reg.Histogram(MetricBatchSize, "Executed scoring-batch sizes (1 = uncoalesced).",
+			batchSizeBuckets).Observe(float64(len(reqs)))
+	}
+	return e.pipe.ExecScoreBatch(reqs)
+}
+
+// noteRunning moves n queries between the queued and executing states.
+func (e *Executor) noteRunning(n int64) {
+	e.running.Add(n)
+	e.publishGauges()
+}
+
+// publishGauges exports the queue-depth and in-flight gauges.
+func (e *Executor) publishGauges() {
+	reg := e.pipe.Obs.Metrics()
+	if reg == nil {
+		return
+	}
+	admitted, running := e.admitted.Load(), e.running.Load()
+	queued := admitted - running
+	if queued < 0 {
+		queued = 0
+	}
+	reg.Gauge(MetricQueueDepth, "Queries admitted but not yet executing.").Set(float64(queued))
+	reg.Gauge(MetricInflight, "Queries currently executing.").Set(float64(running))
+}
+
+// Queued returns queries admitted but not yet executing (for tests and
+// status pages; the gauges carry the same values).
+func (e *Executor) Queued() int64 {
+	q := e.admitted.Load() - e.running.Load()
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Running returns queries currently executing.
+func (e *Executor) Running() int64 { return e.running.Load() }

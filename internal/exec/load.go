@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/forest"
+	"accelscore/internal/hw"
+	"accelscore/internal/obs"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/platform"
+	"accelscore/internal/sched"
+)
+
+// LoadConfig parameterizes the load-generation environment. The zero value
+// gets defaults from BuildLoadEnv.
+type LoadConfig struct {
+	// Queries is the stream length (default 200).
+	Queries int
+	// Seed makes the stream deterministic (default 1).
+	Seed uint64
+	// Backend is the engine every query requests (default "CPU_SKLearn";
+	// "auto" routes through the offload advisor).
+	Backend string
+	// TableRows sizes the scoring input table; per-query record counts are
+	// drawn log-uniformly in [1, TableRows] and applied via @limit
+	// (default 2048).
+	TableRows int
+	// MeanInterarrival paces the open-loop stream (default 5ms).
+	MeanInterarrival time.Duration
+	// TreeChoices and DepthChoices span the model-complexity axis; one
+	// model is trained and stored per (trees, depth) pair (defaults
+	// {8, 32, 128} x {6, 10}).
+	TreeChoices  []int
+	DepthChoices []int
+}
+
+// LoadEnv is a self-contained serving environment for load generation: an
+// IRIS-replicated "stream" table, one trained model per (trees, depth)
+// shape, a cache-enabled pipeline over the full testbed, and a
+// deterministic query stream produced by the scheduling model's workload
+// generator — so measured serving numbers line up with simulator
+// predictions over the same stream.
+type LoadEnv struct {
+	DB      *db.Database
+	Pipe    *pipeline.Pipeline
+	Cfg     LoadConfig
+	Queries []sched.Query
+}
+
+// BuildLoadEnv trains the model zoo, loads the stream table and generates
+// the query stream. The observer may be nil.
+func BuildLoadEnv(cfg LoadConfig, observer *obs.Observer) (*LoadEnv, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = "CPU_SKLearn"
+	}
+	if cfg.TableRows <= 0 {
+		cfg.TableRows = 2048
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 5 * time.Millisecond
+	}
+	if len(cfg.TreeChoices) == 0 {
+		cfg.TreeChoices = []int{8, 32, 128}
+	}
+	if len(cfg.DepthChoices) == 0 {
+		cfg.DepthChoices = []int{6, 10}
+	}
+
+	iris := dataset.Iris()
+	d := db.New()
+	tbl, err := db.TableFromDataset("stream", iris.Replicate(cfg.TableRows))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.CreateTable(tbl); err != nil {
+		return nil, err
+	}
+	for _, trees := range cfg.TreeChoices {
+		for _, depth := range cfg.DepthChoices {
+			f, err := forest.Train(iris, forest.ForestConfig{
+				NumTrees:  trees,
+				Tree:      forest.TrainConfig{MaxDepth: depth},
+				Seed:      cfg.Seed,
+				Bootstrap: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := d.StoreModel(loadModelName(trees, depth), f); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	queries, err := sched.Generate(sched.WorkloadConfig{
+		Queries:          cfg.Queries,
+		MeanInterarrival: cfg.MeanInterarrival,
+		Features:         iris.NumFeatures(),
+		Classes:          iris.NumClasses(),
+		TreeChoices:      cfg.TreeChoices,
+		DepthChoices:     cfg.DepthChoices,
+		MinRecords:       1,
+		MaxRecords:       int64(cfg.TableRows),
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := platform.New()
+	return &LoadEnv{
+		DB: d,
+		Pipe: &pipeline.Pipeline{
+			DB:       d,
+			Runtime:  hw.DefaultRuntime(),
+			Registry: tb.Registry,
+			Advisor:  tb.Advisor,
+			Cache:    pipeline.NewModelCache(16),
+			Obs:      observer,
+		},
+		Cfg:     cfg,
+		Queries: queries,
+	}, nil
+}
+
+// loadModelName names the stored model for a (trees, depth) shape.
+func loadModelName(trees, depth int) string {
+	return fmt.Sprintf("rf_t%d_d%d", trees, depth)
+}
+
+// SQLFor renders the scoring statement for one stream query.
+func (env *LoadEnv) SQLFor(q sched.Query) string {
+	return fmt.Sprintf("EXEC sp_score_model @model='%s', @data='stream', @backend='%s', @limit=%d",
+		loadModelName(q.Stats.Trees, q.Stats.MaxDepth), env.Cfg.Backend, q.Records)
+}
+
+// Simulate runs the same query stream through the scheduling simulator on a
+// static placement matching the load's backend, so measured serving metrics
+// print next to the model's prediction.
+func (env *LoadEnv) Simulate() (sched.Metrics, error) {
+	s := &sched.Simulator{Registry: env.Pipe.Registry}
+	_, m, err := s.Run(sched.Static{BackendName: env.Cfg.Backend, Registry: env.Pipe.Registry}, env.Queries)
+	return m, err
+}
+
+// QueryRunner abstracts who executes a statement: the concurrent Executor
+// or the serialized baseline.
+type QueryRunner interface {
+	ExecQuery(sql string) (*pipeline.QueryResult, error)
+}
+
+// SerializedRunner reproduces the pre-executor serving behavior — one
+// global mutex around the pipeline — as the load harness's baseline.
+type SerializedRunner struct {
+	mu   sync.Mutex
+	Pipe *pipeline.Pipeline
+}
+
+// ExecQuery runs one statement under the global lock.
+func (s *SerializedRunner) ExecQuery(sql string) (*pipeline.QueryResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Pipe.ExecQuery(sql)
+}
+
+// RunOptions selects the load-generation mode.
+type RunOptions struct {
+	// Clients is the closed-loop concurrency (default 8). 0 < OpenLoop
+	// ignores it.
+	Clients int
+	// OpenLoop replays the stream at its generated arrival times instead
+	// of closed-loop; latency then includes queueing behind slow queries.
+	OpenLoop bool
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Label         string        `json:"label"`
+	Queries       int           `json:"queries"`
+	Ok            int           `json:"ok"`
+	Rejected      int           `json:"rejected"`
+	Errors        int           `json:"errors"`
+	Wall          time.Duration `json:"wall_ns"`
+	ThroughputQPS float64       `json:"throughput_qps"`
+	Mean          time.Duration `json:"mean_ns"`
+	P50           time.Duration `json:"p50_ns"`
+	P99           time.Duration `json:"p99_ns"`
+}
+
+// String renders one report line.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%-24s %5d ok %4d rej %3d err  wall %-10v  %8.1f qps  mean %-10v p50 %-10v p99 %v",
+		r.Label, r.Ok, r.Rejected, r.Errors, r.Wall.Round(time.Millisecond),
+		r.ThroughputQPS, r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond))
+}
+
+// RunLoad replays the environment's query stream through the runner and
+// measures real end-to-end serving performance.
+func RunLoad(env *LoadEnv, r QueryRunner, label string, opt RunOptions) (*LoadReport, error) {
+	if opt.Clients <= 0 {
+		opt.Clients = 8
+	}
+	rep := &LoadReport{Label: label, Queries: len(env.Queries)}
+	lats := make([]time.Duration, len(env.Queries))
+	outcomes := make([]error, len(env.Queries))
+
+	start := time.Now()
+	if opt.OpenLoop {
+		var wg sync.WaitGroup
+		for i := range env.Queries {
+			q := env.Queries[i]
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Pace to the generated arrival time; latency is measured
+				// from the scheduled arrival so queueing counts.
+				sched := start.Add(q.Arrival)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				_, err := r.ExecQuery(env.SQLFor(q))
+				lats[i] = time.Since(sched)
+				outcomes[i] = err
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < opt.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(env.Queries) {
+						return
+					}
+					t0 := time.Now()
+					_, err := r.ExecQuery(env.SQLFor(env.Queries[i]))
+					lats[i] = time.Since(t0)
+					outcomes[i] = err
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	rep.Wall = time.Since(start)
+
+	okLats := make([]time.Duration, 0, len(lats))
+	for i, err := range outcomes {
+		switch {
+		case err == nil:
+			rep.Ok++
+			okLats = append(okLats, lats[i])
+		case err == ErrRejected:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if rep.Errors > 0 {
+		for _, err := range outcomes {
+			if err != nil && err != ErrRejected {
+				return nil, fmt.Errorf("exec: load run %q: %w", label, err)
+			}
+		}
+	}
+	if rep.Wall > 0 {
+		rep.ThroughputQPS = float64(rep.Ok) / rep.Wall.Seconds()
+	}
+	rep.Mean, rep.P50, rep.P99 = latencySummary(okLats)
+	return rep, nil
+}
+
+// latencySummary returns mean/p50/p99 of the sample.
+func latencySummary(lats []time.Duration) (mean, p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	n := len(sorted)
+	return sum / time.Duration(n), sorted[n/2], sorted[(n*99)/100]
+}

@@ -26,8 +26,19 @@ type ModelCache struct {
 	capacity int
 	ll       *list.List // front = most recently used
 	index    map[string]*list.Element
+	// inflight tracks compilations in progress so concurrent cold-start
+	// queries for the same key share one compile (singleflight) instead of
+	// stampeding: the first caller compiles, the rest block on done.
+	inflight map[string]*compileCall
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, coalesced uint64
+}
+
+// compileCall is one in-progress compilation that late arrivals wait on.
+type compileCall struct {
+	done chan struct{}
+	e    *cacheEntry
+	err  error
 }
 
 // cacheEntry is one cached compiled model.
@@ -50,26 +61,31 @@ func NewModelCache(capacity int) *ModelCache {
 		capacity: capacity,
 		ll:       list.New(),
 		index:    make(map[string]*list.Element),
+		inflight: make(map[string]*compileCall),
 	}
 }
 
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int
+	// Coalesced counts lookups that piggybacked on another query's
+	// in-progress compilation instead of compiling themselves.
+	Coalesced uint64
+	Entries   int
 }
 
 // String renders the counters for dashboards and logs.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
-		s.Hits, s.Misses, s.Evictions, s.Entries)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d coalesced=%d entries=%d",
+		s.Hits, s.Misses, s.Evictions, s.Coalesced, s.Entries)
 }
 
 // Stats returns the current counters.
 func (c *ModelCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Coalesced: c.coalesced, Entries: c.ll.Len()}
 }
 
 // Len returns the number of cached models.
@@ -103,6 +119,11 @@ func (c *ModelCache) lookup(key string) (*cacheEntry, bool) {
 func (c *ModelCache) store(e *cacheEntry) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.storeLocked(e)
+}
+
+// storeLocked is store with c.mu already held.
+func (c *ModelCache) storeLocked(e *cacheEntry) int {
 	if el, ok := c.index[e.key]; ok {
 		// A racing query compiled the same model; keep the existing entry.
 		c.ll.MoveToFront(el)
@@ -118,4 +139,40 @@ func (c *ModelCache) store(e *cacheEntry) int {
 		evicted++
 	}
 	return evicted
+}
+
+// GetOrCompile returns the cached entry for key, or compiles it exactly once
+// even under concurrent cold-start pressure. status is "hit" (already
+// cached), "miss" (this caller ran compile) or "coalesced" (another caller's
+// in-progress compile was shared). A failed compile is propagated to every
+// waiter and cached nothing, so the next query retries.
+func (c *ModelCache) GetOrCompile(key string, compile func() (*cacheEntry, error)) (e *cacheEntry, status string, evicted int, err error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry), "hit", 0, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-call.done
+		return call.e, "coalesced", 0, call.err
+	}
+	c.misses++
+	call := &compileCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.e, call.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		evicted = c.storeLocked(call.e)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.e, "miss", evicted, call.err
 }

@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestModelCacheSingleflight gates a compile behind channels and proves
+// that N concurrent cold lookups for one key run the compile exactly once:
+// one miss, N-1 coalesced waiters, everyone getting the same entry.
+func TestModelCacheSingleflight(t *testing.T) {
+	c := NewModelCache(4)
+	const n = 6
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compiles := 0
+	leaderEntry := &cacheEntry{key: "k"}
+
+	var wg sync.WaitGroup
+	statuses := make([]string, n)
+	entries := make([]*cacheEntry, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e, st, _, err := c.GetOrCompile("k", func() (*cacheEntry, error) {
+			entered <- struct{}{}
+			<-release
+			compiles++
+			return leaderEntry, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		statuses[0], entries[0] = st, e
+	}()
+	<-entered // leader is inside compile; the key is inflight
+
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, st, _, err := c.GetOrCompile("k", func() (*cacheEntry, error) {
+				return nil, fmt.Errorf("second compile ran")
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			statuses[i], entries[i] = st, e
+		}(i)
+	}
+	// Wait until every follower is parked on the inflight call, then let
+	// the leader finish.
+	for i := 0; c.Stats().Coalesced != n-1; i++ {
+		if i > 5000 {
+			t.Fatalf("followers never coalesced: %v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if compiles != 1 {
+		t.Fatalf("compile ran %d times", compiles)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 || st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	miss, coalesced := 0, 0
+	for i, s := range statuses {
+		if entries[i] != leaderEntry {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+		switch s {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Fatalf("caller %d status %q", i, s)
+		}
+	}
+	if miss != 1 || coalesced != n-1 {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	// The stored entry now serves plain hits.
+	if _, s, _, _ := c.GetOrCompile("k", nil); s != "hit" {
+		t.Fatalf("post-singleflight status = %q", s)
+	}
+}
+
+// TestModelCacheSingleflightError: a failed compile propagates to every
+// waiter, caches nothing, and the next lookup retries.
+func TestModelCacheSingleflightError(t *testing.T) {
+	c := NewModelCache(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compileErr := fmt.Errorf("corrupt blob")
+
+	var wg sync.WaitGroup
+	var leaderErr, followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, leaderErr = c.GetOrCompile("bad", func() (*cacheEntry, error) {
+			entered <- struct{}{}
+			<-release
+			return nil, compileErr
+		})
+	}()
+	<-entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, followerErr = c.GetOrCompile("bad", nil)
+	}()
+	for i := 0; c.Stats().Coalesced != 1; i++ {
+		if i > 5000 {
+			t.Fatalf("follower never coalesced: %v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if leaderErr != compileErr || followerErr != compileErr {
+		t.Fatalf("errors = %v / %v, want both %v", leaderErr, followerErr, compileErr)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed compile cached an entry: %v", st)
+	}
+	// Retry is a fresh miss.
+	_, s, _, err := c.GetOrCompile("bad", func() (*cacheEntry, error) {
+		return &cacheEntry{key: "bad"}, nil
+	})
+	if err != nil || s != "miss" {
+		t.Fatalf("retry: status %q err %v", s, err)
+	}
+}

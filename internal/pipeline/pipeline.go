@@ -131,6 +131,9 @@ type QueryResult struct {
 	// TraceID identifies the query's trace in the pipeline's observer
 	// (empty when no observer with a tracer is attached).
 	TraceID string
+	// BatchSize is the number of queries scored in the same coalesced
+	// pipeline run (1 when the query ran alone).
+	BatchSize int
 }
 
 // ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
@@ -141,6 +144,13 @@ func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
 		p.countStatement("parse_error")
 		return nil, err
 	}
+	return p.ExecStatement(st)
+}
+
+// ExecStatement runs one parsed statement, counting it by kind. Exported so
+// front-ends that parse once to inspect the statement (the concurrent
+// executor) can dispatch without re-parsing.
+func (p *Pipeline) ExecStatement(st db.Statement) (*QueryResult, error) {
 	switch s := st.(type) {
 	case *db.SelectStmt:
 		p.countStatement("select")
@@ -156,6 +166,14 @@ func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
 		p.countStatement("insert")
 		_, err := p.DB.InsertRows(s)
 		return &QueryResult{}, err
+	case *db.DeleteStmt:
+		p.countStatement("delete")
+		_, err := p.DB.Delete(s)
+		return &QueryResult{}, err
+	case *db.UpdateStmt:
+		p.countStatement("update")
+		_, err := p.DB.Update(s)
+		return &QueryResult{}, err
 	case *db.ExecStmt:
 		p.countStatement("exec")
 		if !strings.EqualFold(s.Proc, ScoreProcName) {
@@ -167,22 +185,28 @@ func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
 	}
 }
 
-// ScoreProc runs the scoring stored procedure:
-//
-//	EXEC sp_score_model @model = '<model>', @data = '<table>'
-//	     [, @backend = '<name>|auto'] [, @limit = n]
-func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (res *QueryResult, err error) {
-	// Failures before the stage loop (bad parameters, missing model or
-	// table) never reach run's own accounting, so count them here.
-	reachedRun := false
-	defer func() {
-		if err != nil && !reachedRun {
-			if reg := p.Obs.Metrics(); reg != nil {
-				reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
-					"status", "error").Inc()
-			}
-		}
-	}()
+// NoteStatement bumps the statement-kind counter. Exported so alternative
+// front-ends keep statement accounting consistent with ExecQuery.
+func (p *Pipeline) NoteStatement(kind string) { p.countStatement(kind) }
+
+// ScoreRequest is a validated sp_score_model invocation: which model to run
+// over which table on which backend. It is the unit the concurrent executor
+// coalesces on.
+type ScoreRequest struct {
+	// Model names the stored model to score with.
+	Model string
+	// Data names the input table.
+	Data string
+	// Backend is the requested engine ("" = pipeline default, "auto" =
+	// advisor).
+	Backend string
+	// Limit caps the scored rows (0 = all rows).
+	Limit int
+}
+
+// ParseScoreParams validates an EXEC sp_score_model statement's parameters
+// and returns the scoring request they describe.
+func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
 	modelName, ok := ex.Params["model"]
 	if !ok || !modelName.IsString {
 		return nil, fmt.Errorf("pipeline: %s requires @model = '<name>'", ScoreProcName)
@@ -198,37 +222,7 @@ func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (res *QueryResult, err error) {
 			return nil, fmt.Errorf("pipeline: unknown parameter @%s", name)
 		}
 	}
-
-	// DBMS side: fetch the model blob and the input rows. With the hot path
-	// enabled, the table->dataset conversion comes from the table's
-	// version-keyed snapshot cache instead of being redone per query.
-	blob, err := p.DB.LoadModelBlob(modelName.S)
-	if err != nil {
-		return nil, err
-	}
-	tbl, err := p.DB.Table(dataName.S)
-	if err != nil {
-		return nil, err
-	}
-	var data *dataset.Dataset
-	if p.Cache != nil {
-		var snapHit bool
-		data, snapHit, err = tbl.DatasetSnapshotCached()
-		if reg := p.Obs.Metrics(); reg != nil && err == nil {
-			ev := "miss"
-			if snapHit {
-				ev = "hit"
-			}
-			reg.Counter(MetricSnapshotCacheEventsTotal,
-				"Dataset snapshot cache activity on the scoring-query input path.",
-				"event", ev).Inc()
-		}
-	} else {
-		data, err = db.DatasetFromTable(tbl)
-	}
-	if err != nil {
-		return nil, err
-	}
+	req := &ScoreRequest{Model: modelName.S, Data: dataName.S}
 	if lim, ok := ex.Params["limit"]; ok {
 		// Validate the parameter's type before its value so a string-valued
 		// @limit reports a type error, not "must be positive".
@@ -239,18 +233,113 @@ func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (res *QueryResult, err error) {
 		if n <= 0 {
 			return nil, fmt.Errorf("pipeline: @limit must be a positive number")
 		}
-		data = data.Head(n)
+		req.Limit = n
 	}
-
-	backendName := ""
 	if b, ok := ex.Params["backend"]; ok {
 		if !b.IsString {
 			return nil, fmt.Errorf("pipeline: @backend must be a string")
 		}
-		backendName = b.S
+		req.Backend = b.S
+	}
+	return req, nil
+}
+
+// ScoreProc runs the scoring stored procedure:
+//
+//	EXEC sp_score_model @model = '<model>', @data = '<table>'
+//	     [, @backend = '<name>|auto'] [, @limit = n]
+func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
+	req, err := ParseScoreParams(ex)
+	if err != nil {
+		// Parameter failures never reach the batch path's accounting, so
+		// count them here.
+		if reg := p.Obs.Metrics(); reg != nil {
+			reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
+				"status", "error").Inc()
+		}
+		return nil, err
+	}
+	return p.ExecScore(req)
+}
+
+// ExecScore runs one validated scoring request end to end.
+func (p *Pipeline) ExecScore(req *ScoreRequest) (*QueryResult, error) {
+	results, err := p.ExecScoreBatch([]*ScoreRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// ExecScoreBatch runs a coalesced batch of scoring requests as ONE pipeline
+// execution: the model blob is loaded and pre-processed once, the input rows
+// are concatenated and scored in a single backend call, and the predictions
+// are fanned back out per request. Every request must name the same model
+// and backend (that is the coalescing key); input tables may differ. A
+// shared-stage failure fails the whole batch.
+func (p *Pipeline) ExecScoreBatch(reqs []*ScoreRequest) (results []*QueryResult, err error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("pipeline: empty scoring batch")
+	}
+	// Failures before the stage loop (missing model or table) never reach
+	// the batch accounting; every request in the batch fails together.
+	reachedRun := false
+	defer func() {
+		if err != nil && !reachedRun {
+			if reg := p.Obs.Metrics(); reg != nil {
+				reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
+					"status", "error").Add(float64(len(reqs)))
+			}
+		}
+	}()
+	first := reqs[0]
+	for _, r := range reqs[1:] {
+		if r.Model != first.Model || r.Backend != first.Backend {
+			return nil, fmt.Errorf("pipeline: coalesced batch mixes (model=%q backend=%q) with (model=%q backend=%q)",
+				first.Model, first.Backend, r.Model, r.Backend)
+		}
+	}
+
+	// DBMS side: fetch the model blob once and each request's input rows.
+	// With the hot path enabled, the table->dataset conversion comes from
+	// the table's version-keyed snapshot cache instead of being redone per
+	// query.
+	blob, err := p.DB.LoadModelBlob(first.Model)
+	if err != nil {
+		return nil, err
+	}
+	datas := make([]*dataset.Dataset, len(reqs))
+	for i, r := range reqs {
+		tbl, err := p.DB.Table(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		var data *dataset.Dataset
+		if p.Cache != nil {
+			var snapHit bool
+			data, snapHit, err = tbl.DatasetSnapshotCached()
+			if reg := p.Obs.Metrics(); reg != nil && err == nil {
+				ev := "miss"
+				if snapHit {
+					ev = "hit"
+				}
+				reg.Counter(MetricSnapshotCacheEventsTotal,
+					"Dataset snapshot cache activity on the scoring-query input path.",
+					"event", ev).Inc()
+			}
+		} else {
+			data, err = db.DatasetFromTable(tbl)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.Limit > 0 {
+			data = data.Head(r.Limit)
+		}
+		datas[i] = data
 	}
 	reachedRun = true
-	return p.run(modelName.S, blob, data, backendName)
+	return p.scoreBatch(first.Model, blob, datas, first.Backend)
 }
 
 // Run executes the pipeline stages over a model blob and a dataset,
@@ -259,91 +348,117 @@ func (p *Pipeline) Run(blob []byte, data *dataset.Dataset, backendName string) (
 	return p.run("", blob, data, backendName)
 }
 
-// run is the stage loop behind Run and ScoreProc. modelName (may be empty
+// run is the single-query stage loop behind Run. modelName (may be empty
 // for direct Run calls) only contributes to the cache key; the blob checksum
 // does the real identification.
-func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, backendName string) (res *QueryResult, err error) {
-	res = &QueryResult{}
-	records := int64(data.NumRecords())
-	features := int64(data.NumFeatures())
+func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
+	results, err := p.scoreBatch(modelName, blob, []*dataset.Dataset{data}, backendName)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
 
-	tr := p.Obs.StartTrace(ScoreProcName)
-	res.TraceID = tr.ID()
-	tr.SetAttr("model", modelName)
-	tr.SetAttr("records", strconv.FormatInt(records, 10))
+// scoreBatch is the stage loop behind Run, ScoreProc and ExecScoreBatch. It
+// executes ONE pipeline run over the concatenation of the batch's datasets
+// and fans the predictions back out: one Python invocation, one model
+// pre-processing, one backend call over all rows. Each sub-query's simulated
+// timeline charges an amortized share — fixed per-invocation stages divide
+// by the batch size, row-proportional stages scale by row share — which is
+// the cross-query version of the paper's overhead-amortization argument. A
+// batch of one reproduces the old per-query behavior exactly.
+func (p *Pipeline) scoreBatch(modelName string, blob []byte, datas []*dataset.Dataset, backendName string) (results []*QueryResult, err error) {
+	n := len(datas)
+	if n == 0 {
+		return nil, fmt.Errorf("pipeline: empty scoring batch")
+	}
+	merged := datas[0]
+	if n > 1 {
+		if merged, err = dataset.Concat(datas); err != nil {
+			return nil, err
+		}
+	}
+	records := int64(merged.NumRecords())
+	features := int64(merged.NumFeatures())
+
+	subs := make([]*QueryResult, n)
+	trs := make([]*obs.Trace, n)
+	for i, d := range datas {
+		tr := p.Obs.StartTrace(ScoreProcName)
+		tr.SetAttr("model", modelName)
+		tr.SetAttr("records", strconv.Itoa(d.NumRecords()))
+		if n > 1 {
+			tr.SetAttr("coalesced_batch", strconv.Itoa(n))
+		}
+		trs[i] = tr
+		subs[i] = &QueryResult{TraceID: tr.ID(), BatchSize: n}
+	}
 	start := time.Now()
-	defer func() { p.observeQuery(tr, start, res, err) }()
+	defer func() {
+		for i := range subs {
+			p.observeQuery(trs[i], start, subs[i], err)
+		}
+	}()
 
-	// Cache probe: recomputing the blob checksum on every query is the
-	// invalidation mechanism — a replaced model produces a different key and
-	// misses, so no DB write-path hook is needed.
+	// Model pre-processing: probe the cache and, on a miss, deserialize the
+	// blob and lower it to the flat kernel form — exactly once even under
+	// concurrent cold starts (GetOrCompile's singleflight). Recomputing the
+	// blob checksum on every query is the invalidation mechanism — a
+	// replaced model produces a different key and misses, so no DB
+	// write-path hook is needed.
 	var (
 		f        *forest.Forest
 		compiled *kernel.Compiled
 		stats    forest.Stats
-		hit      bool
-		key      string
+		status   string // "hit" | "miss" | "coalesced"; "" without a cache
 	)
+	endPreproc := p.startSpanAll(trs, StageModelPreproc)
 	if p.Cache != nil {
-		key = cacheKey(modelName, blob)
-		if e, ok := p.Cache.lookup(key); ok {
-			f, compiled, stats, hit = e.forest, e.compiled, e.stats, true
-		}
+		key := cacheKey(modelName, blob)
+		var (
+			e       *cacheEntry
+			evicted int
+		)
+		e, status, evicted, err = p.Cache.GetOrCompile(key, func() (*cacheEntry, error) {
+			cf, cerr := model.Unmarshal(blob)
+			if cerr != nil {
+				return nil, cerr
+			}
+			cc, cerr := cf.Compile()
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &cacheEntry{key: key, forest: cf, compiled: cc, stats: cf.ComputeStats()}, nil
+		})
 		if reg := p.Obs.Metrics(); reg != nil {
-			ev := "miss"
-			if hit {
-				ev = "hit"
-			}
-			reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", ev).Inc()
-		}
-	}
-
-	// Stage 1: launch the external runtime.
-	res.Timeline.Add(StagePythonInvocation, sim.KindPipeline, p.Runtime.ProcessInvoke)
-
-	// Stage 2: copy the model blob and the input rows into the runtime. On
-	// a cache hit the compiled model is already resident, so only the rows
-	// move.
-	inBytes := records * features * dataset.BytesPerValue
-	if !hit {
-		inBytes += int64(len(blob))
-	}
-	res.Timeline.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(inBytes))
-
-	// Stage 3: model pre-processing — deserialize the blob and lower it to
-	// the flat kernel form, or, on a hit, just the checksum verification the
-	// cache probe performed (near-zero: the Fig. 11 "tightly integrated"
-	// model cost, reproduced by the cache).
-	endPreproc := tr.StartSpan(StageModelPreproc)
-	if hit {
-		res.Timeline.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelCacheHitTime(int64(len(blob))))
-	} else {
-		f, err = model.Unmarshal(blob)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
-		}
-		stats = f.ComputeStats()
-		res.Timeline.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(int64(len(blob))))
-		if p.Cache != nil {
-			compiled, err = f.Compile()
-			if err != nil {
-				return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
-			}
-			evicted := p.Cache.store(&cacheEntry{key: key, forest: f, compiled: compiled, stats: stats})
-			if reg := p.Obs.Metrics(); reg != nil && evicted > 0 {
+			reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", status).Inc()
+			if evicted > 0 {
 				reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", "eviction").
 					Add(float64(evicted))
 			}
 		}
+		if err != nil {
+			endPreproc()
+			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
+		}
+		f, compiled, stats = e.forest, e.compiled, e.stats
+	} else {
+		f, err = model.Unmarshal(blob)
+		if err != nil {
+			endPreproc()
+			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
+		}
+		stats = f.ComputeStats()
 	}
 	endPreproc()
-	res.CacheHit = hit
+	// "hit" and "coalesced" both mean the compiled model was already
+	// resident (or becoming resident) in the runtime: no blob transfer, no
+	// deserialization charge.
+	resident := status == "hit" || status == "coalesced"
 
-	// Stage 4: data pre-processing — feature extraction / dataframe prep.
-	res.Timeline.Add(StageDataPreproc, sim.KindPipeline, p.Runtime.DataPreprocTime(records, features))
-
-	// Stage 5: model scoring on the selected backend. The pre-compiled
-	// kernel form rides along so CPU engines skip their per-query lowering.
+	// Model scoring on the selected backend, over the merged rows. The
+	// pre-compiled kernel form rides along so CPU engines skip their
+	// per-query lowering.
 	eng, source, err := p.resolveBackend(backendName, stats, records)
 	if err != nil {
 		return nil, err
@@ -353,37 +468,120 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 			"Scoring-backend resolutions by engine and decision source.",
 			"backend", eng.Name(), "source", source).Inc()
 	}
-	endScoring := tr.StartSpan(StageModelScoring)
-	scored, err := eng.Score(&backend.Request{Forest: f, Data: data, Compiled: compiled, Stats: &stats})
+	endScoring := p.startSpanAll(trs, StageModelScoring)
+	scored, err := eng.Score(&backend.Request{Forest: f, Data: merged, Compiled: compiled, Stats: &stats})
 	endScoring()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
 	}
-	res.Backend = eng.Name()
-	res.Predictions = scored.Predictions
-	res.ScoringDetail = scored.Timeline
-	res.Timeline.Add(StageModelScoring, sim.KindCompute, scored.Timeline.Total())
 
-	// Stage 6: post-processing — land the prediction column in one bulk
-	// append instead of one Insert per row.
-	endPost := tr.StartSpan(StagePostprocessing)
-	out, err := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
-	if err != nil {
-		return nil, err
-	}
-	if err := out.AppendIntRows(scored.Predictions); err != nil {
-		return nil, err
+	// Post-processing: land each sub-query's prediction slice in its own
+	// result table, in one bulk append per query.
+	endPost := p.startSpanAll(trs, StagePostprocessing)
+	offset := 0
+	for i, d := range datas {
+		nr := d.NumRecords()
+		preds := scored.Predictions[offset : offset+nr]
+		offset += nr
+		out, terr := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
+		if terr == nil {
+			terr = out.AppendIntRows(preds)
+		}
+		if terr != nil {
+			endPost()
+			err = terr
+			return nil, err
+		}
+		subs[i].Predictions = preds
+		subs[i].Table = out
+		subs[i].Backend = eng.Name()
 	}
 	endPost()
-	res.Table = out
-	res.Timeline.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
 
-	// Return path: copy predictions back to the DBMS.
-	res.Timeline.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
-	if p.Cache != nil {
-		res.CacheStats = p.Cache.Stats()
+	// Simulated Fig. 11 breakdown of the whole batch, in canonical stage
+	// order: invocation, inbound transfer (rows always; the blob only when
+	// the compiled model is not resident), model pre-processing (checksum
+	// verification on hit, full deserialization otherwise), data
+	// pre-processing, scoring, post-processing, outbound transfer.
+	var batch sim.Timeline
+	batch.Add(StagePythonInvocation, sim.KindPipeline, p.Runtime.ProcessInvoke)
+	inBytes := records * features * dataset.BytesPerValue
+	if !resident {
+		inBytes += int64(len(blob))
 	}
-	return res, nil
+	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(inBytes))
+	if resident {
+		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelCacheHitTime(int64(len(blob))))
+	} else {
+		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(int64(len(blob))))
+	}
+	batch.Add(StageDataPreproc, sim.KindPipeline, p.Runtime.DataPreprocTime(records, features))
+	batch.Add(StageModelScoring, sim.KindCompute, scored.Timeline.Total())
+	batch.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
+	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
+
+	for i, d := range datas {
+		if n == 1 {
+			subs[i].Timeline = batch
+			subs[i].ScoringDetail = scored.Timeline
+		} else {
+			share := 1.0 / float64(n)
+			if records > 0 {
+				share = float64(d.NumRecords()) / float64(records)
+			}
+			subs[i].Timeline = apportionTimeline(&batch, n, share)
+			subs[i].ScoringDetail = scaleTimeline(&scored.Timeline, share)
+		}
+		subs[i].CacheHit = status == "hit"
+		if p.Cache != nil {
+			subs[i].CacheStats = p.Cache.Stats()
+		}
+	}
+	results = subs
+	return results, nil
+}
+
+// startSpanAll opens the named wall-clock span on every trace in the batch,
+// returning a closer that ends them all.
+func (p *Pipeline) startSpanAll(trs []*obs.Trace, name string) func() {
+	ends := make([]func(), len(trs))
+	for i, tr := range trs {
+		ends[i] = tr.StartSpan(name)
+	}
+	return func() {
+		for _, end := range ends {
+			end()
+		}
+	}
+}
+
+// apportionTimeline computes one sub-query's amortized share of a coalesced
+// batch timeline: fixed per-invocation stages (Python invocation, model
+// pre-processing) divide evenly across the batch — the amortization win —
+// while row-proportional stages scale by the sub-query's row share.
+func apportionTimeline(batch *sim.Timeline, n int, share float64) sim.Timeline {
+	var out sim.Timeline
+	for _, s := range batch.Spans() {
+		d := s.Duration
+		switch s.Name {
+		case StagePythonInvocation, StageModelPreproc:
+			d /= time.Duration(n)
+		default:
+			d = time.Duration(float64(d) * share)
+		}
+		out.AddSpan(sim.Span{Name: s.Name, Kind: s.Kind, Duration: d})
+	}
+	return out
+}
+
+// scaleTimeline scales every span duration by share, preserving names and
+// kinds.
+func scaleTimeline(t *sim.Timeline, share float64) sim.Timeline {
+	var out sim.Timeline
+	for _, s := range t.Spans() {
+		out.AddSpan(sim.Span{Name: s.Name, Kind: s.Kind, Duration: time.Duration(float64(s.Duration) * share)})
+	}
+	return out
 }
 
 const helpModelCacheEvents = "Compiled-model cache hits, misses and evictions."
