@@ -54,7 +54,30 @@ func main() {
 	openLoop := flag.Bool("open", false, "replay at generated arrival times instead of closed-loop")
 	jsonOut := flag.String("json", "", "write the reports as JSON to this path")
 	bench := flag.Bool("bench", false, "run the serialized-vs-executor matrix and write results/throughput_bench.md + BENCH_throughput.json")
+	chaos := flag.Bool("chaos", false, "run the healthy-vs-chaos comparison and write results/chaos_report.md + CHAOS_report.json")
+	faultSpec := flag.String("faults", exec.DefaultChaosPlan, "fault plan for -chaos (backend:boundary:kind[:trigger];...)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
+	deadline := flag.Duration("deadline", 2*time.Second, "per-query deadline for -chaos (0 = none)")
+	retries := flag.Int("retries", 3, "max retries per query for -chaos")
+	attemptTimeout := flag.Duration("attempt-timeout", 150*time.Millisecond, "per-attempt hang-detection timeout for -chaos (0 = off)")
 	flag.Parse()
+
+	if *chaos {
+		// Chaos defaults: an accelerator-targeted stream (the plan injects
+		// FPGA faults) sized to finish quickly, unless the user pinned a
+		// flag.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["backend"] {
+			*backendName = "FPGA"
+		}
+		if !set["queries"] {
+			*queries = 120
+		}
+		if !set["rows"] {
+			*rows = 256
+		}
+	}
 
 	if *bench {
 		// The matrix defaults to the overhead-dominated regime the paper's
@@ -96,6 +119,22 @@ func main() {
 		MaxBatch:       *maxBatch,
 	}
 
+	if *chaos {
+		ecfg.MaxRetries = *retries
+		ecfg.AttemptTimeout = *attemptTimeout
+		ccfg := exec.ChaosConfig{
+			Load:      cfg,
+			Exec:      ecfg,
+			Clients:   opt.Clients,
+			FaultSpec: *faultSpec,
+			FaultSeed: *faultSeed,
+			Deadline:  *deadline,
+		}
+		if err := runChaos(ccfg, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *bench {
 		if err := runBench(cfg, opt, ecfg, *jsonOut); err != nil {
 			log.Fatal(err)
@@ -240,6 +279,87 @@ func runBench(cfg exec.LoadConfig, opt exec.RunOptions, ecfg exec.Config, jsonOu
 	}
 	log.Printf("wrote %s and %s", mdPath, jsonOut)
 	return nil
+}
+
+// runChaos runs the healthy-vs-chaos comparison, writes the artifacts and
+// fails hard if chaos ever changed a returned prediction — the one invariant
+// graceful degradation must keep.
+func runChaos(cfg exec.ChaosConfig, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "CHAOS_report.json"
+	}
+	log.Printf("chaos: %d queries, backend %s, plan %q, seed %d, deadline %v, retries %d, attempt-timeout %v",
+		cfg.Load.Queries, cfg.Load.Backend, cfg.FaultSpec, cfg.FaultSeed, cfg.Deadline,
+		cfg.Exec.MaxRetries, cfg.Exec.AttemptTimeout)
+	rep, err := exec.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	log.Println(rep.Healthy)
+	log.Println(rep.Chaos)
+
+	doc := map[string]any{
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"plan":       rep.Plan,
+		"fault_seed": rep.Seed,
+		"deadline":   cfg.Deadline.String(),
+		"workload": map[string]any{
+			"queries": cfg.Load.Queries,
+			"seed":    cfg.Load.Seed,
+			"backend": cfg.Load.Backend,
+			"rows":    cfg.Load.TableRows,
+			"clients": cfg.Clients,
+		},
+		"healthy": rep.Healthy,
+		"chaos":   rep.Chaos,
+	}
+	if err := writeJSON(jsonOut, doc); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "chaos_report.md")
+	if err := writeChaosMarkdown(mdPath, cfg, rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", mdPath, jsonOut)
+
+	if rep.Healthy.Wrong > 0 || rep.Chaos.Wrong > 0 {
+		return fmt.Errorf("chaos: %d healthy / %d chaos queries returned WRONG predictions",
+			rep.Healthy.Wrong, rep.Chaos.Wrong)
+	}
+	if rep.Healthy.Ok != rep.Healthy.Queries {
+		return fmt.Errorf("chaos: healthy baseline lost %d/%d queries",
+			rep.Healthy.Queries-rep.Healthy.Ok, rep.Healthy.Queries)
+	}
+	return nil
+}
+
+// writeChaosMarkdown renders the comparison for results/.
+func writeChaosMarkdown(path string, cfg exec.ChaosConfig, rep *exec.ChaosReport) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Chaos run: availability and tail latency under injected faults\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -chaos` on %s/%s, GOMAXPROCS=%d.\n\n",
+		runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "Workload: %d scoring queries, backend %s, %d clients, per-query deadline %v.\n\n",
+		cfg.Load.Queries, cfg.Load.Backend, cfg.Clients, cfg.Deadline)
+	fmt.Fprintf(&sb, "Fault plan (seed %d): `%s`\n\n", rep.Seed, rep.Plan)
+	sb.WriteString("| run | ok | deadline | rejected | errors | wrong | availability | p50 | p99 | faults | retries | fallbacks | breaker transitions |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range []*exec.ChaosRun{rep.Healthy, rep.Chaos} {
+		fmt.Fprintf(&sb, "| %s | %d | %d | %d | %d | %d | %.1f%% | %v | %v | %.0f | %.0f | %.0f | %.0f |\n",
+			r.Label, r.Ok, r.DeadlineExceeded, r.Rejected, r.OtherErrors+r.Canceled, r.Wrong,
+			100*r.Availability, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.FaultsInjected, r.Retries, r.Fallbacks, r.BreakerTransitions)
+	}
+	sb.WriteString("\nEvery successful answer is checked bit-for-bit against a fault-free serial " +
+		"oracle over the same deterministic stream: injected faults may cost retries, latency " +
+		"and — past the deadline — availability, but they never change a returned prediction. " +
+		"Retryable faults (busy, corrupt, detected hangs) are absorbed by bounded retry with " +
+		"jittered backoff; fatal crashes and open circuit breakers degrade the query to the " +
+		"CPU engine, which is what keeps availability up when the accelerator misbehaves.\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 // benchDoc assembles the JSON artifact.

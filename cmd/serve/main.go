@@ -33,8 +33,14 @@ import (
 
 	"accelscore/internal/exec"
 	"accelscore/internal/experiments"
+	"accelscore/internal/faults"
 	"accelscore/internal/obs"
 )
+
+// StatusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was ready. It keeps canceled queries
+// distinguishable from timeouts (504) in logs and metrics.
+const StatusClientClosedRequest = 499
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
 <html>
@@ -96,7 +102,9 @@ type server struct {
 
 // newServer builds the shared state and the routed handler. demoRecords <= 0
 // means the default demo size; zero-valued cfg fields get executor defaults.
-func newServer(demoRecords int, cfg exec.Config) (*server, http.Handler, error) {
+// faultSpec, when non-empty, arms a deterministic fault-injection plan (see
+// internal/faults) on the demo pipeline with the given seed.
+func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uint64) (*server, http.Handler, error) {
 	demo, err := experiments.NewDemo(demoRecords)
 	if err != nil {
 		return nil, nil, err
@@ -109,6 +117,17 @@ func newServer(demoRecords int, cfg exec.Config) (*server, http.Handler, error) 
 	}
 	s.suite.Pipe.Obs = s.obs
 	s.demo.Pipe.Obs = s.obs
+	if faultSpec != "" {
+		rules, err := faults.Parse(faultSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		inj, err := faults.NewInjector(faultSeed, rules)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.demo.Pipe.Faults = exec.WireFaultMetrics(inj, s.obs.Metrics())
+	}
 	s.exec = exec.New(demo.Pipe, cfg)
 
 	mux := http.NewServeMux()
@@ -128,14 +147,20 @@ func main() {
 	coalesce := flag.Duration("coalesce", 2*time.Millisecond,
 		"request-coalescing window for same-model scoring queries (0 disables)")
 	maxBatch := flag.Int("maxbatch", 8, "max queries merged into one coalesced scoring run")
+	deadline := flag.Duration("deadline", 0,
+		"default per-query deadline (0 = none); an @timeout in the SQL or ?timeout= on /query overrides it")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault-injection plan, e.g. 'CPU_SKLearn:invoke:busy:p=0.2;FPGA:compute:hang=50ms:once=3'")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
 	flag.Parse()
 
-	_, handler, err := newServer(0, exec.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CoalesceWindow: *coalesce,
-		MaxBatch:       *maxBatch,
-	})
+	s, handler, err := newServer(0, exec.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CoalesceWindow:  *coalesce,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+	}, *faultSpec, *faultSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,6 +192,13 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		// The HTTP server has stopped accepting requests; now drain the
+		// executor — stop admission, flush coalescing windows, wait for
+		// in-flight scoring (the remaining shutdown budget aborts
+		// stragglers).
+		if err := s.exec.Close(shutdownCtx); err != nil {
+			log.Printf("executor drain: %v", err)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
@@ -257,22 +289,46 @@ func (s *server) handleFig(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleQuery runs the canonical demo scoring query through the concurrent
-// executor — no server lock — and shows the result with a link to its
-// trace. Concurrent requests for the same model may coalesce into one
-// pipeline run; a full admission queue sheds the request with 503.
+// executor — no server lock — under the REQUEST's context: the client
+// disconnecting cancels queued work (499), a ?timeout= duration becomes the
+// query's @timeout and maps expiry to 504, and a full admission queue sheds
+// the request with 503. Concurrent requests for the same model may coalesce
+// into one pipeline run.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	res, err := s.exec.ExecQuery(experiments.DemoQuery)
-	if err != nil {
-		if errors.Is(err, exec.ErrRejected) {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	sql := experiments.DemoQuery
+	if to := r.URL.Query().Get("timeout"); to != "" {
+		d, err := time.ParseDuration(to)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout %q: want a positive Go duration like 50ms", to),
+				http.StatusBadRequest)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		sql += fmt.Sprintf(", @timeout='%s'", d)
+	}
+	res, err := s.exec.Submit(r.Context(), sql)
+	if err != nil {
+		switch {
+		case errors.Is(err, exec.ErrRejected), errors.Is(err, exec.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			// The client is gone; the status exists for logs and metrics.
+			http.Error(w, err.Error(), StatusClientClosedRequest)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
 	var sb strings.Builder
-	sb.WriteString("query: " + experiments.DemoQuery + "\n\n")
+	sb.WriteString("query: " + sql + "\n\n")
 	fmt.Fprintf(&sb, "backend          %s\n", res.Backend)
+	if res.FallbackFrom != "" {
+		fmt.Fprintf(&sb, "degraded from    %s (%s)\n", res.FallbackFrom, res.FallbackReason)
+	}
+	if res.Retries > 0 {
+		fmt.Fprintf(&sb, "retries          %d\n", res.Retries)
+	}
 	fmt.Fprintf(&sb, "records scored   %d\n", len(res.Predictions))
 	fmt.Fprintf(&sb, "model cache      hit=%v\n", res.CacheHit)
 	fmt.Fprintf(&sb, "coalesced batch  %d\n", res.BatchSize)

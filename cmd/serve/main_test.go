@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -18,14 +19,21 @@ import (
 // included) over a small demo table so tests stay fast. Coalescing is on so
 // the concurrent tests exercise the real batched hot path.
 func startTestServer(t *testing.T) *httptest.Server {
+	ts, _ := startTestServerFaults(t, "")
+	return ts
+}
+
+// startTestServerFaults also arms a fault-injection plan on the demo
+// pipeline and returns the server state for executor assertions.
+func startTestServerFaults(t *testing.T, faultSpec string) (*httptest.Server, *server) {
 	t.Helper()
-	_, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8})
+	s, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8}, faultSpec, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(handler)
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, s
 }
 
 func get(t *testing.T, url string) (int, string) {
@@ -208,6 +216,73 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 	if !strings.Contains(body, pipeline.MetricQueriesTotal+`{status="ok"} 24`) {
 		t.Error("expected 24 ok queries in /metrics")
+	}
+}
+
+// TestQueryTimeoutMapsTo504: a ?timeout= shorter than an injected device
+// hang surfaces as 504 Gateway Timeout, and the deadline counter appears on
+// /metrics. A malformed timeout is a 400.
+func TestQueryTimeoutMapsTo504(t *testing.T) {
+	ts, _ := startTestServerFaults(t, "CPU_SKLearn:compute:hang=2s")
+	if code, body := get(t, ts.URL+"/query?timeout=50ms"); code != http.StatusGatewayTimeout {
+		t.Fatalf("/query?timeout=50ms = %d, want 504: %s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/query?timeout=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad timeout = %d, want 400", code)
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	for _, needle := range []string{
+		exec.MetricDeadlineExceededTotal + " 1",
+		MetricHTTPRequestsTotal + `{code="504",route="/query"} 1`,
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("/metrics missing %q", needle)
+		}
+	}
+}
+
+// TestClientDisconnectMapsTo499: the handler threads r.Context() into the
+// executor, so a client that gives up cancels its queued query and the
+// server records nginx's 499 with a distinct cancellation counter.
+func TestClientDisconnectMapsTo499(t *testing.T) {
+	ts, _ := startTestServerFaults(t, "CPU_SKLearn:compute:hang=5s")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/query", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatalf("request succeeded with status %d, want client-side cancellation", resp.StatusCode)
+	}
+	// The handler finishes asynchronously after the disconnect; poll the
+	// metrics until the 499 lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/metrics")
+		if strings.Contains(body, MetricHTTPRequestsTotal+`{code="499",route="/query"} 1`) &&
+			strings.Contains(body, exec.MetricCanceledTotal+" 1") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("499/cancellation never counted:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryRetriesSurviveInjectedFault: a transient injected fault on the
+// demo backend is retried away — the page still renders 200 and reports the
+// retry count.
+func TestQueryRetriesSurviveInjectedFault(t *testing.T) {
+	ts, _ := startTestServerFaults(t, "CPU_SKLearn:invoke:busy:once=1")
+	code, body := get(t, ts.URL+"/query")
+	if code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "retries          1") {
+		t.Fatalf("response does not report the retry:\n%s", body)
 	}
 }
 

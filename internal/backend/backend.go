@@ -11,12 +11,14 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"accelscore/internal/dataset"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/kernel"
 	"accelscore/internal/sim"
@@ -38,6 +40,34 @@ type Request struct {
 	// ComputeStats performs. It MUST describe Forest. Nil means the engine
 	// computes stats itself.
 	Stats *forest.Stats
+	// Ctx carries the query's deadline and cancellation into the engine.
+	// Engines honor it at their O/L/C boundaries via Boundary. Nil means
+	// context.Background (no deadline).
+	Ctx context.Context
+	// Inject, when set, is the fault injector engines consult at the same
+	// boundaries — the seam through which chaos runs surface device-busy,
+	// transfer-corrupt, crash and hang conditions inside the simulators.
+	Inject *faults.Injector
+}
+
+// Context returns the request's context, defaulting to Background.
+func (r *Request) Context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Boundary is the hook engines call when crossing an O/L/C boundary
+// (invocation, transfer, compute): it surfaces the request's cancellation
+// or deadline first, then consults the fault injector (which may delay —
+// an injected hang — or fail the operation). Nil-safe on every field.
+func (r *Request) Boundary(engineName string, b faults.Boundary) error {
+	ctx := r.Context()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return r.Inject.Check(ctx, engineName, b)
 }
 
 // ModelStats returns the request's structural stats, preferring the

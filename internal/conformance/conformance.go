@@ -60,6 +60,12 @@ func (r *Runner) Run(cases []Case) (*Report, error) {
 			r.pipelineChecks(rep, c, ref)
 		}
 	}
+	for _, c := range cases {
+		if c.Pipeline {
+			r.faultDeterminismCheck(rep, c)
+			break
+		}
+	}
 	return rep, nil
 }
 

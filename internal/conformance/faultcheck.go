@@ -1,0 +1,125 @@
+package conformance
+
+import (
+	"fmt"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/db"
+	"accelscore/internal/faults"
+	"accelscore/internal/pipeline"
+)
+
+// faultPlan mixes every trigger kind so the determinism check covers the
+// probabilistic, periodic and one-shot paths of the injector at once.
+const faultPlan = "FPGA:invoke:busy:p=0.4;FPGA:transfer:corrupt:every=3;FPGA:invoke:crash:once=5"
+
+// faultQueries is the stream length for the determinism check: long enough
+// that every rule in faultPlan fires at least once.
+const faultQueries = 12
+
+// faultDeterminismCheck replays the same serial query stream through two
+// fresh pipelines armed with identically-seeded injectors and the same
+// plan. Chaos testing is only debuggable if it is reproducible, so the two
+// runs must produce the identical fault sequence (seq/backend/boundary/
+// kind), the identical per-query success/failure pattern, and bit-identical
+// predictions for every query that survives.
+func (r *Runner) faultDeterminismCheck(rep *Report, c Case) {
+	const check = "fault-determinism"
+
+	type runOut struct {
+		events []faults.Event
+		errs   []string
+		preds  [][]int
+	}
+	run := func() (*runOut, error) {
+		database := db.New()
+		tbl, err := db.TableFromDataset("scoring_input", c.Data)
+		if err != nil {
+			return nil, err
+		}
+		if err := database.CreateTable(tbl); err != nil {
+			return nil, err
+		}
+		if err := database.StoreModelBlob("m", c.Blob); err != nil {
+			return nil, err
+		}
+		reg := backend.NewRegistry()
+		for _, eng := range r.Engines {
+			if err := reg.Register(eng); err != nil {
+				return nil, err
+			}
+		}
+		rules, err := faults.Parse(faultPlan)
+		if err != nil {
+			return nil, err
+		}
+		inj, err := faults.NewInjector(77, rules)
+		if err != nil {
+			return nil, err
+		}
+		p := &pipeline.Pipeline{
+			DB:       database,
+			Runtime:  r.Runtime,
+			Registry: reg,
+			Cache:    pipeline.NewModelCache(4),
+			Faults:   inj,
+		}
+		out := &runOut{}
+		query := "EXEC sp_score_model @model = 'm', @data = 'scoring_input', @backend = 'FPGA'"
+		for i := 0; i < faultQueries; i++ {
+			res, err := p.ExecQuery(query)
+			if err != nil {
+				out.errs = append(out.errs, err.Error())
+				out.preds = append(out.preds, nil)
+				continue
+			}
+			out.errs = append(out.errs, "")
+			out.preds = append(out.preds, res.Predictions)
+		}
+		out.events = inj.Events()
+		return out, nil
+	}
+
+	a, err := run()
+	if err != nil {
+		rep.fail(c.Name, "FPGA", check, err.Error())
+		return
+	}
+	b, err := run()
+	if err != nil {
+		rep.fail(c.Name, "FPGA", check, err.Error())
+		return
+	}
+
+	if len(a.events) == 0 {
+		rep.fail(c.Name, "FPGA", check, "fault plan never fired; the check exercised nothing")
+		return
+	}
+	if len(a.events) != len(b.events) {
+		rep.fail(c.Name, "FPGA", check,
+			fmt.Sprintf("run 1 fired %d faults, run 2 fired %d", len(a.events), len(b.events)))
+		return
+	}
+	for i := range a.events {
+		ea, eb := a.events[i], b.events[i]
+		if ea.Seq != eb.Seq || ea.Backend != eb.Backend || ea.Boundary != eb.Boundary || ea.Kind != eb.Kind {
+			rep.fail(c.Name, "FPGA", check,
+				fmt.Sprintf("fault %d diverged: run 1 %s/%s/%s, run 2 %s/%s/%s", i,
+					ea.Backend, ea.Boundary, ea.Kind, eb.Backend, eb.Boundary, eb.Kind))
+			return
+		}
+	}
+	for i := 0; i < faultQueries; i++ {
+		if a.errs[i] != b.errs[i] {
+			rep.fail(c.Name, "FPGA", check,
+				fmt.Sprintf("query %d outcome diverged: run 1 %q, run 2 %q", i, a.errs[i], b.errs[i]))
+			return
+		}
+		if d := firstDiff(a.preds[i], b.preds[i]); d >= 0 {
+			rep.fail(c.Name, "FPGA", check,
+				fmt.Sprintf("query %d row %d: surviving predictions diverged", i, d))
+			return
+		}
+	}
+	rep.pass(c.Name, "FPGA", check)
+}

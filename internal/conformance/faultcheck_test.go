@@ -1,0 +1,45 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultDeterminismCheck pins the chaos-reproducibility gate: two runs
+// with the same injector seed and plan must fire the identical fault
+// sequence and leave identical surviving predictions, and the check itself
+// must actually exercise the plan.
+func TestFaultDeterminismCheck(t *testing.T) {
+	cases, err := Cases(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *Case
+	for i := range cases {
+		if cases[i].Pipeline {
+			c = &cases[i]
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no pipeline case in the short matrix")
+	}
+
+	rep := &Report{}
+	NewRunner().faultDeterminismCheck(rep, *c)
+	for _, f := range rep.Failures() {
+		t.Errorf("fault-determinism failed: %s", f.Detail)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "fault-determinism" {
+			found = true
+			if !strings.Contains(f.Status.String(), "pass") {
+				t.Errorf("fault-determinism status %v, want pass: %s", f.Status, f.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("fault-determinism check did not report; findings: %+v", rep.Findings)
+	}
+}

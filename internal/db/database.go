@@ -1,12 +1,23 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"accelscore/internal/forest"
 	"accelscore/internal/model"
+)
+
+// Typed catalog errors. Callers branch on these with errors.Is — the serving
+// layer maps them to client errors rather than retrying or degrading, since
+// a missing object is a logical failure no other backend can fix.
+var (
+	// ErrTableNotFound reports a lookup of a table the catalog doesn't hold.
+	ErrTableNotFound = errors.New("table not found")
+	// ErrModelNotFound reports a lookup of a model the store doesn't hold.
+	ErrModelNotFound = errors.New("model not found")
 )
 
 // ModelsTable is the reserved table holding serialized models, mirroring the
@@ -51,7 +62,7 @@ func (d *Database) Table(name string) (*Table, error) {
 	defer d.mu.RUnlock()
 	t, ok := d.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("db: table %q does not exist", name)
+		return nil, fmt.Errorf("db: table %q: %w", name, ErrTableNotFound)
 	}
 	return t, nil
 }
@@ -118,7 +129,7 @@ func (d *Database) DeleteModel(name string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("db: model %q not found", name)
+	return fmt.Errorf("db: model %q: %w", name, ErrModelNotFound)
 }
 
 // LoadModelBlob fetches a model's serialized bytes — the DBMS-side half of
@@ -136,7 +147,7 @@ func (d *Database) LoadModelBlob(name string) ([]byte, error) {
 			return t.cellLocked(r, blobIdx).B, nil
 		}
 	}
-	return nil, fmt.Errorf("db: model %q not found", name)
+	return nil, fmt.Errorf("db: model %q: %w", name, ErrModelNotFound)
 }
 
 // ModelNames lists stored model names in insertion order.

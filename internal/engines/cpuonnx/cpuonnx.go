@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"accelscore/internal/backend"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/model"
@@ -63,6 +64,10 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// O boundary: session invocation.
+	if err := req.Boundary(e.name, faults.BoundaryInvoke); err != nil {
+		return nil, err
+	}
 	n := req.Data.NumRecords()
 	preds := make([]int, n)
 
@@ -76,6 +81,10 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 		if fe, err = compileFlat(req.Forest); err != nil {
 			return nil, fmt.Errorf("cpuonnx: %w", err)
 		}
+	}
+	// C boundary: per-record interpretation.
+	if err := req.Boundary(e.name, faults.BoundaryCompute); err != nil {
+		return nil, err
 	}
 
 	features := req.Data.NumFeatures()

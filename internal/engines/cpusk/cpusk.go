@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"accelscore/internal/backend"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/sim"
@@ -50,6 +51,10 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// O boundary: library/batch setup.
+	if err := req.Boundary(e.name, faults.BoundaryInvoke); err != nil {
+		return nil, err
+	}
 	n := req.Data.NumRecords()
 	preds := make([]int, n)
 
@@ -59,6 +64,10 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 		if compiled, err = req.Forest.Compile(); err != nil {
 			return nil, fmt.Errorf("cpusk: %w", err)
 		}
+	}
+	// C boundary: the traversal itself.
+	if err := req.Boundary(e.name, faults.BoundaryCompute); err != nil {
+		return nil, err
 	}
 	features := req.Data.NumFeatures()
 	compiled.Predict(req.Data.X[:n*features], features, preds, e.threads)

@@ -15,6 +15,7 @@ import (
 
 	"accelscore/internal/backend"
 	"accelscore/internal/dataset"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/model"
@@ -90,6 +91,18 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	}
 	if req.Forest.Kind != forest.Classifier {
 		return nil, fmt.Errorf("fpga: the majority-voting unit supports classifiers only")
+	}
+	// O boundary: CSR setup and the host-side FPGA API calls.
+	if err := req.Boundary(e.Name(), faults.BoundaryInvoke); err != nil {
+		return nil, err
+	}
+	// L boundary: model load into PE tree memories + record stream.
+	if err := req.Boundary(e.Name(), faults.BoundaryTransfer); err != nil {
+		return nil, err
+	}
+	// C boundary: the PE array walk.
+	if err := req.Boundary(e.Name(), faults.BoundaryCompute); err != nil {
+		return nil, err
 	}
 
 	n := req.Data.NumRecords()

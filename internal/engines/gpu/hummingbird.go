@@ -6,6 +6,7 @@ import (
 
 	"accelscore/internal/backend"
 	"accelscore/internal/dataset"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/sim"
@@ -46,8 +47,20 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// O boundary: runtime/kernel-launch invocation.
+	if err := req.Boundary(h.Name(), faults.BoundaryInvoke); err != nil {
+		return nil, err
+	}
 	prog, err := compileHB(req.Forest)
 	if err != nil {
+		return nil, err
+	}
+	// L boundary: the H2D input copy.
+	if err := req.Boundary(h.Name(), faults.BoundaryTransfer); err != nil {
+		return nil, err
+	}
+	// C boundary: the tensor kernels.
+	if err := req.Boundary(h.Name(), faults.BoundaryCompute); err != nil {
 		return nil, err
 	}
 	n := req.Data.NumRecords()

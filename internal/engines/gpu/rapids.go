@@ -6,6 +6,7 @@ import (
 
 	"accelscore/internal/backend"
 	"accelscore/internal/dataset"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/sim"
@@ -49,6 +50,18 @@ func (r *RAPIDS) Score(req *backend.Request) (*backend.Result, error) {
 	if req.Forest.NumClasses > r.spec.RAPIDSMaxClasses {
 		return nil, fmt.Errorf("gpu: RAPIDS FIL supports at most %d classes, model has %d",
 			r.spec.RAPIDSMaxClasses, req.Forest.NumClasses)
+	}
+	// O boundary: cuML invocation + cuDF conversion.
+	if err := req.Boundary(r.Name(), faults.BoundaryInvoke); err != nil {
+		return nil, err
+	}
+	// L boundary: the H2D dataframe copy.
+	if err := req.Boundary(r.Name(), faults.BoundaryTransfer); err != nil {
+		return nil, err
+	}
+	// C boundary: the FIL traversal kernels.
+	if err := req.Boundary(r.Name(), faults.BoundaryCompute); err != nil {
+		return nil, err
 	}
 	n := req.Data.NumRecords()
 	preds := make([]int, n)

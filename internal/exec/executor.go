@@ -18,8 +18,8 @@
 package exec
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -29,11 +29,15 @@ import (
 	"accelscore/internal/db"
 	"accelscore/internal/pipeline"
 	"accelscore/internal/sched"
+	"accelscore/internal/xrand"
 )
 
 // ErrRejected is returned when the admission queue is full: the caller
 // should shed load (HTTP 503) rather than queue unboundedly.
 var ErrRejected = errors.New("exec: admission queue full, query rejected")
+
+// ErrClosed is returned by Submit after Close has stopped admission.
+var ErrClosed = errors.New("exec: executor is closed")
 
 // Metric names the executor publishes into the pipeline's observer.
 const (
@@ -47,6 +51,30 @@ const (
 	// MetricBatchSize is the histogram of scoring-batch sizes actually
 	// executed (1 = no coalescing happened for that run).
 	MetricBatchSize = "accelscore_exec_coalesced_batch_size"
+	// MetricRetriesTotal counts re-attempts after retryable faults
+	// {backend}.
+	MetricRetriesTotal = "accelscore_exec_retries_total"
+	// MetricFallbacksTotal counts graceful degradations to the CPU engine
+	// {from, to, reason="breaker_open"|"deadline"|"fault"}.
+	MetricFallbacksTotal = "accelscore_exec_fallbacks_total"
+	// MetricBreakerState gauges each device's circuit state
+	// {device}: 0 closed, 1 half-open, 2 open.
+	MetricBreakerState = "accelscore_exec_breaker_state"
+	// MetricBreakerTransitionsTotal counts breaker state changes
+	// {device, to="closed"|"half_open"|"open"}.
+	MetricBreakerTransitionsTotal = "accelscore_exec_breaker_transitions_total"
+	// MetricDeadlineExceededTotal counts queries that terminated because
+	// their deadline expired.
+	MetricDeadlineExceededTotal = "accelscore_exec_deadline_exceeded_total"
+	// MetricCanceledTotal counts queries that terminated because the client
+	// canceled (disconnected).
+	MetricCanceledTotal = "accelscore_exec_canceled_total"
+	// MetricExpiredShedTotal counts queries shed because their deadline had
+	// already expired before they reached a worker.
+	MetricExpiredShedTotal = "accelscore_exec_expired_shed_total"
+	// MetricFaultsInjectedTotal counts injector firings
+	// {backend, boundary, kind} (wired by WireFaultMetrics).
+	MetricFaultsInjectedTotal = "accelscore_faults_injected_total"
 )
 
 // batchSizeBuckets resolves power-of-two batch sizes up to typical MaxBatch.
@@ -70,6 +98,31 @@ type Config struct {
 	// cpu=Workers, gpu=1, fpga=1 — CPU engines share host cores, the
 	// accelerators serialize).
 	DeviceLimits map[sched.Device]int
+	// MaxRetries bounds extra attempts after a retryable fault (default 2;
+	// negative disables retry entirely).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; it doubles per
+	// attempt with ±50% jitter and is capped at 250ms (default 2ms).
+	RetryBackoff time.Duration
+	// AttemptTimeout bounds a single scoring attempt so a hung device is
+	// detected and retried or degraded while the query deadline still has
+	// budget (0 = attempts run under the query deadline only).
+	AttemptTimeout time.Duration
+	// BreakerThreshold is how many consecutive failures open a device's
+	// circuit breaker (default 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before admitting a
+	// single half-open probe (default 250ms).
+	BreakerCooldown time.Duration
+	// FallbackBackend is the engine degraded queries run on when their
+	// requested backend faults, hangs, or sits behind an open breaker
+	// (default "CPU_SKLearn"; "none" disables graceful degradation).
+	FallbackBackend string
+	// DefaultDeadline bounds queries that carry neither an @timeout
+	// parameter nor a caller deadline (0 = unbounded).
+	DefaultDeadline time.Duration
+	// Seed seeds the retry-jitter RNG (default 1; deterministic).
+	Seed uint64
 }
 
 // withDefaults fills unset fields.
@@ -97,6 +150,27 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	c.DeviceLimits = limits
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 250 * time.Millisecond
+	}
+	if c.FallbackBackend == "" {
+		c.FallbackBackend = "CPU_SKLearn"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	return c
 }
 
@@ -115,12 +189,30 @@ type Executor struct {
 
 	admitted atomic.Int64 // queries holding an admission token
 	running  atomic.Int64 // queries currently executing
+
+	// rootCtx parents every query context; Close cancels it to abort
+	// in-flight work that outlives the drain deadline.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	closeMu sync.RWMutex   // guards closed against concurrent wg.Add
+	closed  bool           // admission stopped by Close
+	wg      sync.WaitGroup // one count per query inside Submit
+
+	breakers map[sched.Device]*breaker
+
+	rngMu sync.Mutex
+	rng   *xrand.Rand // retry jitter
+
+	estMu sync.Mutex
+	est   map[sched.Device]time.Duration // EWMA of successful batch wall time
 }
 
 // New builds an executor over the pipeline, publishing telemetry into the
 // pipeline's observer.
 func New(pipe *pipeline.Pipeline, cfg Config) *Executor {
 	cfg = cfg.withDefaults()
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	e := &Executor{
 		pipe:         pipe,
 		cfg:          cfg,
@@ -129,9 +221,20 @@ func New(pipe *pipeline.Pipeline, cfg Config) *Executor {
 		devices:      make(map[sched.Device]chan struct{}, len(cfg.DeviceLimits)),
 		pending:      make(map[string]*pendingBatch),
 		inflightKeys: make(map[string]int),
+		rootCtx:      rootCtx,
+		rootCancel:   rootCancel,
+		breakers:     make(map[sched.Device]*breaker),
+		rng:          xrand.New(cfg.Seed),
+		est:          make(map[sched.Device]time.Duration),
 	}
 	for d, n := range cfg.DeviceLimits {
 		e.devices[d] = make(chan struct{}, n)
+	}
+	if cfg.BreakerThreshold > 0 {
+		for d := range cfg.DeviceLimits {
+			e.breakers[d] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, e.breakerObserver(d))
+			e.publishBreakerState(d, breakerClosed)
+		}
 	}
 	return e
 }
@@ -140,10 +243,33 @@ func New(pipe *pipeline.Pipeline, cfg Config) *Executor {
 func (e *Executor) Config() Config { return e.cfg }
 
 // ExecQuery parses and runs one T-SQL statement through the concurrent hot
-// path. Scoring queries may be coalesced with concurrent queries for the
-// same (model, backend); everything else takes a worker slot and executes
-// directly. Returns ErrRejected when the admission queue is full.
+// path with no caller deadline. See Submit.
 func (e *Executor) ExecQuery(sql string) (*pipeline.QueryResult, error) {
+	return e.Submit(context.Background(), sql)
+}
+
+// Submit parses and runs one T-SQL statement through the concurrent hot
+// path under the caller's context. Scoring queries may be coalesced with
+// concurrent queries for the same (model, backend); everything else takes a
+// worker slot and executes directly. A ScoreRequest's @timeout (or the
+// configured DefaultDeadline) becomes a context deadline covering queueing,
+// coalescing, retries and fallback. Returns ErrRejected when the admission
+// queue is full, ErrClosed after Close, and the context's error when the
+// caller cancels or the deadline expires.
+func (e *Executor) Submit(ctx context.Context, sql string) (res *pipeline.QueryResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	e.wg.Add(1)
+	e.closeMu.RUnlock()
+	defer e.wg.Done()
+	defer func() { e.noteTerminal(err) }()
+
 	select {
 	case e.admission <- struct{}{}:
 	default:
@@ -160,6 +286,13 @@ func (e *Executor) ExecQuery(sql string) (*pipeline.QueryResult, error) {
 		<-e.admission
 	}()
 
+	// Deadline-aware admission: work whose budget is already gone is shed
+	// before it costs a worker or a device token.
+	if cerr := ctx.Err(); cerr != nil {
+		e.noteExpiredShed(1)
+		return nil, cerr
+	}
+
 	st, err := db.Parse(sql)
 	if err != nil {
 		e.pipe.NoteStatement("parse_error")
@@ -173,10 +306,12 @@ func (e *Executor) ExecQuery(sql string) (*pipeline.QueryResult, error) {
 			// metric accounting as the serialized path.
 			return e.pipe.ScoreProc(ex)
 		}
+		qctx, cancel := e.queryContext(ctx, req.Timeout)
+		defer cancel()
 		if e.cfg.CoalesceWindow > 0 && e.cfg.MaxBatch > 1 {
-			return e.coalesce(req)
+			return e.coalesce(qctx, req)
 		}
-		results, err := e.runBatch([]*pipeline.ScoreRequest{req})
+		results, err := e.runBatch(qctx, []*pipeline.ScoreRequest{req})
 		if err != nil {
 			return nil, err
 		}
@@ -185,29 +320,80 @@ func (e *Executor) ExecQuery(sql string) (*pipeline.QueryResult, error) {
 
 	// Non-scoring statements execute in the DBMS under a worker slot; the
 	// db layer's own fine-grained locks make them safe alongside scoring.
-	e.workers <- struct{}{}
+	qctx, cancel := e.queryContext(ctx, 0)
+	defer cancel()
+	select {
+	case e.workers <- struct{}{}:
+	case <-qctx.Done():
+		return nil, qctx.Err()
+	}
 	e.noteRunning(1)
 	defer func() {
 		e.noteRunning(-1)
 		<-e.workers
 	}()
-	return e.pipe.ExecStatement(st)
+	return e.pipe.ExecStatementCtx(qctx, st)
 }
 
-// runBatch executes one scoring batch under a worker slot and the target
-// device's concurrency token, and records the executed batch size.
-func (e *Executor) runBatch(reqs []*pipeline.ScoreRequest) ([]*pipeline.QueryResult, error) {
-	e.workers <- struct{}{}
-	defer func() { <-e.workers }()
-	// The device limit keys on the requested backend name; "auto" and ""
-	// resolve in-pipeline and are treated as CPU-resident for admission.
-	dev := sched.DeviceOf(reqs[0].Backend)
-	sem, ok := e.devices[dev]
-	if !ok {
-		return nil, fmt.Errorf("exec: no device limit for %q", dev)
+// queryContext layers the query's own @timeout (or the configured default
+// deadline) on top of the caller's context, and ties the result to the
+// executor root so Close can abort stragglers.
+func (e *Executor) queryContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	var qctx context.Context
+	var cancel context.CancelFunc
+	switch {
+	case timeout > 0:
+		qctx, cancel = context.WithTimeout(ctx, timeout)
+	case e.cfg.DefaultDeadline > 0:
+		if _, has := ctx.Deadline(); !has {
+			qctx, cancel = context.WithTimeout(ctx, e.cfg.DefaultDeadline)
+		} else {
+			qctx, cancel = context.WithCancel(ctx)
+		}
+	default:
+		qctx, cancel = context.WithCancel(ctx)
 	}
-	sem <- struct{}{}
-	defer func() { <-sem }()
+	stop := context.AfterFunc(e.rootCtx, cancel)
+	return qctx, func() { stop(); cancel() }
+}
+
+// noteTerminal counts queries that ended in cancellation or deadline expiry
+// so the two failure modes are distinguishable on /metrics.
+func (e *Executor) noteTerminal(err error) {
+	if err == nil {
+		return
+	}
+	reg := e.pipe.Obs.Metrics()
+	if reg == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		reg.Counter(MetricDeadlineExceededTotal, "Queries terminated by deadline expiry.").Inc()
+	case errors.Is(err, context.Canceled):
+		reg.Counter(MetricCanceledTotal, "Queries terminated by client cancellation.").Inc()
+	}
+}
+
+// noteExpiredShed counts queries dropped because their deadline had already
+// expired before any work was done on their behalf.
+func (e *Executor) noteExpiredShed(n int) {
+	if reg := e.pipe.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricExpiredShedTotal, "Queries shed with an already-expired deadline.").
+			Add(float64(n))
+	}
+}
+
+// runBatch executes one scoring batch under a worker slot, recording the
+// executed batch size; device tokens, retry, breaker accounting and
+// fallback happen inside runResilient.
+func (e *Executor) runBatch(ctx context.Context, reqs []*pipeline.ScoreRequest) ([]*pipeline.QueryResult, error) {
+	select {
+	case e.workers <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.workers }()
 
 	e.noteRunning(int64(len(reqs)))
 	defer e.noteRunning(int64(-len(reqs)))
@@ -215,7 +401,46 @@ func (e *Executor) runBatch(reqs []*pipeline.ScoreRequest) ([]*pipeline.QueryRes
 		reg.Histogram(MetricBatchSize, "Executed scoring-batch sizes (1 = uncoalesced).",
 			batchSizeBuckets).Observe(float64(len(reqs)))
 	}
-	return e.pipe.ExecScoreBatch(reqs)
+	return e.runResilient(ctx, reqs)
+}
+
+// Close stops admission (Submit returns ErrClosed), flushes open coalescing
+// windows so queued leaders run immediately, and waits for in-flight
+// queries to drain. If ctx expires first the executor root is canceled —
+// aborting remaining work at its next boundary — and Close still waits for
+// the (now unblocked) stragglers before returning the context error.
+// Close is idempotent.
+func (e *Executor) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.closeMu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	e.closeMu.Unlock()
+
+	if !alreadyClosed {
+		e.mu.Lock()
+		for _, b := range e.pending {
+			e.sealLocked(b)
+		}
+		e.mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		e.rootCancel()
+		return nil
+	case <-ctx.Done():
+		e.rootCancel()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // noteRunning moves n queries between the queued and executing states.

@@ -9,6 +9,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -18,6 +20,7 @@ import (
 	"accelscore/internal/core"
 	"accelscore/internal/dataset"
 	"accelscore/internal/db"
+	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
 	"accelscore/internal/kernel"
@@ -106,6 +109,10 @@ type Pipeline struct {
 	// one trace per query (wall-clock spans plus the simulated Fig. 11 and
 	// Fig. 7 timelines) into Obs.Tracer. Nil disables all publication.
 	Obs *obs.Observer
+	// Faults, when set, is handed to every engine call so the simulators
+	// surface injected device-busy/corrupt/crash/hang conditions at their
+	// O/L/C boundaries. Nil (the default) injects nothing.
+	Faults *faults.Injector
 }
 
 // QueryResult is the outcome of an end-to-end scoring query.
@@ -134,23 +141,48 @@ type QueryResult struct {
 	// BatchSize is the number of queries scored in the same coalesced
 	// pipeline run (1 when the query ran alone).
 	BatchSize int
+	// FallbackFrom names the originally requested backend when the executor
+	// degraded the query to another engine ("" = no fallback).
+	FallbackFrom string
+	// FallbackReason records why the executor degraded
+	// ("breaker_open", "deadline", or "fault"; "" = no fallback).
+	FallbackReason string
+	// Retries is how many extra attempts the executor made after retryable
+	// faults before this result was produced.
+	Retries int
 }
 
 // ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
 // the DBMS; EXEC sp_score_model runs the full scoring pipeline.
 func (p *Pipeline) ExecQuery(sql string) (*QueryResult, error) {
+	return p.ExecQueryCtx(context.Background(), sql)
+}
+
+// ExecQueryCtx is ExecQuery under a caller context: the query's deadline and
+// cancellation propagate through every pipeline stage into the engine call.
+func (p *Pipeline) ExecQueryCtx(ctx context.Context, sql string) (*QueryResult, error) {
 	st, err := db.Parse(sql)
 	if err != nil {
 		p.countStatement("parse_error")
 		return nil, err
 	}
-	return p.ExecStatement(st)
+	return p.ExecStatementCtx(ctx, st)
 }
 
 // ExecStatement runs one parsed statement, counting it by kind. Exported so
 // front-ends that parse once to inspect the statement (the concurrent
 // executor) can dispatch without re-parsing.
 func (p *Pipeline) ExecStatement(st db.Statement) (*QueryResult, error) {
+	return p.ExecStatementCtx(context.Background(), st)
+}
+
+// ExecStatementCtx is ExecStatement under a caller context. Non-scoring
+// statements execute in the DBMS and only check the context up front (they
+// are short); scoring statements thread it all the way into the engine.
+func (p *Pipeline) ExecStatementCtx(ctx context.Context, st db.Statement) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch s := st.(type) {
 	case *db.SelectStmt:
 		p.countStatement("select")
@@ -179,7 +211,7 @@ func (p *Pipeline) ExecStatement(st db.Statement) (*QueryResult, error) {
 		if !strings.EqualFold(s.Proc, ScoreProcName) {
 			return nil, fmt.Errorf("pipeline: unknown procedure %q", s.Proc)
 		}
-		return p.ScoreProc(s)
+		return p.ScoreProcCtx(ctx, s)
 	default:
 		return nil, fmt.Errorf("pipeline: unsupported statement %T", st)
 	}
@@ -202,6 +234,10 @@ type ScoreRequest struct {
 	Backend string
 	// Limit caps the scored rows (0 = all rows).
 	Limit int
+	// Timeout is the query's own deadline from @timeout (0 = none). The
+	// executor turns it into a context deadline covering queueing,
+	// coalescing, retries and fallback.
+	Timeout time.Duration
 }
 
 // ParseScoreParams validates an EXEC sp_score_model statement's parameters
@@ -217,7 +253,7 @@ func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
 	}
 	for name := range ex.Params {
 		switch name {
-		case "model", "data", "backend", "limit":
+		case "model", "data", "backend", "limit", "timeout":
 		default:
 			return nil, fmt.Errorf("pipeline: unknown parameter @%s", name)
 		}
@@ -241,6 +277,24 @@ func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
 		}
 		req.Backend = b.S
 	}
+	if to, ok := ex.Params["timeout"]; ok {
+		// '50ms'-style duration strings, or a bare number of milliseconds.
+		if to.IsString {
+			d, err := time.ParseDuration(to.S)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: @timeout: %v", err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("pipeline: @timeout must be positive")
+			}
+			req.Timeout = d
+		} else {
+			if to.N <= 0 {
+				return nil, fmt.Errorf("pipeline: @timeout must be positive")
+			}
+			req.Timeout = time.Duration(to.N * float64(time.Millisecond))
+		}
+	}
 	return req, nil
 }
 
@@ -249,6 +303,11 @@ func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
 //	EXEC sp_score_model @model = '<model>', @data = '<table>'
 //	     [, @backend = '<name>|auto'] [, @limit = n]
 func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
+	return p.ScoreProcCtx(context.Background(), ex)
+}
+
+// ScoreProcCtx is ScoreProc under a caller context.
+func (p *Pipeline) ScoreProcCtx(ctx context.Context, ex *db.ExecStmt) (*QueryResult, error) {
 	req, err := ParseScoreParams(ex)
 	if err != nil {
 		// Parameter failures never reach the batch path's accounting, so
@@ -259,7 +318,16 @@ func (p *Pipeline) ScoreProc(ex *db.ExecStmt) (*QueryResult, error) {
 		}
 		return nil, err
 	}
-	return p.ExecScore(req)
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	results, err := p.ExecScoreBatchCtx(ctx, []*ScoreRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // ExecScore runs one validated scoring request end to end.
@@ -278,8 +346,19 @@ func (p *Pipeline) ExecScore(req *ScoreRequest) (*QueryResult, error) {
 // and backend (that is the coalescing key); input tables may differ. A
 // shared-stage failure fails the whole batch.
 func (p *Pipeline) ExecScoreBatch(reqs []*ScoreRequest) (results []*QueryResult, err error) {
+	return p.ExecScoreBatchCtx(context.Background(), reqs)
+}
+
+// ExecScoreBatchCtx is ExecScoreBatch under a caller context: the context's
+// deadline and cancellation cover the DBMS fetches and every pipeline stage,
+// and reach the engine through the backend request. An already-expired
+// context is shed before any work happens.
+func (p *Pipeline) ExecScoreBatchCtx(ctx context.Context, reqs []*ScoreRequest) (results []*QueryResult, err error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("pipeline: empty scoring batch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Failures before the stage loop (missing model or table) never reach
 	// the batch accounting; every request in the batch fails together.
@@ -339,20 +418,20 @@ func (p *Pipeline) ExecScoreBatch(reqs []*ScoreRequest) (results []*QueryResult,
 		datas[i] = data
 	}
 	reachedRun = true
-	return p.scoreBatch(first.Model, blob, datas, first.Backend)
+	return p.scoreBatch(ctx, first.Model, blob, datas, first.Backend)
 }
 
 // Run executes the pipeline stages over a model blob and a dataset,
 // returning real predictions and the simulated end-to-end breakdown.
 func (p *Pipeline) Run(blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
-	return p.run("", blob, data, backendName)
+	return p.run(context.Background(), "", blob, data, backendName)
 }
 
 // run is the single-query stage loop behind Run. modelName (may be empty
 // for direct Run calls) only contributes to the cache key; the blob checksum
 // does the real identification.
-func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
-	results, err := p.scoreBatch(modelName, blob, []*dataset.Dataset{data}, backendName)
+func (p *Pipeline) run(ctx context.Context, modelName string, blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
+	results, err := p.scoreBatch(ctx, modelName, blob, []*dataset.Dataset{data}, backendName)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +446,7 @@ func (p *Pipeline) run(modelName string, blob []byte, data *dataset.Dataset, bac
 // by the batch size, row-proportional stages scale by row share — which is
 // the cross-query version of the paper's overhead-amortization argument. A
 // batch of one reproduces the old per-query behavior exactly.
-func (p *Pipeline) scoreBatch(modelName string, blob []byte, datas []*dataset.Dataset, backendName string) (results []*QueryResult, err error) {
+func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte, datas []*dataset.Dataset, backendName string) (results []*QueryResult, err error) {
 	n := len(datas)
 	if n == 0 {
 		return nil, fmt.Errorf("pipeline: empty scoring batch")
@@ -468,10 +547,17 @@ func (p *Pipeline) scoreBatch(modelName string, blob []byte, datas []*dataset.Da
 			"Scoring-backend resolutions by engine and decision source.",
 			"backend", eng.Name(), "source", source).Inc()
 	}
+	if err = ctx.Err(); err != nil {
+		return nil, err
+	}
 	endScoring := p.startSpanAll(trs, StageModelScoring)
-	scored, err := eng.Score(&backend.Request{Forest: f, Data: merged, Compiled: compiled, Stats: &stats})
+	scored, err := eng.Score(&backend.Request{
+		Forest: f, Data: merged, Compiled: compiled, Stats: &stats,
+		Ctx: ctx, Inject: p.Faults,
+	})
 	endScoring()
 	if err != nil {
+		p.noteScoringError(trs, eng.Name(), err)
 		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
 	}
 
@@ -585,6 +671,42 @@ func scaleTimeline(t *sim.Timeline, share float64) sim.Timeline {
 }
 
 const helpModelCacheEvents = "Compiled-model cache hits, misses and evictions."
+
+// MetricScoringErrorsTotal counts failed engine calls by error class
+// {backend, class="deadline"|"canceled"|"injected_fault"|"error"}.
+const MetricScoringErrorsTotal = "accelscore_scoring_errors_total"
+
+// ErrorClass buckets an error for metrics and traces: context expiry,
+// client cancellation, injected faults, everything else.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case faults.Injected(err):
+		return "injected_fault"
+	default:
+		return "error"
+	}
+}
+
+// noteScoringError marks each trace in the batch with the failed engine and
+// error class, and counts the failure, so injected faults and deadline hits
+// are visible on /metrics and /debug/queries.
+func (p *Pipeline) noteScoringError(trs []*obs.Trace, engine string, err error) {
+	class := ErrorClass(err)
+	if reg := p.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricScoringErrorsTotal, "Failed engine scoring calls by error class.",
+			"backend", engine, "class", class).Add(float64(len(trs)))
+	}
+	for _, tr := range trs {
+		tr.SetAttr("scoring_error_class", class)
+		tr.SetAttr("scoring_engine", engine)
+	}
+}
 
 // countStatement bumps the statement-kind counter when an observer is
 // attached.
