@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"accelscore/internal/exec"
+)
+
+// runFusionBench executes the fused-vs-unfused selectivity matrix and writes
+// results/fusion_bench.md plus the machine-readable BENCH_fusion.json. The
+// harness itself verifies, on every repetition, that fused answers equal
+// post-filtering the unfused ones — a divergence aborts with an error before
+// any artifact is written, so a published number is always a verified one.
+func runFusionBench(cfg exec.FusionBenchConfig, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "BENCH_fusion.json"
+	}
+	log.Printf("fusion bench: %d rows, %d trees x depth %d, backend %s, %d junk cols, selectivities %v, %d repeats",
+		cfg.Rows, cfg.Trees, cfg.Depth, cfg.Backend, cfg.JunkCols, cfg.Selectivities, cfg.Repeats)
+	rep, err := exec.RunFusionBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, ts := range rep.Tables {
+		log.Printf("%-7s %2d REAL cols: full convert %-10v pruned %-10v (%.2fx)",
+			ts.Table, ts.RealColumns, time.Duration(ts.ConvertFullNS).Round(time.Microsecond),
+			time.Duration(ts.ConvertPrunedNS).Round(time.Microsecond), ts.ConvertSpeedup)
+	}
+	for _, c := range rep.Cells {
+		log.Printf("%-7s sel %5.1f%%: scored %5d/%5d  unfused %-10v fused %-10v speedup %.2fx",
+			c.Table, 100*c.Selectivity, c.RowsScored, c.RowsScanned,
+			time.Duration(c.UnfusedNS).Round(time.Microsecond),
+			time.Duration(c.FusedNS).Round(time.Microsecond), c.Speedup)
+	}
+
+	doc := map[string]any{
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"host": map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"num_cpu":    runtime.NumCPU(),
+		},
+		"report": rep,
+	}
+	if err := writeJSON(jsonOut, doc); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "fusion_bench.md")
+	if err := writeFusionMarkdown(mdPath, rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", mdPath, jsonOut)
+	return nil
+}
+
+// writeFusionMarkdown renders the matrix for results/.
+func writeFusionMarkdown(path string, rep *exec.FusionBenchReport) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Operator fusion: pushed-down WHERE vs score-all-then-filter\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -bench-fusion` on %s/%s, GOMAXPROCS=%d (%d CPU).\n\n",
+		runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Fprintf(&sb, "Workload: %d-row tables, %d trees x depth %d on %s, caches off "+
+		"(every query pays its own snapshot conversion and model deserialization), "+
+		"median of %d repetitions. The unfused baseline scores every row and filters "+
+		"the materialized predictions client-side; the fused query ships the same "+
+		"predicate as `@where`, so rows it rejects are never traversed. Every "+
+		"repetition checks the two bit-for-bit before its timing counts.\n\n",
+		rep.Rows, rep.Trees, rep.Depth, rep.Backend, rep.Repeats)
+
+	sb.WriteString("## Projection pruning (snapshot conversion only)\n\n")
+	sb.WriteString("| table | REAL columns | feature columns | full conversion | pruned conversion | speedup |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for _, t := range rep.Tables {
+		fmt.Fprintf(&sb, "| %s | %d | %d | %v | %v | %.2fx |\n",
+			t.Table, t.RealColumns, t.FeatureCols,
+			time.Duration(t.ConvertFullNS).Round(time.Microsecond),
+			time.Duration(t.ConvertPrunedNS).Round(time.Microsecond), t.ConvertSpeedup)
+	}
+	sb.WriteString("\nThe full-width conversion is what the pre-fusion pipeline would have paid " +
+		"per query — and on tables with non-feature REAL columns it could not even feed " +
+		"the engines, which reject a feature-count mismatch. Projection makes conversion " +
+		"cost a function of the model, not the table.\n\n")
+
+	sb.WriteString("## Predicate pushdown (end-to-end queries)\n\n")
+	sb.WriteString("| table | selectivity | rows scored / scanned | unfused | fused | speedup | unfused sim | fused sim |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&sb, "| %s | %.0f%% | %d / %d | %v | %v | %.2fx | %v | %v |\n",
+			c.Table, 100*c.Selectivity, c.RowsScored, c.RowsScanned,
+			time.Duration(c.UnfusedNS).Round(time.Microsecond),
+			time.Duration(c.FusedNS).Round(time.Microsecond), c.Speedup,
+			time.Duration(c.UnfusedSimNS).Round(time.Microsecond),
+			time.Duration(c.FusedSimNS).Round(time.Microsecond))
+	}
+	sb.WriteString("\nAt low selectivity the fused path wins because the kernel never traverses " +
+		"rejected rows — the win tracks the fraction of scoring work skipped. At 100% " +
+		"selectivity the fused query does strictly more work (predicate evaluation plus " +
+		"the selection bitmap) yet stays within noise of the baseline, because the " +
+		"selection build is one branchless pass while traversal costs trees x depth per " +
+		"row. The simulated timelines shrink the same way: transfer and pre-processing " +
+		"still charge scanned rows, but scoring and post-processing charge only scored " +
+		"ones.\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// floatList parses "0.01,0.1,1" into []float64.
+func floatList(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			log.Fatalf("bad float list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -12,14 +12,17 @@
 // The default mode runs both once and prints a comparison. -bench runs the
 // full matrix (serialized vs executor at 1/4/8 workers, with and without
 // coalescing) and writes results/throughput_bench.md plus a machine-readable
-// BENCH_throughput.json at the repository root.
+// BENCH_throughput.json at the repository root. -bench-fusion runs the
+// fused-vs-unfused scoring matrix (selectivity x table width) and writes
+// results/fusion_bench.md plus BENCH_fusion.json, failing if the fused path
+// ever disagrees with score-all-then-filter.
 //
 // Usage:
 //
 //	loadgen [-queries 200] [-rows 2048] [-backend CPU_SKLearn] [-clients 8]
 //	        [-workers 0] [-queue 64] [-coalesce 1ms] [-maxbatch 8]
 //	        [-trees 8,32,128] [-depths 6,10] [-open] [-seed 1]
-//	        [-json out.json] [-bench]
+//	        [-json out.json] [-bench] [-bench-fusion]
 package main
 
 import (
@@ -54,6 +57,10 @@ func main() {
 	openLoop := flag.Bool("open", false, "replay at generated arrival times instead of closed-loop")
 	jsonOut := flag.String("json", "", "write the reports as JSON to this path")
 	bench := flag.Bool("bench", false, "run the serialized-vs-executor matrix and write results/throughput_bench.md + BENCH_throughput.json")
+	benchFusion := flag.Bool("bench-fusion", false, "run the fused-vs-unfused selectivity matrix and write results/fusion_bench.md + BENCH_fusion.json")
+	selectivities := flag.String("selectivities", "0.01,0.1,0.5,1", "WHERE pass fractions for -bench-fusion")
+	repeats := flag.Int("repeats", 5, "measured repetitions per -bench-fusion cell (median reported)")
+	junkCols := flag.Int("junk", 46, "non-feature REAL columns padding the -bench-fusion wide table")
 	chaos := flag.Bool("chaos", false, "run the healthy-vs-chaos comparison and write results/chaos_report.md + CHAOS_report.json")
 	faultSpec := flag.String("faults", exec.DefaultChaosPlan, "fault plan for -chaos (backend:boundary:kind[:trigger];...)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injector seed for -chaos")
@@ -61,6 +68,36 @@ func main() {
 	retries := flag.Int("retries", 3, "max retries per query for -chaos")
 	attemptTimeout := flag.Duration("attempt-timeout", 150*time.Millisecond, "per-attempt hang-detection timeout for -chaos (0 = off)")
 	flag.Parse()
+
+	if *benchFusion {
+		// Fusion defaults: a scoring-dominated regime (big forest, big table)
+		// where skipped rows are visible wins — unless the user pinned a flag.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		fcfg := exec.FusionBenchConfig{
+			Rows:          8192,
+			Trees:         256,
+			Depth:         10,
+			Seed:          *seed,
+			Repeats:       *repeats,
+			Selectivities: floatList(*selectivities),
+			JunkCols:      *junkCols,
+			Backend:       *backendName,
+		}
+		if set["rows"] {
+			fcfg.Rows = *rows
+		}
+		if set["trees"] {
+			fcfg.Trees = intList(*trees)[0]
+		}
+		if set["depths"] {
+			fcfg.Depth = intList(*depths)[0]
+		}
+		if err := runFusionBench(fcfg, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *chaos {
 		// Chaos defaults: an accelerator-targeted stream (the plan injects

@@ -48,6 +48,17 @@ type Request struct {
 	// boundaries — the seam through which chaos runs surface device-busy,
 	// transfer-corrupt, crash and hang conditions inside the simulators.
 	Inject *faults.Injector
+	// Sel, when set, is a pushed-down row filter covering Data's rows: the
+	// engine scores only selected rows and Result.Predictions holds their
+	// classes densely in ascending row order (Sel.Count() entries). Nil
+	// scores every row — the pre-fusion behavior, bit-for-bit.
+	Sel *kernel.Selection
+	// WantCounts asks the engine for a fused score-then-aggregate: engines
+	// that can tally predicted classes without materializing the per-row
+	// prediction vector fill Result.ClassCounts and may leave Predictions
+	// empty. Engines without a fused path ignore it; the caller falls back
+	// to counting Predictions.
+	WantCounts bool
 }
 
 // Context returns the request's context, defaulting to Background.
@@ -97,13 +108,34 @@ func (r *Request) Validate() error {
 		return fmt.Errorf("backend: data has %d features, model expects %d",
 			r.Data.NumFeatures(), r.Forest.NumFeatures)
 	}
+	if r.Sel != nil && r.Sel.Len() != r.Data.NumRecords() {
+		return fmt.Errorf("backend: selection covers %d rows, data has %d",
+			r.Sel.Len(), r.Data.NumRecords())
+	}
 	return nil
+}
+
+// NumScored returns the number of rows the engine will actually score: the
+// selection's survivor count when a filter is pushed down, else every
+// record. Engines charge their simulated compute on this figure.
+func (r *Request) NumScored() int {
+	if r.Sel != nil {
+		return r.Sel.Count()
+	}
+	return r.Data.NumRecords()
 }
 
 // Result is the outcome of one scoring operation.
 type Result struct {
-	// Predictions holds one class id per input record.
+	// Predictions holds one class id per scored record: every input record
+	// without a pushed-down selection, or the selected rows densely in
+	// ascending row order with one. Empty when the engine served a fused
+	// aggregate (see ClassCounts).
 	Predictions []int
+	// ClassCounts, when non-nil, is the fused score-then-aggregate result:
+	// ClassCounts[c] counts scored rows predicted as class c. Filled only
+	// when the request set WantCounts and the engine supports fusion.
+	ClassCounts []int64
 	// Timeline is the simulated latency breakdown of the operation.
 	Timeline sim.Timeline
 }
@@ -112,9 +144,22 @@ type Result struct {
 // model scoring time", §IV-B).
 func (r *Result) Latency() time.Duration { return r.Timeline.Total() }
 
+// NumScored returns how many records the result covers: the prediction
+// count, or the aggregate total for a fused score-then-count result.
+func (r *Result) NumScored() int {
+	if len(r.Predictions) == 0 && r.ClassCounts != nil {
+		var n int64
+		for _, c := range r.ClassCounts {
+			n += c
+		}
+		return int(n)
+	}
+	return len(r.Predictions)
+}
+
 // Throughput returns scored records per second.
 func (r *Result) Throughput() float64 {
-	return sim.Throughput(len(r.Predictions), r.Latency())
+	return sim.Throughput(r.NumScored(), r.Latency())
 }
 
 // OLC decomposes the scoring timeline into the paper's Fig. 6 taxonomy:

@@ -55,9 +55,11 @@ func (r *Runner) Run(cases []Case) (*Report, error) {
 		for _, eng := range r.Engines {
 			r.engineChecks(rep, c, eng, ref)
 			r.metamorphicChecks(rep, c, eng)
+			r.fusedChecks(rep, c, eng)
 		}
 		if c.Pipeline {
 			r.pipelineChecks(rep, c, ref)
+			r.fusedPipelineChecks(rep, c, ref)
 		}
 	}
 	for _, c := range cases {

@@ -1,0 +1,38 @@
+package conformance
+
+import "testing"
+
+// The fusion metamorphic invariants must actually execute across the
+// engine/case matrix — a silent universal skip would hollow the guarantee
+// out. Skips are allowed only where the engine rejects the case shape
+// entirely (e.g. multiclass on the binary-only RAPIDS simulator).
+func TestFusedChecksCoverMatrix(t *testing.T) {
+	cases, err := Cases(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewRunner().Run(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]map[Status]int{}
+	for _, f := range rep.Findings {
+		if counts[f.Check] == nil {
+			counts[f.Check] = map[Status]int{}
+		}
+		counts[f.Check][f.Status]++
+		if f.Status == Fail && (f.Check == "fused-filter" || f.Check == "fused-aggregate" ||
+			f.Check == "fused-pipeline-where" || f.Check == "fused-pipeline-aggregate") {
+			t.Errorf("%s / %s / %s: %s", f.Case, f.Engine, f.Check, f.Detail)
+		}
+	}
+	for _, check := range []string{"fused-filter", "fused-aggregate", "fused-pipeline-where", "fused-pipeline-aggregate"} {
+		c := counts[check]
+		if c[Pass] == 0 {
+			t.Errorf("check %s never passed (%v)", check, c)
+		}
+		if c[Skip] > c[Pass] {
+			t.Errorf("check %s mostly skipped (%v)", check, c)
+		}
+	}
+}

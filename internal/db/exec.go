@@ -187,6 +187,9 @@ func (d *Database) Query(sql string) (*Table, Statement, error) {
 		return nil, st, err
 	case *ExecStmt:
 		return nil, st, nil
+	case *PredictStmt:
+		// Like EXEC: the analytics pipeline owns fused-scoring semantics.
+		return nil, st, nil
 	default:
 		return nil, nil, fmt.Errorf("db: unsupported statement type %T", st)
 	}

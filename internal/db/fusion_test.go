@@ -1,0 +1,232 @@
+package db
+
+import (
+	"testing"
+
+	"accelscore/internal/dataset"
+)
+
+// wideTable builds a table with extra junk REAL columns around the iris
+// features plus the label, mimicking the wide-table scoring shape.
+func wideTable(t *testing.T, junk int) *Table {
+	t.Helper()
+	iris := dataset.Iris()
+	cols := []Column{}
+	for _, f := range iris.FeatureNames {
+		cols = append(cols, Column{Name: f, Type: Float32Col})
+	}
+	for j := 0; j < junk; j++ {
+		cols = append(cols, Column{Name: "junk_" + string(rune('a'+j)), Type: Float32Col})
+	}
+	cols = append(cols, Column{Name: "label", Type: Int64Col})
+	tbl, err := NewTable("wide", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < iris.NumRecords(); i++ {
+		row := make([]Value, 0, len(cols))
+		for _, f := range iris.Row(i) {
+			row = append(row, Float(f))
+		}
+		for j := 0; j < junk; j++ {
+			row = append(row, Float(float32(i*j)))
+		}
+		row = append(row, Int(int64(iris.Y[i])))
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestDatasetSnapshotForProjection(t *testing.T) {
+	tbl := wideTable(t, 6)
+	features := dataset.Iris().FeatureNames
+
+	d, hit, err := tbl.DatasetSnapshotFor(features, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first conversion reported a cache hit")
+	}
+	if d.NumFeatures() != len(features) || d.NumRecords() != tbl.NumRows() {
+		t.Fatalf("pruned snapshot shape %dx%d", d.NumRecords(), d.NumFeatures())
+	}
+	// Values must match the legacy full conversion's feature columns.
+	full, err := tbl.DatasetSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < d.NumRecords(); r++ {
+		for j := range features {
+			if d.X[r*len(features)+j] != full.X[r*full.NumFeatures()+j] {
+				t.Fatalf("row %d feature %d differs from full conversion", r, j)
+			}
+		}
+	}
+
+	// Second call at the same version is a cache hit returning the shared
+	// dataset.
+	d2, hit, err := tbl.DatasetSnapshotFor(features, 0)
+	if err != nil || !hit || d2 != d {
+		t.Fatalf("expected shared cache hit, got hit=%v err=%v", hit, err)
+	}
+
+	// A different subset caches independently.
+	sub, hit, err := tbl.DatasetSnapshotFor(features[:2], 0)
+	if err != nil || hit || sub.NumFeatures() != 2 {
+		t.Fatalf("subset: hit=%v err=%v features=%d", hit, err, sub.NumFeatures())
+	}
+
+	// Mutation invalidates.
+	row := make([]Value, len(tbl.Columns))
+	if err := tbl.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err = tbl.DatasetSnapshotFor(features, 0)
+	if err != nil || hit {
+		t.Fatalf("post-mutation call must miss, hit=%v err=%v", hit, err)
+	}
+}
+
+func TestDatasetSnapshotForLimitBoundsConversion(t *testing.T) {
+	tbl := wideTable(t, 2)
+	features := dataset.Iris().FeatureNames
+
+	// Cold limited conversion: only limit rows converted, nothing cached.
+	d, hit, err := tbl.DatasetSnapshotFor(features, 10)
+	if err != nil || hit {
+		t.Fatalf("cold limited: hit=%v err=%v", hit, err)
+	}
+	if d.NumRecords() != 10 {
+		t.Fatalf("limited snapshot has %d rows", d.NumRecords())
+	}
+	// Limit beyond the row count clamps.
+	d, _, err = tbl.DatasetSnapshotFor(features, 1_000_000)
+	if err != nil || d.NumRecords() != tbl.NumRows() {
+		t.Fatalf("clamped: rows=%d err=%v", d.NumRecords(), err)
+	}
+	// With the full conversion now cached, a limited call is a hit served
+	// via Head.
+	d, hit, err = tbl.DatasetSnapshotFor(features, 7)
+	if err != nil || !hit || d.NumRecords() != 7 {
+		t.Fatalf("warm limited: hit=%v rows=%d err=%v", hit, d.NumRecords(), err)
+	}
+}
+
+func TestDatasetSnapshotForErrors(t *testing.T) {
+	tbl := wideTable(t, 1)
+	if _, _, err := tbl.DatasetSnapshotFor([]string{"no_such_col"}, 0); err == nil {
+		t.Fatal("missing column must error")
+	}
+	if _, _, err := tbl.DatasetSnapshotFor([]string{"label"}, 0); err == nil {
+		t.Fatal("non-REAL feature column must error")
+	}
+	if _, _, err := tbl.DatasetSnapshotFor([]string{}, 0); err == nil {
+		t.Fatal("empty projection must error")
+	}
+}
+
+func TestNumericColumnPrefix(t *testing.T) {
+	tbl := wideTable(t, 1)
+	vals, err := tbl.NumericColumnPrefix("label", 5)
+	if err != nil || len(vals) != 5 {
+		t.Fatalf("label prefix: %v len=%d", err, len(vals))
+	}
+	iris := dataset.Iris()
+	for i, v := range vals {
+		if v != float64(iris.Y[i]) {
+			t.Fatalf("label[%d] = %v, want %d", i, v, iris.Y[i])
+		}
+	}
+	all, err := tbl.NumericColumnPrefix(iris.FeatureNames[0], 0)
+	if err != nil || len(all) != tbl.NumRows() {
+		t.Fatalf("full column: %v len=%d", err, len(all))
+	}
+	if _, err := tbl.NumericColumnPrefix("nope", 0); err == nil {
+		t.Fatal("missing column must error")
+	}
+}
+
+func TestParsePredictStmt(t *testing.T) {
+	st, err := Parse(`SELECT prediction FROM PREDICT(@model = 'm', @data = 't', @backend = 'FPGA')
+		WHERE petal_width < 1.5 AND label = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ok := st.(*PredictStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ps.Params["model"].S != "m" || ps.Params["data"].S != "t" || ps.Params["backend"].S != "FPGA" {
+		t.Fatalf("params: %+v", ps.Params)
+	}
+	if len(ps.Columns) != 1 || ps.Columns[0] != "prediction" || len(ps.Where) != 2 {
+		t.Fatalf("projection/where: %+v", ps)
+	}
+
+	st, err = Parse(`SELECT COUNT(*) FROM PREDICT(@model = 'm', @data = 't') WHERE x >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps = st.(*PredictStmt)
+	if len(ps.Aggregates) != 1 || ps.Aggregates[0].Fn != AggCount || ps.GroupBy != "" {
+		t.Fatalf("count: %+v", ps)
+	}
+
+	st, err = Parse(`SELECT prediction, COUNT(*) FROM PREDICT(@model = 'm', @data = 't') GROUP BY prediction`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps = st.(*PredictStmt)
+	if ps.GroupBy != "prediction" || len(ps.Columns) != 1 || len(ps.Aggregates) != 1 {
+		t.Fatalf("group by: %+v", ps)
+	}
+
+	// A plain SELECT from a table named predict-like stays a SelectStmt.
+	if st, err = Parse(`SELECT a FROM predictions`); err != nil {
+		t.Fatal(err)
+	} else if _, ok := st.(*SelectStmt); !ok {
+		t.Fatalf("got %T", st)
+	}
+
+	for _, bad := range []string{
+		`SELECT prediction FROM PREDICT()`,
+		`SELECT TOP 3 prediction FROM PREDICT(@model = 'm', @data = 't')`,
+		`SELECT prediction, COUNT(*) FROM PREDICT(@model = 'm', @data = 't')`,
+		`SELECT prediction FROM PREDICT(@model = 'm' @data = 't')`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %s", bad)
+		}
+	}
+}
+
+func TestParseConditionList(t *testing.T) {
+	conds, err := ParseConditionList("petal_width < 1.5 AND species = 'setosa'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conds) != 2 || conds[0].Column != "petal_width" || conds[0].Op != "<" || conds[0].Value.N != 1.5 {
+		t.Fatalf("conds: %+v", conds)
+	}
+	if !conds[1].Value.IsString || conds[1].Value.S != "setosa" {
+		t.Fatalf("string literal: %+v", conds[1])
+	}
+	if got, err := ParseConditionList("  "); err != nil || got != nil {
+		t.Fatalf("blank: %v %v", got, err)
+	}
+	for _, bad := range []string{"x", "x <", "x < 1 AND", "x < 1 OR y > 2", "x < 1 garbage"} {
+		if _, err := ParseConditionList(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+	if s := FormatConditions(conds); s != "petal_width < 1.5 AND species = 'setosa'" {
+		t.Fatalf("format: %q", s)
+	}
+	round, err := ParseConditionList(FormatConditions(conds))
+	if err != nil || len(round) != 2 {
+		t.Fatalf("roundtrip: %v %v", round, err)
+	}
+}

@@ -56,6 +56,33 @@ type ExecStmt struct {
 
 func (*ExecStmt) stmt() {}
 
+// PredictStmt is the fused scoring statement:
+//
+//	SELECT <prediction | COUNT(*) | prediction, COUNT(*)>
+//	FROM PREDICT(@model = 'm', @data = 't' [, @backend = ...][, @limit = n][, ...])
+//	[WHERE col <op> lit [AND ...]]
+//	[GROUP BY prediction]
+//
+// It expresses filter, scoring, and aggregation as one plan so the pipeline
+// can push the WHERE and the aggregate into the scoring kernel instead of
+// materializing a prediction table and querying it.
+type PredictStmt struct {
+	// Params are the PREDICT(...) arguments, the same names sp_score_model
+	// accepts (@model, @data, @backend, @limit, @timeout).
+	Params map[string]Literal
+	// Columns lists projected column names; only "prediction" exists.
+	Columns []string
+	// Aggregates holds COUNT(*) style projections.
+	Aggregates []AggExpr
+	// GroupBy names the grouping column ("prediction"); empty means none.
+	GroupBy string
+	// Where holds AND-combined predicates over the source table's columns,
+	// evaluated before scoring (predicate pushdown).
+	Where []Condition
+}
+
+func (*PredictStmt) stmt() {}
+
 // Parse parses a single statement.
 func Parse(sql string) (Statement, error) {
 	toks, err := lex(sql)
@@ -187,9 +214,6 @@ func (p *parser) selectStmt() (Statement, error) {
 			}
 			p.next()
 		}
-		if len(st.Aggregates) > 0 && len(st.Columns) > 0 {
-			return nil, p.errorf("cannot mix aggregates and plain columns without GROUP BY")
-		}
 	}
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
@@ -197,6 +221,14 @@ func (p *parser) selectStmt() (Statement, error) {
 	table, err := p.expectIdent()
 	if err != nil {
 		return nil, err
+	}
+	if strings.EqualFold(table, "PREDICT") && p.peek().kind == tokLParen {
+		// PREDICT may mix a plain column with aggregates under GROUP BY;
+		// predictStmt validates the combination itself.
+		return p.predictStmt(st)
+	}
+	if len(st.Aggregates) > 0 && len(st.Columns) > 0 {
+		return nil, p.errorf("cannot mix aggregates and plain columns without GROUP BY")
 	}
 	st.Table = table
 	if p.keyword("WHERE") {
@@ -230,6 +262,130 @@ func (p *parser) selectStmt() (Statement, error) {
 		}
 	}
 	return st, nil
+}
+
+// predictStmt parses the remainder of SELECT ... FROM PREDICT(...); sel
+// carries the already-parsed projection list. The opening '(' is the
+// current token.
+func (p *parser) predictStmt(sel *SelectStmt) (Statement, error) {
+	if sel.Top != 0 {
+		return nil, p.errorf("TOP is not supported with PREDICT")
+	}
+	p.next() // consume '('
+	st := &PredictStmt{
+		Params:     map[string]Literal{},
+		Columns:    sel.Columns,
+		Aggregates: sel.Aggregates,
+	}
+	for p.peek().kind == tokAtIdent {
+		name := p.next().text
+		if p.peek().kind != tokEq {
+			return nil, p.errorf("expected '=' after @%s", name)
+		}
+		p.next()
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := st.Params[name]; dup {
+			return nil, p.errorf("duplicate parameter @%s", name)
+		}
+		st.Params[name] = lit
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if len(st.Params) == 0 {
+		return nil, p.errorf("PREDICT needs at least @model and @data parameters")
+	}
+	if p.peek().kind != tokRParen {
+		return nil, p.errorf("expected ')' closing PREDICT, got %q", p.peek().text)
+	}
+	p.next()
+	if p.keyword("WHERE") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.GroupBy = col
+	}
+	if len(st.Columns) > 0 && len(st.Aggregates) > 0 && st.GroupBy == "" {
+		return nil, p.errorf("cannot mix aggregates and plain columns without GROUP BY")
+	}
+	return st, nil
+}
+
+// ParseConditionList parses a bare predicate list "col <op> lit [AND ...]"
+// — the value format of sp_score_model's @where parameter — with the same
+// grammar as a WHERE clause.
+func ParseConditionList(s string) ([]Condition, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sql: s}
+	var conds []Condition
+	for {
+		cond, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond)
+		if !p.keyword("AND") {
+			break
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after predicate", p.peek().text)
+	}
+	return conds, nil
+}
+
+// FormatConditions renders conditions canonically ("col <op> value AND ...")
+// so equal predicates format identically — the executor's coalescer keys
+// batches on this string.
+func FormatConditions(conds []Condition) string {
+	if len(conds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(c.Column)
+		b.WriteByte(' ')
+		b.WriteString(c.Op)
+		b.WriteByte(' ')
+		if c.Value.IsString {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(c.Value.S, "'", "''"))
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(strconv.FormatFloat(c.Value.N, 'g', -1, 64))
+		}
+	}
+	return b.String()
 }
 
 // aggFuncByName maps an identifier to an aggregate function.

@@ -1,0 +1,201 @@
+// Column-subset and row-bounded dataset snapshots: the column-store exit
+// path of the fused scoring pipeline. Where DatasetSnapshot converts every
+// REAL column of every row, DatasetSnapshotFor converts only the projected
+// feature columns (projection pruning) and at most limit rows (@limit
+// pushdown), and caches full-table conversions per column subset keyed on
+// the table version.
+package db
+
+import (
+	"fmt"
+	"strings"
+
+	"accelscore/internal/dataset"
+)
+
+// maxSubSnapshots bounds the per-table subset cache; stale-version entries
+// are evicted on publish once the map grows past it.
+const maxSubSnapshots = 8
+
+// DatasetSnapshotFor converts the named REAL columns of the table into a
+// row-major dataset, reading at most limit rows when limit > 0.
+//
+//   - features nil falls back to every REAL column in schema order — the
+//     legacy (unpruned) projection.
+//   - A full-table conversion (limit <= 0, or limit >= the row count) is
+//     cached per column subset until the table's next mutation, exactly like
+//     DatasetSnapshot's single-snapshot cache.
+//   - limit > 0 serves Head(limit) of a current cached full conversion when
+//     one exists (a copy of limit rows — no cell conversion at all);
+//     otherwise it converts only the first limit rows, so a small @limit on
+//     a large table never pays the full-table conversion.
+//
+// hit reports whether the cell-by-cell conversion was skipped. The returned
+// dataset carries no labels — it feeds scoring, which never reads them.
+// Full-table results are shared with other callers and must be treated as
+// read-only.
+func (t *Table) DatasetSnapshotFor(features []string, limit int) (d *dataset.Dataset, hit bool, err error) {
+	names, cols, err := t.resolveFeatureCols(features)
+	if err != nil {
+		return nil, false, err
+	}
+	key := strings.Join(names, "\x00")
+
+	v := t.Version()
+	t.subSnapMu.Lock()
+	cached := t.subSnaps[key]
+	t.subSnapMu.Unlock()
+	if cached != nil && cached.version == v {
+		if limit > 0 && limit < cached.data.NumRecords() {
+			return cached.data.Head(limit), true, nil
+		}
+		return cached.data, true, nil
+	}
+
+	// Bounded conversion: only the first limit rows leave the column store.
+	// The result is not published (it is a partial view keyed on a row
+	// bound, not a table state), but the scan it saves is the point.
+	if limit > 0 && limit < t.NumRows() {
+		d, _, err := t.convertSubset(names, cols, limit)
+		return d, false, err
+	}
+
+	d, dv, err := t.convertSubset(names, cols, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	t.subSnapMu.Lock()
+	if cur := t.subSnaps[key]; cur == nil || dv >= cur.version {
+		if t.subSnaps == nil {
+			t.subSnaps = make(map[string]*subSnapshot)
+		}
+		if len(t.subSnaps) >= maxSubSnapshots {
+			for k, s := range t.subSnaps {
+				if s.version != dv {
+					delete(t.subSnaps, k)
+				}
+			}
+		}
+		t.subSnaps[key] = &subSnapshot{version: dv, data: d}
+	}
+	t.subSnapMu.Unlock()
+	if limit > 0 && limit < d.NumRecords() {
+		return d.Head(limit), false, nil
+	}
+	return d, false, nil
+}
+
+// DatasetFor is DatasetSnapshotFor without the cache: every call redoes the
+// (pruned, row-bounded) conversion. It serves the baseline pipeline — which
+// deliberately repeats pre-processing per query — while still honoring
+// projection pruning and the @limit row bound.
+func (t *Table) DatasetFor(features []string, limit int) (*dataset.Dataset, error) {
+	names, cols, err := t.resolveFeatureCols(features)
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := t.convertSubset(names, cols, limit)
+	return d, err
+}
+
+// resolveFeatureCols maps the requested feature names to REAL column
+// indices, or every REAL column when features is nil.
+func (t *Table) resolveFeatureCols(features []string) ([]string, []int, error) {
+	if features == nil {
+		var names []string
+		var cols []int
+		for i, c := range t.Columns {
+			if c.Type == Float32Col {
+				names = append(names, c.Name)
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			return nil, nil, fmt.Errorf("db: table %q has no REAL feature columns", t.Name)
+		}
+		return names, cols, nil
+	}
+	if len(features) == 0 {
+		return nil, nil, fmt.Errorf("db: table %q: empty feature projection", t.Name)
+	}
+	names := make([]string, len(features))
+	cols := make([]int, len(features))
+	for i, f := range features {
+		ci := t.ColumnIndex(f)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("db: table %q has no column %q", t.Name, f)
+		}
+		if t.Columns[ci].Type != Float32Col {
+			return nil, nil, fmt.Errorf("db: table %q column %q is %s, features must be REAL",
+				t.Name, f, t.Columns[ci].Type)
+		}
+		names[i] = f
+		cols[i] = ci
+	}
+	return names, cols, nil
+}
+
+// convertSubset gathers the given columns (limited to the first limit rows
+// when limit > 0) into a row-major dataset under the table's read lock,
+// returning the exact version observed.
+func (t *Table) convertSubset(names []string, cols []int, limit int) (*dataset.Dataset, uint64, error) {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	v := t.version.Load()
+	n := t.numRowsLocked()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	f := len(cols)
+	d := &dataset.Dataset{
+		Name:         t.Name,
+		FeatureNames: append([]string(nil), names...),
+		X:            make([]float32, n*f),
+	}
+	// Column-wise gather: each source column streams once, scattering into
+	// its stride of the row-major output.
+	for j, ci := range cols {
+		src := t.cols[ci]
+		for r := 0; r < n; r++ {
+			d.X[r*f+j] = src[r].F
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return d, v, nil
+}
+
+// NumericColumnPrefix extracts the first limit values (every row when limit
+// <= 0) of a REAL or BIGINT column as float64s — the operand vector for a
+// pushed-down predicate over a column that is not one of the model's
+// features.
+func (t *Table) NumericColumnPrefix(name string, limit int) ([]float64, error) {
+	ci := t.ColumnIndex(name)
+	if ci < 0 {
+		return nil, fmt.Errorf("db: table %q has no column %q", t.Name, name)
+	}
+	typ := t.Columns[ci].Type
+	if typ != Float32Col && typ != Int64Col {
+		return nil, fmt.Errorf("db: table %q column %q is %s, predicates need a numeric column",
+			t.Name, name, typ)
+	}
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+	n := t.numRowsLocked()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]float64, n)
+	src := t.cols[ci]
+	if typ == Float32Col {
+		for r := 0; r < n; r++ {
+			out[r] = float64(src[r].F)
+		}
+	} else {
+		for r := 0; r < n; r++ {
+			out[r] = float64(src[r].I)
+		}
+	}
+	return out, nil
+}

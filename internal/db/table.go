@@ -100,6 +100,18 @@ type Table struct {
 	snapMu      sync.Mutex
 	snap        *dataset.Dataset
 	snapVersion uint64
+	// Column-subset snapshot cache (DatasetSnapshotFor): converted feature
+	// subsets keyed on the projected column list, each valid for the exact
+	// version it observed. This is what lets a 50-column table scored by a
+	// 4-feature model convert (and cache) 4 columns, not 50.
+	subSnapMu sync.Mutex
+	subSnaps  map[string]*subSnapshot
+}
+
+// subSnapshot is one cached column-subset conversion.
+type subSnapshot struct {
+	version uint64
+	data    *dataset.Dataset
 }
 
 // NewTable creates an empty table with the given schema.

@@ -69,7 +69,6 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
 
 	// Session initialization: flatten the ensemble into the parallel node
 	// arrays the ONNX TreeEnsemble kernels iterate over (the work the
@@ -88,13 +87,31 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	}
 
 	features := req.Data.NumFeatures()
-	fe.Predict(req.Data.X[:n*features], features, preds, e.threads)
+	res := &backend.Result{}
+	switch {
+	case req.WantCounts:
+		// Fused score-then-aggregate through the shared kernel histogram.
+		classes := req.Forest.NumClasses
+		if classes < 2 {
+			classes = 2
+		}
+		counts := make([]int64, classes)
+		fe.PredictAggregate(req.Data.X[:n*features], features, n, req.Sel, counts, e.threads)
+		res.ClassCounts = counts
+	case req.Sel != nil:
+		preds := make([]int, req.Sel.Count())
+		fe.PredictSel(req.Data.X[:n*features], features, req.Sel, preds, e.threads)
+		res.Predictions = preds
+	default:
+		preds := make([]int, n)
+		fe.Predict(req.Data.X[:n*features], features, preds, e.threads)
+		res.Predictions = preds
+	}
 
-	tl, err := e.Estimate(req.ModelStats(), int64(n))
+	tl, err := e.Estimate(req.ModelStats(), int64(req.NumScored()))
 	if err != nil {
 		return nil, err
 	}
-	res := &backend.Result{Predictions: preds}
 	res.Timeline.Extend(tl)
 	return res, nil
 }

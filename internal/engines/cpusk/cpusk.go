@@ -56,7 +56,6 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
 
 	compiled := req.Compiled
 	if compiled == nil {
@@ -70,13 +69,33 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	features := req.Data.NumFeatures()
-	compiled.Predict(req.Data.X[:n*features], features, preds, e.threads)
+	res := &backend.Result{}
+	switch {
+	case req.WantCounts:
+		// Fused score-then-aggregate: tally classes inside the block loop,
+		// never materializing the per-row prediction vector.
+		classes := req.Forest.NumClasses
+		if classes < 2 {
+			classes = 2
+		}
+		counts := make([]int64, classes)
+		compiled.PredictAggregate(req.Data.X[:n*features], features, n, req.Sel, counts, e.threads)
+		res.ClassCounts = counts
+	case req.Sel != nil:
+		// Fused filter+score: dead rows are skipped before tree traversal.
+		preds := make([]int, req.Sel.Count())
+		compiled.PredictSel(req.Data.X[:n*features], features, req.Sel, preds, e.threads)
+		res.Predictions = preds
+	default:
+		preds := make([]int, n)
+		compiled.Predict(req.Data.X[:n*features], features, preds, e.threads)
+		res.Predictions = preds
+	}
 
-	tl, err := e.Estimate(req.ModelStats(), int64(n))
+	tl, err := e.Estimate(req.ModelStats(), int64(req.NumScored()))
 	if err != nil {
 		return nil, err
 	}
-	res := &backend.Result{Predictions: preds}
 	res.Timeline.Extend(tl)
 	return res, nil
 }

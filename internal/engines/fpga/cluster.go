@@ -7,6 +7,7 @@ import (
 	"accelscore/internal/backend"
 	"accelscore/internal/dataset"
 	"accelscore/internal/forest"
+	"accelscore/internal/kernel"
 	"accelscore/internal/sim"
 )
 
@@ -49,8 +50,14 @@ func (c *Cluster) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
+	scored := req.NumScored()
+	preds := make([]int, scored)
 	shard := (n + c.devices - 1) / c.devices
+	if req.Sel != nil {
+		// Align shard cuts to the selection's word/block size so each
+		// device's sub-bitmap is sliced with pure word arithmetic.
+		shard = (shard + kernel.SelectionAlign - 1) / kernel.SelectionAlign * kernel.SelectionAlign
+	}
 	for d := 0; d < c.devices; d++ {
 		lo := d * shard
 		hi := lo + shard
@@ -61,13 +68,20 @@ func (c *Cluster) Score(req *backend.Request) (*backend.Result, error) {
 			break
 		}
 		sub := shardDataset(req.Data, lo, hi)
-		res, err := c.engine.Score(&backend.Request{Forest: req.Forest, Data: sub})
+		subReq := &backend.Request{Forest: req.Forest, Data: sub}
+		outLo, outHi := lo, hi
+		if req.Sel != nil {
+			subReq.Sel = req.Sel.Slice(lo, hi)
+			outLo = req.Sel.Rank(lo)
+			outHi = outLo + subReq.Sel.Count()
+		}
+		res, err := c.engine.Score(subReq)
 		if err != nil {
 			return nil, fmt.Errorf("fpga: cluster device %d: %w", d, err)
 		}
-		copy(preds[lo:hi], res.Predictions)
+		copy(preds[outLo:outHi], res.Predictions)
 	}
-	tl, err := c.Estimate(req.ModelStats(), int64(n))
+	tl, err := c.Estimate(req.ModelStats(), int64(scored))
 	if err != nil {
 		return nil, err
 	}

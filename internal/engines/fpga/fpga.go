@@ -18,6 +18,7 @@ import (
 	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
+	"accelscore/internal/kernel"
 	"accelscore/internal/model"
 	"accelscore/internal/sim"
 )
@@ -106,24 +107,31 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 	}
 
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
+	scored := req.NumScored()
+	preds := make([]int, scored)
 	if hybrid {
 		// Functional result of FPGA-to-depth-10 plus CPU completion equals
 		// the full tree walk.
-		for i := 0; i < n; i++ {
-			preds[i] = req.Forest.PredictClass(req.Data.Row(i))
+		if req.Sel != nil {
+			req.Sel.ForEach(func(row, rank int) {
+				preds[rank] = req.Forest.PredictClass(req.Data.Row(row))
+			})
+		} else {
+			for i := 0; i < n; i++ {
+				preds[i] = req.Forest.PredictClass(req.Data.Row(i))
+			}
 		}
 	} else {
 		dense, err := model.CompileDense(req.Forest, e.spec.MaxTreeDepth)
 		if err != nil {
 			return nil, fmt.Errorf("fpga: %w", err)
 		}
-		if err := e.scoreDense(dense, req.Data, preds); err != nil {
+		if err := e.scoreDense(dense, req.Data, req.Sel, preds); err != nil {
 			return nil, err
 		}
 	}
 
-	tl, err := e.Estimate(stats, int64(n))
+	tl, err := e.Estimate(stats, int64(scored))
 	if err != nil {
 		return nil, err
 	}
@@ -134,10 +142,16 @@ func (e *Engine) Score(req *backend.Request) (*backend.Result, error) {
 
 // scoreDense runs the PE array functionally: trees are loaded into PE tree
 // memories in passes of at most ProcessingElements trees; each record is
-// issued to every loaded PE and the votes accumulate in result memory.
-func (e *Engine) scoreDense(dense *model.Dense, data *dataset.Dataset, preds []int) error {
+// issued to every loaded PE and the votes accumulate in result memory. A
+// pushed-down selection drops dead rows before they are issued, so result
+// memory only ever holds survivors.
+func (e *Engine) scoreDense(dense *model.Dense, data *dataset.Dataset, sel *kernel.Selection, preds []int) error {
 	n := data.NumRecords()
-	votes := make([][]int, n)
+	scored := n
+	if sel != nil {
+		scored = sel.Count()
+	}
+	votes := make([][]int, scored)
 	for i := range votes {
 		votes[i] = make([]int, dense.NumClasses)
 	}
@@ -156,10 +170,17 @@ func (e *Engine) scoreDense(dense *model.Dense, data *dataset.Dataset, preds []i
 		for t := lo; t < hi; t++ {
 			treeMem[t-lo] = append([]model.DenseNode(nil), dense.TreeSlice(t)...)
 		}
-		for i := 0; i < n; i++ {
+		issue := func(i, slot int) {
 			row := data.Row(i)
 			for pe := range treeMem {
-				votes[i][model.WalkNodes(treeMem[pe], row)]++
+				votes[slot][model.WalkNodes(treeMem[pe], row)]++
+			}
+		}
+		if sel != nil {
+			sel.ForEach(issue)
+		} else {
+			for i := 0; i < n; i++ {
+				issue(i, i)
 			}
 		}
 	}

@@ -9,9 +9,21 @@ import (
 	"accelscore/internal/faults"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
+	"accelscore/internal/kernel"
 	"accelscore/internal/sim"
 	"accelscore/internal/tensor"
 )
+
+// gatherRows compacts the selected rows of d into a dense matrix so a
+// filtered batch runs the same tensor program a smaller table would.
+func gatherRows(d *dataset.Dataset, sel *kernel.Selection) *tensor.Matrix {
+	features := d.NumFeatures()
+	out := tensor.New(sel.Count(), features)
+	sel.ForEach(func(row, rank int) {
+		copy(out.Data[rank*features:(rank+1)*features], d.Row(row))
+	})
+	return out
+}
 
 // Hummingbird is the GPU-HB backend: it compiles the forest into a tensor
 // program (dense GEMM for shallow trees, perfect-tree traversal otherwise),
@@ -64,16 +76,24 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
+	sel := req.Sel
+	scored := req.NumScored()
+	preds := make([]int, scored)
 	if prog.boosted {
 		// Boosted ensembles aggregate margins instead of votes.
-		margins := make([]float64, n)
+		margins := make([]float64, scored)
 		for i := range margins {
 			margins[i] = prog.base
 		}
 		for _, p := range prog.ptt {
-			for i := 0; i < n; i++ {
-				margins[i] += float64(p.predictValue(req.Data.Row(i)))
+			if sel != nil {
+				sel.ForEach(func(row, rank int) {
+					margins[rank] += float64(p.predictValue(req.Data.Row(row)))
+				})
+			} else {
+				for i := 0; i < n; i++ {
+					margins[i] += float64(p.predictValue(req.Data.Row(i)))
+				}
 			}
 		}
 		for i, m := range margins {
@@ -82,13 +102,19 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 			}
 		}
 	} else {
-		votes := make([][]int, n)
+		votes := make([][]int, scored)
 		for i := range votes {
 			votes[i] = make([]int, prog.classes)
 		}
 		switch prog.strategy {
 		case "gemm":
+			// With a pushed-down filter only the surviving rows are gathered
+			// into the input matrix, so the tensor program (and the simulated
+			// H2D copy) never sees dead rows.
 			x := &tensor.Matrix{Rows: n, Cols: req.Data.NumFeatures(), Data: req.Data.X}
+			if sel != nil {
+				x = gatherRows(req.Data, sel)
+			}
 			for _, g := range prog.gemm {
 				classes := g.predictBatch(x)
 				for i, c := range classes {
@@ -97,8 +123,14 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 			}
 		default: // ptt
 			for _, p := range prog.ptt {
-				for i := 0; i < n; i++ {
-					votes[i][p.predict(req.Data.Row(i))]++
+				if sel != nil {
+					sel.ForEach(func(row, rank int) {
+						votes[rank][p.predict(req.Data.Row(row))]++
+					})
+				} else {
+					for i := 0; i < n; i++ {
+						votes[i][p.predict(req.Data.Row(i))]++
+					}
 				}
 			}
 		}
@@ -107,7 +139,7 @@ func (h *Hummingbird) Score(req *backend.Request) (*backend.Result, error) {
 		}
 	}
 
-	tl, err := h.Estimate(req.ModelStats(), int64(n))
+	tl, err := h.Estimate(req.ModelStats(), int64(scored))
 	if err != nil {
 		return nil, err
 	}

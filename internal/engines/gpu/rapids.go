@@ -64,15 +64,23 @@ func (r *RAPIDS) Score(req *backend.Request) (*backend.Result, error) {
 		return nil, err
 	}
 	n := req.Data.NumRecords()
-	preds := make([]int, n)
+	scored := req.NumScored()
+	preds := make([]int, scored)
 	// One thread block per sample; trees cyclically distributed among the
 	// block's threads, each walking its trees with early exit. FIL supports
-	// both vote (random forest) and margin-sum (boosted) aggregation.
-	for i := 0; i < n; i++ {
-		preds[i] = req.Forest.PredictClass(req.Data.Row(i))
+	// both vote (random forest) and margin-sum (boosted) aggregation. A
+	// pushed-down filter drops dead rows before any block is scheduled.
+	if req.Sel != nil {
+		req.Sel.ForEach(func(row, rank int) {
+			preds[rank] = req.Forest.PredictClass(req.Data.Row(row))
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			preds[i] = req.Forest.PredictClass(req.Data.Row(i))
+		}
 	}
 
-	tl, err := r.Estimate(req.ModelStats(), int64(n))
+	tl, err := r.Estimate(req.ModelStats(), int64(scored))
 	if err != nil {
 		return nil, err
 	}

@@ -50,10 +50,12 @@ func (b *pendingBatch) memberOutcome(idx int) (*pipeline.QueryResult, error) {
 }
 
 // coalesceKey groups queries that can share one pipeline run. Input tables
-// may differ (the pipeline snapshots each), so the key is only the pair the
-// batch must agree on.
+// may differ (the pipeline snapshots each), so the key is what the batch
+// must agree on: the model, the backend, and the fused-query shape (the
+// canonical pushed-down WHERE plus the aggregation mode) — a filtered query
+// and an unfiltered one cannot share a backend call.
 func coalesceKey(req *pipeline.ScoreRequest) string {
-	return req.Model + "\x00" + req.Backend
+	return req.Model + "\x00" + req.Backend + "\x00" + req.FusionKey()
 }
 
 // coalesce joins or opens the batch for req's key and blocks until the

@@ -298,14 +298,29 @@ func (e *Executor) Submit(ctx context.Context, sql string) (res *pipeline.QueryR
 		e.pipe.NoteStatement("parse_error")
 		return nil, err
 	}
-	if ex, ok := st.(*db.ExecStmt); ok && strings.EqualFold(ex.Proc, pipeline.ScoreProcName) {
-		e.pipe.NoteStatement("exec")
-		req, perr := pipeline.ParseScoreParams(ex)
-		if perr != nil {
-			// Re-run through ScoreProc so parameter errors carry the same
-			// metric accounting as the serialized path.
-			return e.pipe.ScoreProc(ex)
+	// Scoring statements — EXEC sp_score_model and the fused
+	// SELECT ... FROM PREDICT(...) — share the coalescing/runBatch path;
+	// their coalesce key includes the fused-query shape.
+	var req *pipeline.ScoreRequest
+	switch s := st.(type) {
+	case *db.ExecStmt:
+		if strings.EqualFold(s.Proc, pipeline.ScoreProcName) {
+			e.pipe.NoteStatement("exec")
+			var perr error
+			if req, perr = pipeline.ParseScoreParams(s); perr != nil {
+				// Re-run through ScoreProc so parameter errors carry the
+				// same metric accounting as the serialized path.
+				return e.pipe.ScoreProc(s)
+			}
 		}
+	case *db.PredictStmt:
+		e.pipe.NoteStatement("predict")
+		var perr error
+		if req, perr = pipeline.ParsePredictStmt(s); perr != nil {
+			return e.pipe.ScorePredict(s)
+		}
+	}
+	if req != nil {
 		qctx, cancel := e.queryContext(ctx, req.Timeout)
 		defer cancel()
 		if e.cfg.CoalesceWindow > 0 && e.cfg.MaxBatch > 1 {

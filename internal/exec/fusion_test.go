@@ -1,0 +1,129 @@
+package exec_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/pipeline"
+)
+
+const fusedSQL = "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn', @where='petal_width < 1.5'"
+const predictSQL = "SELECT prediction FROM PREDICT(@model='iris_rf', @data='iris', @backend='CPU_SKLearn') WHERE petal_width < 1.5"
+
+// Fused and unfused queries against the same model/backend must land in
+// separate coalesced batches: they cannot share a backend call.
+func TestCoalesceSeparatesFusedShapes(t *testing.T) {
+	p, f, data := newEnv(t, 8, 10, 256)
+	e := exec.New(p, exec.Config{Workers: 4, QueueDepth: 32,
+		CoalesceWindow: 30 * time.Millisecond, MaxBatch: 8})
+	defer e.Close(context.Background())
+
+	wantFiltered := 0
+	for i := 0; i < data.NumRecords(); i++ {
+		if float64(data.Row(i)[3]) < 1.5 {
+			wantFiltered++
+		}
+	}
+
+	const per = 4
+	results := make([]*pipeline.QueryResult, 2*per)
+	errs := make([]error, 2*per)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*per; i++ {
+		sql := scoreSQL
+		if i%2 == 1 {
+			sql = fusedSQL
+		}
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			results[i], errs[i] = e.Submit(context.Background(), sql)
+		}(i, sql)
+	}
+	wg.Wait()
+	for i := 0; i < 2*per; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want := data.NumRecords()
+		if i%2 == 1 {
+			want = wantFiltered
+		}
+		if len(results[i].Predictions) != want {
+			t.Fatalf("query %d: %d predictions, want %d", i, len(results[i].Predictions), want)
+		}
+	}
+	_ = f
+}
+
+// PREDICT statements route through the executor's coalescing scoring path,
+// not the generic statement path.
+func TestSubmitPredictStatement(t *testing.T) {
+	p, f, data := newEnv(t, 8, 10, 200)
+	e := exec.New(p, exec.Config{Workers: 2, QueueDepth: 8,
+		CoalesceWindow: 20 * time.Millisecond, MaxBatch: 4})
+	defer e.Close(context.Background())
+
+	var wg sync.WaitGroup
+	results := make([]*pipeline.QueryResult, 3)
+	errs := make([]error, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Submit(context.Background(), predictSQL)
+		}(i)
+	}
+	wg.Wait()
+
+	want := 0
+	for i := 0; i < data.NumRecords(); i++ {
+		if float64(data.Row(i)[3]) < 1.5 {
+			want++
+		}
+	}
+	batched := false
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if len(results[i].Predictions) != want {
+			t.Fatalf("query %d: %d predictions, want %d", i, len(results[i].Predictions), want)
+		}
+		if results[i].BatchSize > 1 {
+			batched = true
+		}
+		for j, pr := range results[i].Predictions {
+			if pr != results[0].Predictions[j] {
+				t.Fatalf("query %d row %d differs across coalesced members", i, j)
+			}
+		}
+	}
+	if !batched {
+		t.Log("no coalescing observed (timing-dependent); correctness still verified")
+	}
+	_ = f
+}
+
+// A fused aggregate through the executor returns the histogram table.
+func TestSubmitFusedAggregate(t *testing.T) {
+	p, f, data := newEnv(t, 8, 10, 150)
+	e := exec.New(p, exec.Config{Workers: 2, QueueDepth: 8})
+	defer e.Close(context.Background())
+	res, err := e.Submit(context.Background(),
+		"SELECT prediction, COUNT(*) FROM PREDICT(@model='iris_rf', @data='iris', @backend='CPU_SKLearn') GROUP BY prediction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < res.Table.NumRows(); r++ {
+		total += res.Table.Cell(r, 1).I
+	}
+	if total != int64(data.NumRecords()) {
+		t.Fatalf("histogram totals %d rows, want %d", total, data.NumRecords())
+	}
+	_ = f
+}

@@ -271,7 +271,8 @@ func (c *Compiled) predictRange(x []float32, features int, out []int, lo, hi int
 
 	class := c.class
 	classes := c.classes
-	votes := make([]int32, rowBlockSize*classes)
+	vp := getVotes(rowBlockSize * classes)
+	votes := *vp
 	for base := lo; base < hi; base += rowBlockSize {
 		end := base + rowBlockSize
 		if end > hi {
@@ -310,6 +311,7 @@ func (c *Compiled) predictRange(x []float32, features int, out []int, lo, hi int
 			out[base+r] = argmax32(votes[r*classes : (r+1)*classes])
 		}
 	}
+	putVotes(vp)
 }
 
 // argmax returns the index of the maximum count, lowest index winning ties —

@@ -1,0 +1,542 @@
+// Row-selection bitmaps and the fused (filter → traverse → aggregate)
+// scoring entry points. The fused query path evaluates pushed-down
+// predicates block-wise, records survivors in a Selection whose words line
+// up 1:1 with the kernel's 64-row traversal blocks, and then scores only
+// the surviving rows: a block whose word is zero is skipped before any tree
+// node is touched.
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// PredOp enumerates the comparison operators a pushed-down predicate may
+// use. The numeric semantics mirror the SQL layer's comparisons (including
+// the epsilon applied to = and <>) so a fused filter selects exactly the
+// rows a post-scoring WHERE would keep.
+type PredOp uint8
+
+const (
+	PredEQ PredOp = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+// predEps matches the SQL layer's equality tolerance for REAL comparisons.
+const predEps = 1e-9
+
+// String renders the operator in SQL syntax.
+func (op PredOp) String() string {
+	switch op {
+	case PredEQ:
+		return "="
+	case PredNE:
+		return "<>"
+	case PredLT:
+		return "<"
+	case PredLE:
+		return "<="
+	case PredGT:
+		return ">"
+	case PredGE:
+		return ">="
+	}
+	return "?"
+}
+
+// ParsePredOp maps a SQL comparison operator to its PredOp.
+func ParsePredOp(op string) (PredOp, error) {
+	switch op {
+	case "=":
+		return PredEQ, nil
+	case "<>":
+		return PredNE, nil
+	case "<":
+		return PredLT, nil
+	case "<=":
+		return PredLE, nil
+	case ">":
+		return PredGT, nil
+	case ">=":
+		return PredGE, nil
+	}
+	return 0, fmt.Errorf("kernel: unsupported predicate operator %q", op)
+}
+
+// evalPred applies op between a row value and the predicate constant with
+// the SQL layer's semantics: = and <> compare within predEps, and every
+// comparison involving NaN is false (so NaN rows never match, on either the
+// fused or the post-filter path).
+func evalPred(a float64, op PredOp, b float64) bool {
+	switch op {
+	case PredEQ:
+		return math.Abs(a-b) <= predEps
+	case PredNE:
+		return math.Abs(a-b) > predEps
+	case PredLT:
+		return a < b
+	case PredLE:
+		return a <= b
+	case PredGT:
+		return a > b
+	case PredGE:
+		return a >= b
+	}
+	return false
+}
+
+// Predicate is one pushed-down conjunct. When Feature >= 0 the operand is
+// read straight out of the row-major feature matrix the kernel already
+// streams (true fusion: no separate column pass). Otherwise Col supplies
+// the operand values for a non-feature column, one per row.
+type Predicate struct {
+	Feature int       // feature index into the row, or -1 to use Col
+	Col     []float64 // operand column when Feature < 0; len >= row count
+	Op      PredOp
+	Value   float64
+}
+
+// Eval reports whether row r (with feature slice row) satisfies the
+// predicate.
+func (p Predicate) Eval(r int, row []float32) bool {
+	var a float64
+	if p.Feature >= 0 {
+		a = float64(row[p.Feature])
+	} else {
+		a = p.Col[r]
+	}
+	return evalPred(a, p.Op, p.Value)
+}
+
+// Selection is an immutable row bitmap whose 64-bit words are aligned to
+// the kernel's row blocks (rowBlockSize == 64, so word b covers exactly
+// traversal block b). prefix[b] counts selected rows before word b, which
+// lets parallel workers compute dense output offsets without coordination.
+type Selection struct {
+	words  []uint64
+	prefix []int32 // len == len(words)+1
+	n      int
+}
+
+// selWordBits is the bitmap word width; it must equal rowBlockSize so the
+// fused loop can test one word per traversal block.
+const selWordBits = 64
+
+// SelectionAlign is the row alignment Selection.Slice requires: callers
+// that shard a selected batch (the FPGA cluster fan-out) must cut on
+// multiples of this so slicing stays pure word arithmetic.
+const SelectionAlign = selWordBits
+
+// BuildSelection evaluates the conjunction of preds over n rows of the
+// row-major matrix x (features values per row) block-wise and returns the
+// surviving-row bitmap. With no predicates every row is selected. x may be
+// nil when every predicate reads an aux column.
+func BuildSelection(n int, preds []Predicate, x []float32, features int) *Selection {
+	return SelectionFromFunc(n, func(r int) bool {
+		var row []float32
+		if x != nil {
+			row = x[r*features : (r+1)*features]
+		}
+		for i := range preds {
+			if !preds[i].Eval(r, row) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// SelectionFromFunc builds a bitmap from an arbitrary keep function;
+// conformance checks use it to exercise selections the predicate builder
+// would not produce.
+func SelectionFromFunc(n int, keep func(row int) bool) *Selection {
+	s := newSelection(n)
+	for b := range s.words {
+		base := b * selWordBits
+		end := base + selWordBits
+		if end > n {
+			end = n
+		}
+		var w uint64
+		for r := base; r < end; r++ {
+			if keep(r) {
+				w |= 1 << uint(r-base)
+			}
+		}
+		s.words[b] = w
+	}
+	s.finalize()
+	return s
+}
+
+func newSelection(n int) *Selection {
+	if n < 0 {
+		n = 0
+	}
+	nw := (n + selWordBits - 1) / selWordBits
+	return &Selection{words: make([]uint64, nw), n: n}
+}
+
+func (s *Selection) finalize() {
+	s.prefix = make([]int32, len(s.words)+1)
+	var c int32
+	for i, w := range s.words {
+		s.prefix[i] = c
+		c += int32(bits.OnesCount64(w))
+	}
+	s.prefix[len(s.words)] = c
+}
+
+// Len returns the number of rows the selection covers.
+func (s *Selection) Len() int { return s.n }
+
+// Count returns the number of selected rows.
+func (s *Selection) Count() int {
+	if len(s.prefix) == 0 {
+		return 0
+	}
+	return int(s.prefix[len(s.prefix)-1])
+}
+
+// Selected reports whether row i survives the filter.
+func (s *Selection) Selected(i int) bool {
+	return s.words[i/selWordBits]&(1<<uint(i%selWordBits)) != 0
+}
+
+// Rank returns the number of selected rows strictly before row i. i may
+// equal Len(), in which case Rank returns Count().
+func (s *Selection) Rank(i int) int {
+	if i >= s.n {
+		return s.Count()
+	}
+	w := i / selWordBits
+	mask := uint64(1)<<uint(i%selWordBits) - 1
+	return int(s.prefix[w]) + bits.OnesCount64(s.words[w]&mask)
+}
+
+// CountRange returns the number of selected rows in [lo, hi).
+func (s *Selection) CountRange(lo, hi int) int {
+	return s.Rank(hi) - s.Rank(lo)
+}
+
+// Slice returns the selection restricted to rows [lo, hi), re-based to row
+// zero. lo must be a multiple of 64 (the FPGA cluster aligns its shard
+// boundaries to traversal blocks so slicing stays pure word arithmetic).
+func (s *Selection) Slice(lo, hi int) *Selection {
+	if lo%selWordBits != 0 {
+		panic(fmt.Sprintf("kernel: Selection.Slice lo %d not block-aligned", lo))
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := newSelection(hi - lo)
+	copy(out.words, s.words[lo/selWordBits:])
+	if tail := (hi - lo) % selWordBits; tail != 0 && len(out.words) > 0 {
+		out.words[len(out.words)-1] &= uint64(1)<<uint(tail) - 1
+	}
+	out.finalize()
+	return out
+}
+
+// ForEach calls fn for every selected row in ascending order, passing the
+// row index and its dense rank (0-based position among selected rows).
+// Per-row engines use it to skip dead rows without bitmap arithmetic.
+func (s *Selection) ForEach(fn func(row, rank int)) {
+	rank := 0
+	for b, w := range s.words {
+		base := b * selWordBits
+		for w != 0 {
+			fn(base+bits.TrailingZeros64(w), rank)
+			rank++
+			w &= w - 1
+		}
+	}
+}
+
+// votePool recycles the per-block vote counters so steady-state Predict
+// calls allocate nothing; buffers grow to the widest class count seen and
+// then stick.
+var votePool = sync.Pool{
+	New: func() any {
+		s := make([]int32, 0, 8*rowBlockSize)
+		return &s
+	},
+}
+
+func getVotes(n int) *[]int32 {
+	p := votePool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putVotes(p *[]int32) { votePool.Put(p) }
+
+// scoreBlock walks every tree for the nb rows whose absolute indices are
+// listed in rows, writing predicted classes into out[:nb]. votes is scratch
+// of at least nb*classes entries (unused for boosted ensembles). The tree
+// loop is blocked exactly like predictRange so both paths share cache
+// behavior and tie-break rules.
+func (c *Compiled) scoreBlock(x []float32, features int, rows []int32, nb int, out []int, votes []int32) {
+	trees := c.NumTrees()
+	feat, thr := c.featureIdx, c.threshold
+	left, right := c.leftChild, c.rightChild
+	if c.boosted {
+		val := c.value
+		var margins [rowBlockSize]float64
+		for r := 0; r < nb; r++ {
+			margins[r] = c.base
+		}
+		for tb := 0; tb < trees; tb += treeBlockSize {
+			te := tb + treeBlockSize
+			if te > trees {
+				te = trees
+			}
+			for t := tb; t < te; t++ {
+				root := c.treeStart[t]
+				for r := 0; r < nb; r++ {
+					row := x[int(rows[r])*features : (int(rows[r])+1)*features]
+					idx := root
+					for {
+						rc := right[idx]
+						if rc < 0 {
+							break
+						}
+						if row[feat[idx]] < thr[idx] {
+							idx = left[idx]
+						} else {
+							idx = rc
+						}
+					}
+					margins[r] += val[idx]
+				}
+			}
+		}
+		for r := 0; r < nb; r++ {
+			if margins[r] > 0 {
+				out[r] = 1
+			} else {
+				out[r] = 0
+			}
+		}
+		return
+	}
+
+	class := c.class
+	classes := c.classes
+	for i := range votes[:nb*classes] {
+		votes[i] = 0
+	}
+	for tb := 0; tb < trees; tb += treeBlockSize {
+		te := tb + treeBlockSize
+		if te > trees {
+			te = trees
+		}
+		for t := tb; t < te; t++ {
+			root := c.treeStart[t]
+			for r := 0; r < nb; r++ {
+				row := x[int(rows[r])*features : (int(rows[r])+1)*features]
+				idx := root
+				for {
+					rc := right[idx]
+					if rc < 0 {
+						break
+					}
+					if row[feat[idx]] < thr[idx] {
+						idx = left[idx]
+					} else {
+						idx = rc
+					}
+				}
+				votes[r*classes+int(class[idx])]++
+			}
+		}
+	}
+	for r := 0; r < nb; r++ {
+		out[r] = argmax32(votes[r*classes : (r+1)*classes])
+	}
+}
+
+// gatherBlock extracts the selected row indices of the 64-row block
+// starting at base into rows, returning the survivor count.
+func gatherBlock(w uint64, base int, rows *[rowBlockSize]int32) int {
+	nb := 0
+	for ; w != 0; w &= w - 1 {
+		rows[nb] = int32(base + bits.TrailingZeros64(w))
+		nb++
+	}
+	return nb
+}
+
+// PredictSel scores only the rows selected by sel, writing their
+// predictions densely (ascending row order) into out, which must have
+// sel.Count() entries. x is the full row-major matrix covering sel.Len()
+// rows; unselected rows are never touched — a 64-row block with no
+// survivors is skipped before any tree node loads. workers as in Predict.
+func (c *Compiled) PredictSel(x []float32, features int, sel *Selection, out []int, workers int) {
+	if sel == nil {
+		c.Predict(x, features, out, workers)
+		return
+	}
+	n := sel.Len()
+	if n == 0 || sel.Count() == 0 {
+		return
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > maxProcs {
+		workers = maxProcs
+	}
+	numBlocks := (n + rowBlockSize - 1) / rowBlockSize
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers <= 1 {
+		c.predictRangeSel(x, features, sel, out, 0, n)
+		return
+	}
+	blocksPerWorker := (numBlocks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * blocksPerWorker * rowBlockSize
+		hi := lo + blocksPerWorker*rowBlockSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c.predictRangeSel(x, features, sel, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// predictRangeSel scores the selected rows of [lo, hi): each 64-row block's
+// survivors are gathered once into a compact index list, scored with the
+// shared blocked traversal, and written at the block's dense rank offset.
+// lo must be block-aligned.
+func (c *Compiled) predictRangeSel(x []float32, features int, sel *Selection, out []int, lo, hi int) {
+	outPos := sel.Rank(lo)
+	var rows [rowBlockSize]int32
+	vp := getVotes(rowBlockSize * c.classes)
+	votes := *vp
+	for base := lo; base < hi; base += rowBlockSize {
+		w := sel.words[base/selWordBits]
+		if w == 0 {
+			continue
+		}
+		nb := gatherBlock(w, base, &rows)
+		c.scoreBlock(x, features, rows[:], nb, out[outPos:outPos+nb], votes)
+		outPos += nb
+	}
+	putVotes(vp)
+}
+
+// PredictAggregate fuses scoring with a per-class count: selected rows are
+// scored block-wise and their predicted classes tallied into counts
+// (length >= NumClasses(), or >= 2 for boosted ensembles) without ever
+// materializing a per-row prediction vector. sel may be nil to aggregate
+// over every row (n rows of x). Each worker tallies into a private
+// histogram; the histograms are summed at the barrier.
+func (c *Compiled) PredictAggregate(x []float32, features int, n int, sel *Selection, counts []int64, workers int) {
+	classes := c.classes
+	if c.boosted && classes < 2 {
+		classes = 2
+	}
+	if len(counts) < classes {
+		panic(fmt.Sprintf("kernel: PredictAggregate counts length %d < classes %d", len(counts), classes))
+	}
+	if sel != nil {
+		n = sel.Len()
+	}
+	if n == 0 {
+		return
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > maxProcs {
+		workers = maxProcs
+	}
+	numBlocks := (n + rowBlockSize - 1) / rowBlockSize
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers <= 1 {
+		c.aggRange(x, features, sel, counts, 0, n)
+		return
+	}
+	blocksPerWorker := (numBlocks + workers - 1) / workers
+	locals := make([][]int64, 0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * blocksPerWorker * rowBlockSize
+		hi := lo + blocksPerWorker*rowBlockSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		local := make([]int64, classes)
+		locals = append(locals, local)
+		wg.Add(1)
+		go func(lo, hi int, local []int64) {
+			defer wg.Done()
+			c.aggRange(x, features, sel, local, lo, hi)
+		}(lo, hi, local)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		for i, v := range local {
+			counts[i] += v
+		}
+	}
+}
+
+// aggRange scores blocks of [lo, hi) (restricted to sel when non-nil) into
+// a per-block scratch and tallies the predicted classes, so at most 64
+// predictions ever exist at once. lo must be block-aligned.
+func (c *Compiled) aggRange(x []float32, features int, sel *Selection, counts []int64, lo, hi int) {
+	var rows [rowBlockSize]int32
+	var scratch [rowBlockSize]int
+	vp := getVotes(rowBlockSize * c.classes)
+	votes := *vp
+	for base := lo; base < hi; base += rowBlockSize {
+		end := base + rowBlockSize
+		if end > hi {
+			end = hi
+		}
+		var nb int
+		if sel != nil {
+			w := sel.words[base/selWordBits]
+			if w == 0 {
+				continue
+			}
+			nb = gatherBlock(w, base, &rows)
+		} else {
+			nb = end - base
+			for r := 0; r < nb; r++ {
+				rows[r] = int32(base + r)
+			}
+		}
+		c.scoreBlock(x, features, rows[:], nb, scratch[:nb], votes)
+		for _, cls := range scratch[:nb] {
+			counts[cls]++
+		}
+	}
+	putVotes(vp)
+}

@@ -1,0 +1,243 @@
+// Query/operator fusion: the planning half of the fused scoring path. A
+// scoring query may carry a pushed-down WHERE (rows are filtered inside the
+// kernel's traversal loop, before any tree is walked), a projection implied
+// by the model's feature names (only those columns leave the column store),
+// and a terminal aggregation (COUNT(*) / GROUP BY prediction) that never
+// materializes the prediction column. This file lowers the SQL forms onto
+// the kernel primitives; pipeline.go executes the plan.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/db"
+	"accelscore/internal/kernel"
+	"accelscore/internal/tensor"
+)
+
+// AggMode is the fused aggregation a scoring query requests.
+type AggMode int
+
+const (
+	// AggNone returns the prediction column (the classic result shape).
+	AggNone AggMode = iota
+	// AggCount returns a single COUNT(*) of the scored rows.
+	AggCount
+	// AggGroupCount returns (prediction, COUNT(*)) per predicted class.
+	AggGroupCount
+)
+
+// String names the mode for metrics labels and trace attributes.
+func (m AggMode) String() string {
+	switch m {
+	case AggCount:
+		return "count"
+	case AggGroupCount:
+		return "group_count"
+	default:
+		return "none"
+	}
+}
+
+// FusionKey canonicalizes the request's fused-query shape — the WHERE
+// conjuncts (rendered in canonical form) and the aggregation mode. Requests
+// are only coalescible into one backend call when, besides model and
+// backend, this key matches: the pushed-down filter and the result shape are
+// shared batch state.
+func (r *ScoreRequest) FusionKey() string {
+	if len(r.Where) == 0 && r.Agg == AggNone {
+		return ""
+	}
+	return db.FormatConditions(r.Where) + "\x00" + r.Agg.String()
+}
+
+// Fused reports whether the request engages any fusion (filter or
+// aggregation) beyond plain scoring.
+func (r *ScoreRequest) Fused() bool { return len(r.Where) > 0 || r.Agg != AggNone }
+
+// validateWhere checks that every pushed-down conjunct is executable inside
+// the scoring kernel: a numeric comparison with a known operator. String
+// comparisons stay in the DBMS's SELECT path.
+func validateWhere(conds []db.Condition) error {
+	for _, c := range conds {
+		if c.Value.IsString {
+			return fmt.Errorf("pipeline: fused WHERE on %q: only numeric comparisons can be pushed into scoring", c.Column)
+		}
+		if _, err := kernel.ParsePredOp(c.Op); err != nil {
+			return fmt.Errorf("pipeline: fused WHERE on %q: %v", c.Column, err)
+		}
+	}
+	return nil
+}
+
+// ParsePredictStmt validates a SELECT ... FROM PREDICT(...) statement and
+// returns the fused scoring request it describes: the PREDICT() arguments
+// become sp_score_model parameters, the WHERE clause is pushed down, and the
+// projection picks the result shape (prediction column, COUNT(*), or
+// GROUP BY prediction).
+func ParsePredictStmt(ps *db.PredictStmt) (*ScoreRequest, error) {
+	req, err := scoreParamsFromMap(ps.Params, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateWhere(ps.Where); err != nil {
+		return nil, err
+	}
+	req.Where = ps.Where
+	for _, col := range ps.Columns {
+		if !strings.EqualFold(col, "prediction") {
+			return nil, fmt.Errorf("pipeline: PREDICT exposes only the %q column, not %q", "prediction", col)
+		}
+	}
+	for _, a := range ps.Aggregates {
+		if a.Fn != db.AggCount {
+			return nil, fmt.Errorf("pipeline: PREDICT supports only COUNT(*) aggregation, not %s", a.Fn)
+		}
+	}
+	switch {
+	case ps.GroupBy != "":
+		if !strings.EqualFold(ps.GroupBy, "prediction") {
+			return nil, fmt.Errorf("pipeline: PREDICT can only GROUP BY prediction, not %q", ps.GroupBy)
+		}
+		req.Agg = AggGroupCount
+	case len(ps.Aggregates) > 0:
+		req.Agg = AggCount
+	}
+	return req, nil
+}
+
+// projectionFor decides the column subset to convert for scoring with f on
+// tbl. Projection engages only when every model feature resolves to a REAL
+// column and the features appear in the table's schema order — then the
+// pruned conversion is value-identical to the legacy full conversion's
+// feature prefix. Any mismatch falls back to the legacy positional
+// conversion (nil = all REAL columns), keeping pre-fusion behavior
+// bit-for-bit.
+func projectionFor(tbl *db.Table, featureNames []string) []string {
+	if len(featureNames) == 0 {
+		return nil
+	}
+	last := -1
+	for _, name := range featureNames {
+		ci := tbl.ColumnIndex(name)
+		if ci <= last || tbl.Columns[ci].Type != db.Float32Col {
+			return nil
+		}
+		last = ci
+	}
+	return featureNames
+}
+
+// buildPredicates lowers the batch's shared WHERE conjuncts onto the merged
+// dataset. A conjunct over a model feature streams straight from the row
+// during traversal (no separate column pass at all); a conjunct over any
+// other numeric column gathers that column per request — bounded by the same
+// row count as the scoring input — and concatenates across the batch.
+func (p *Pipeline) buildPredicates(reqs []*ScoreRequest, datas []*dataset.Dataset, where []db.Condition) ([]kernel.Predicate, error) {
+	total := 0
+	for _, d := range datas {
+		total += d.NumRecords()
+	}
+	featNames := datas[0].FeatureNames
+	preds := make([]kernel.Predicate, 0, len(where))
+	for _, c := range where {
+		op, err := kernel.ParsePredOp(c.Op)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: fused WHERE on %q: %v", c.Column, err)
+		}
+		if c.Value.IsString {
+			return nil, fmt.Errorf("pipeline: fused WHERE on %q: only numeric comparisons can be pushed into scoring", c.Column)
+		}
+		feat := -1
+		for j, name := range featNames {
+			if name == c.Column {
+				feat = j
+				break
+			}
+		}
+		if feat >= 0 {
+			preds = append(preds, kernel.Predicate{Feature: feat, Op: op, Value: c.Value.N})
+			continue
+		}
+		col := make([]float64, 0, total)
+		for i, r := range reqs {
+			want := datas[i].NumRecords()
+			tbl, err := p.DB.Table(r.Data)
+			if err != nil {
+				return nil, err
+			}
+			part, err := tbl.NumericColumnPrefix(c.Column, want)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: fused WHERE: %v", err)
+			}
+			if len(part) != want {
+				return nil, fmt.Errorf("pipeline: fused WHERE on %q: table %q shrank during the scan", c.Column, r.Data)
+			}
+			col = append(col, part...)
+		}
+		preds = append(preds, kernel.Predicate{Feature: -1, Col: col, Op: op, Value: c.Value.N})
+	}
+	return preds, nil
+}
+
+// aggResult assembles one request's fused-aggregate result table. counts is
+// the engine's fused class histogram when it produced one (WantCounts path);
+// otherwise preds is the request's materialized prediction slice and the
+// histogram is computed here with the batch primitive.
+func aggResult(mode AggMode, preds []int, counts []int64) (*db.Table, error) {
+	if counts == nil {
+		counts = tensor.Bincount(preds, 0)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	switch mode {
+	case AggCount:
+		out, err := db.NewTable("result", []db.Column{{Name: "count", Type: db.Int64Col}})
+		if err != nil {
+			return nil, err
+		}
+		return out, out.Insert([]db.Value{db.Int(total)})
+	case AggGroupCount:
+		out, err := db.NewTable("result", []db.Column{
+			{Name: "prediction", Type: db.Int64Col},
+			{Name: "count", Type: db.Int64Col},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for class, c := range counts {
+			if c == 0 {
+				continue
+			}
+			if err := out.Insert([]db.Value{db.Int(int64(class)), db.Int(c)}); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pipeline: aggResult on mode %s", mode)
+	}
+}
+
+// wantCounts reports whether the fused score-then-aggregate request should
+// ask the engine for class counts instead of predictions. Only a
+// single-request batch can skip materialization: a coalesced batch must fan
+// predictions back out per request. Engines that ignore WantCounts still
+// return predictions and the caller aggregates those instead.
+func wantCounts(agg AggMode, batchSize int) bool {
+	return agg != AggNone && batchSize == 1
+}
+
+// fusedPartition locates one request's slice of the merged scoring output:
+// its scanned row range [off, off+nr) maps through the selection to the
+// dense output range [outLo, outLo+scoredN).
+func fusedPartition(sel *kernel.Selection, off, nr int) (outLo, scoredN int) {
+	if sel == nil {
+		return off, nr
+	}
+	return sel.Rank(off), sel.CountRange(off, off+nr)
+}

@@ -80,6 +80,18 @@ const (
 	MetricSnapshotCacheEventsTotal = "accelscore_snapshot_cache_events_total"
 	// MetricEstimatesTotal counts Estimate calls {backend=<engine name>}.
 	MetricEstimatesTotal = "accelscore_estimates_total"
+	// MetricRowsScannedTotal accumulates rows read out of the column store by
+	// scoring queries (post @limit, pre filter).
+	MetricRowsScannedTotal = "accelscore_rows_scanned_total"
+	// MetricRowsScoredTotal accumulates rows that survived the pushed-down
+	// filter and reached the scoring kernel.
+	MetricRowsScoredTotal = "accelscore_rows_scored_total"
+	// MetricFusedQueriesTotal counts fused scoring queries by shape
+	// {mode="filter"|"aggregate"|"filter_aggregate"}.
+	MetricFusedQueriesTotal = "accelscore_fused_queries_total"
+	// MetricFusedStageSimSeconds is MetricStageSimSeconds restricted to fused
+	// queries {stage}, for before/after fusion comparisons.
+	MetricFusedStageSimSeconds = "accelscore_fused_stage_sim_seconds"
 )
 
 // Pipeline executes scoring queries end to end.
@@ -150,6 +162,15 @@ type QueryResult struct {
 	// Retries is how many extra attempts the executor made after retryable
 	// faults before this result was produced.
 	Retries int
+	// RowsScanned is how many rows left the column store for this query
+	// (after @limit pushdown, before the fused WHERE).
+	RowsScanned int
+	// RowsScored is how many rows survived the pushed-down filter and were
+	// actually scored (== RowsScanned without a filter).
+	RowsScored int
+	// Fused reports whether the query engaged operator fusion (a pushed-down
+	// WHERE and/or a fused aggregate).
+	Fused bool
 }
 
 // ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
@@ -212,6 +233,9 @@ func (p *Pipeline) ExecStatementCtx(ctx context.Context, st db.Statement) (*Quer
 			return nil, fmt.Errorf("pipeline: unknown procedure %q", s.Proc)
 		}
 		return p.ScoreProcCtx(ctx, s)
+	case *db.PredictStmt:
+		p.countStatement("predict")
+		return p.ScorePredictCtx(ctx, s)
 	default:
 		return nil, fmt.Errorf("pipeline: unsupported statement %T", st)
 	}
@@ -238,28 +262,60 @@ type ScoreRequest struct {
 	// executor turns it into a context deadline covering queueing,
 	// coalescing, retries and fallback.
 	Timeout time.Duration
+	// Where holds pushed-down filter conjuncts (from @where or a PREDICT
+	// statement's WHERE clause): rows failing them are skipped inside the
+	// scoring kernel before any tree is traversed.
+	Where []db.Condition
+	// Agg is the fused aggregation over the predictions (COUNT(*) /
+	// GROUP BY prediction); AggNone returns the prediction column.
+	Agg AggMode
 }
 
 // ParseScoreParams validates an EXEC sp_score_model statement's parameters
 // and returns the scoring request they describe.
 func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
-	modelName, ok := ex.Params["model"]
+	return scoreParamsFromMap(ex.Params, true)
+}
+
+// scoreParamsFromMap validates the parameter map shared by EXEC
+// sp_score_model and SELECT ... FROM PREDICT(...). allowWhere admits the
+// @where parameter (the EXEC spelling of the pushed-down filter; PREDICT
+// statements use a real WHERE clause instead).
+func scoreParamsFromMap(params map[string]db.Literal, allowWhere bool) (*ScoreRequest, error) {
+	modelName, ok := params["model"]
 	if !ok || !modelName.IsString {
 		return nil, fmt.Errorf("pipeline: %s requires @model = '<name>'", ScoreProcName)
 	}
-	dataName, ok := ex.Params["data"]
+	dataName, ok := params["data"]
 	if !ok || !dataName.IsString {
 		return nil, fmt.Errorf("pipeline: %s requires @data = '<table>'", ScoreProcName)
 	}
-	for name := range ex.Params {
+	for name := range params {
 		switch name {
 		case "model", "data", "backend", "limit", "timeout":
+		case "where":
+			if !allowWhere {
+				return nil, fmt.Errorf("pipeline: PREDICT takes a WHERE clause, not a @where parameter")
+			}
 		default:
 			return nil, fmt.Errorf("pipeline: unknown parameter @%s", name)
 		}
 	}
 	req := &ScoreRequest{Model: modelName.S, Data: dataName.S}
-	if lim, ok := ex.Params["limit"]; ok {
+	if w, ok := params["where"]; ok {
+		if !w.IsString {
+			return nil, fmt.Errorf("pipeline: @where must be a string of AND-joined comparisons")
+		}
+		conds, err := db.ParseConditionList(w.S)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: @where: %v", err)
+		}
+		if err := validateWhere(conds); err != nil {
+			return nil, err
+		}
+		req.Where = conds
+	}
+	if lim, ok := params["limit"]; ok {
 		// Validate the parameter's type before its value so a string-valued
 		// @limit reports a type error, not "must be positive".
 		if lim.IsString {
@@ -271,13 +327,13 @@ func ParseScoreParams(ex *db.ExecStmt) (*ScoreRequest, error) {
 		}
 		req.Limit = n
 	}
-	if b, ok := ex.Params["backend"]; ok {
+	if b, ok := params["backend"]; ok {
 		if !b.IsString {
 			return nil, fmt.Errorf("pipeline: @backend must be a string")
 		}
 		req.Backend = b.S
 	}
-	if to, ok := ex.Params["timeout"]; ok {
+	if to, ok := params["timeout"]; ok {
 		// '50ms'-style duration strings, or a bare number of milliseconds.
 		if to.IsString {
 			d, err := time.ParseDuration(to.S)
@@ -312,6 +368,33 @@ func (p *Pipeline) ScoreProcCtx(ctx context.Context, ex *db.ExecStmt) (*QueryRes
 	if err != nil {
 		// Parameter failures never reach the batch path's accounting, so
 		// count them here.
+		if reg := p.Obs.Metrics(); reg != nil {
+			reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
+				"status", "error").Inc()
+		}
+		return nil, err
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	results, err := p.ExecScoreBatchCtx(ctx, []*ScoreRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// ScorePredict runs a fused SELECT ... FROM PREDICT(...) statement.
+func (p *Pipeline) ScorePredict(ps *db.PredictStmt) (*QueryResult, error) {
+	return p.ScorePredictCtx(context.Background(), ps)
+}
+
+// ScorePredictCtx is ScorePredict under a caller context.
+func (p *Pipeline) ScorePredictCtx(ctx context.Context, ps *db.PredictStmt) (*QueryResult, error) {
+	req, err := ParsePredictStmt(ps)
+	if err != nil {
 		if reg := p.Obs.Metrics(); reg != nil {
 			reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.",
 				"status", "error").Inc()
@@ -372,20 +455,30 @@ func (p *Pipeline) ExecScoreBatchCtx(ctx context.Context, reqs []*ScoreRequest) 
 		}
 	}()
 	first := reqs[0]
+	fkey := first.FusionKey()
 	for _, r := range reqs[1:] {
 		if r.Model != first.Model || r.Backend != first.Backend {
 			return nil, fmt.Errorf("pipeline: coalesced batch mixes (model=%q backend=%q) with (model=%q backend=%q)",
 				first.Model, first.Backend, r.Model, r.Backend)
 		}
+		if r.FusionKey() != fkey {
+			return nil, fmt.Errorf("pipeline: coalesced batch mixes fused-query shapes (%q vs %q)",
+				fkey, r.FusionKey())
+		}
 	}
 
-	// DBMS side: fetch the model blob once and each request's input rows.
-	// With the hot path enabled, the table->dataset conversion comes from
-	// the table's version-keyed snapshot cache instead of being redone per
-	// query.
+	// DBMS side: fetch the model blob once, resolve the model BEFORE any row
+	// leaves the column store — its feature names drive projection pruning —
+	// then fetch each request's input rows. With the hot path enabled, the
+	// (pruned) table->dataset conversion comes from the table's
+	// version-keyed subset-snapshot cache instead of being redone per query.
 	blob, err := p.DB.LoadModelBlob(first.Model)
 	if err != nil {
 		return nil, err
+	}
+	rm, err := p.resolveModel(first.Model, blob)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
 	}
 	datas := make([]*dataset.Dataset, len(reqs))
 	for i, r := range reqs {
@@ -393,10 +486,13 @@ func (p *Pipeline) ExecScoreBatchCtx(ctx context.Context, reqs []*ScoreRequest) 
 		if err != nil {
 			return nil, err
 		}
+		// Projection pruning + @limit pushdown: only the model's feature
+		// columns convert, and only the first @limit rows are ever read.
+		features := projectionFor(tbl, rm.f.FeatureNames)
 		var data *dataset.Dataset
 		if p.Cache != nil {
 			var snapHit bool
-			data, snapHit, err = tbl.DatasetSnapshotCached()
+			data, snapHit, err = tbl.DatasetSnapshotFor(features, r.Limit)
 			if reg := p.Obs.Metrics(); reg != nil && err == nil {
 				ev := "miss"
 				if snapHit {
@@ -407,18 +503,106 @@ func (p *Pipeline) ExecScoreBatchCtx(ctx context.Context, reqs []*ScoreRequest) 
 					"event", ev).Inc()
 			}
 		} else {
-			data, err = db.DatasetFromTable(tbl)
+			// The baseline deliberately redoes the conversion per query, but
+			// still prunes columns and bounds rows.
+			data, err = tbl.DatasetFor(features, r.Limit)
 		}
 		if err != nil {
 			return nil, err
 		}
-		if r.Limit > 0 {
-			data = data.Head(r.Limit)
-		}
 		datas[i] = data
 	}
+	plan := &batchPlan{
+		modelName: first.Model, blob: blob, backend: first.Backend,
+		datas: datas, resolved: rm, where: first.Where, agg: first.Agg,
+	}
+	if len(datas) > 1 {
+		if plan.merged, err = dataset.Concat(datas); err != nil {
+			return nil, err
+		}
+	} else {
+		plan.merged = datas[0]
+	}
+	if len(first.Where) > 0 {
+		preds, err := p.buildPredicates(reqs, datas, first.Where)
+		if err != nil {
+			return nil, err
+		}
+		plan.sel = kernel.BuildSelection(plan.merged.NumRecords(), preds,
+			plan.merged.X, plan.merged.NumFeatures())
+	}
 	reachedRun = true
-	return p.scoreBatch(ctx, first.Model, blob, datas, first.Backend)
+	return p.scoreBatch(ctx, plan)
+}
+
+// batchPlan is everything scoreBatch needs for one fused pipeline run. The
+// zero fusion state (nil sel, AggNone) reproduces pre-fusion behavior
+// bit-for-bit.
+type batchPlan struct {
+	modelName string
+	blob      []byte
+	backend   string
+	// datas holds each request's (pruned, bounded) input rows; merged is
+	// their concatenation (== datas[0] for a batch of one).
+	datas  []*dataset.Dataset
+	merged *dataset.Dataset
+	// resolved carries a pre-resolved model from ExecScoreBatchCtx (which
+	// needs the feature names before data fetch); nil makes scoreBatch
+	// resolve it inside the model pre-processing stage (the Run path).
+	resolved *resolvedModel
+	// sel marks the rows surviving the pushed-down WHERE (nil = all rows);
+	// where retains the conjuncts for trace attributes.
+	sel   *kernel.Selection
+	where []db.Condition
+	agg   AggMode
+}
+
+// resolvedModel is the model in executable form plus how it was obtained
+// ("hit" | "miss" | "coalesced" against the compiled-model cache, "" without
+// one).
+type resolvedModel struct {
+	f        *forest.Forest
+	compiled *kernel.Compiled
+	stats    forest.Stats
+	status   string
+}
+
+// resolveModel probes the compiled-model cache and, on a miss, deserializes
+// the blob and lowers it to the flat kernel form — exactly once even under
+// concurrent cold starts (GetOrCompile's singleflight). Recomputing the blob
+// checksum on every query is the invalidation mechanism — a replaced model
+// produces a different key and misses, so no DB write-path hook is needed.
+func (p *Pipeline) resolveModel(modelName string, blob []byte) (*resolvedModel, error) {
+	if p.Cache == nil {
+		f, err := model.Unmarshal(blob)
+		if err != nil {
+			return nil, err
+		}
+		return &resolvedModel{f: f, stats: f.ComputeStats()}, nil
+	}
+	key := cacheKey(modelName, blob)
+	e, status, evicted, err := p.Cache.GetOrCompile(key, func() (*cacheEntry, error) {
+		cf, cerr := model.Unmarshal(blob)
+		if cerr != nil {
+			return nil, cerr
+		}
+		cc, cerr := cf.Compile()
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &cacheEntry{key: key, forest: cf, compiled: cc, stats: cf.ComputeStats()}, nil
+	})
+	if reg := p.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", status).Inc()
+		if evicted > 0 {
+			reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", "eviction").
+				Add(float64(evicted))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &resolvedModel{f: e.forest, compiled: e.compiled, stats: e.stats, status: status}, nil
 }
 
 // Run executes the pipeline stages over a model blob and a dataset,
@@ -431,7 +615,10 @@ func (p *Pipeline) Run(blob []byte, data *dataset.Dataset, backendName string) (
 // for direct Run calls) only contributes to the cache key; the blob checksum
 // does the real identification.
 func (p *Pipeline) run(ctx context.Context, modelName string, blob []byte, data *dataset.Dataset, backendName string) (*QueryResult, error) {
-	results, err := p.scoreBatch(ctx, modelName, blob, []*dataset.Dataset{data}, backendName)
+	results, err := p.scoreBatch(ctx, &batchPlan{
+		modelName: modelName, blob: blob, backend: backendName,
+		datas: []*dataset.Dataset{data}, merged: data,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -445,32 +632,53 @@ func (p *Pipeline) run(ctx context.Context, modelName string, blob []byte, data 
 // timeline charges an amortized share — fixed per-invocation stages divide
 // by the batch size, row-proportional stages scale by row share — which is
 // the cross-query version of the paper's overhead-amortization argument. A
-// batch of one reproduces the old per-query behavior exactly.
-func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte, datas []*dataset.Dataset, backendName string) (results []*QueryResult, err error) {
+// batch of one with no fusion reproduces the old per-query behavior exactly.
+//
+// With fusion engaged, the plan's selection rides into the backend request
+// so dead rows are skipped inside the kernel's block loop, and a fused
+// aggregate asks the engine for class counts so the prediction column is
+// never materialized (falling back to counting predictions for engines that
+// ignore WantCounts).
+func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*QueryResult, err error) {
+	datas := plan.datas
 	n := len(datas)
 	if n == 0 {
 		return nil, fmt.Errorf("pipeline: empty scoring batch")
 	}
-	merged := datas[0]
-	if n > 1 {
-		if merged, err = dataset.Concat(datas); err != nil {
-			return nil, err
+	merged := plan.merged
+	if merged == nil {
+		merged = datas[0]
+		if n > 1 {
+			if merged, err = dataset.Concat(datas); err != nil {
+				return nil, err
+			}
 		}
 	}
 	records := int64(merged.NumRecords())
 	features := int64(merged.NumFeatures())
+	scoredRows := records
+	if plan.sel != nil {
+		scoredRows = int64(plan.sel.Count())
+	}
+	fused := plan.sel != nil || plan.agg != AggNone
 
 	subs := make([]*QueryResult, n)
 	trs := make([]*obs.Trace, n)
 	for i, d := range datas {
 		tr := p.Obs.StartTrace(ScoreProcName)
-		tr.SetAttr("model", modelName)
+		tr.SetAttr("model", plan.modelName)
 		tr.SetAttr("records", strconv.Itoa(d.NumRecords()))
 		if n > 1 {
 			tr.SetAttr("coalesced_batch", strconv.Itoa(n))
 		}
+		if len(plan.where) > 0 {
+			tr.SetAttr("where", db.FormatConditions(plan.where))
+		}
+		if plan.agg != AggNone {
+			tr.SetAttr("agg", plan.agg.String())
+		}
 		trs[i] = tr
-		subs[i] = &QueryResult{TraceID: tr.ID(), BatchSize: n}
+		subs[i] = &QueryResult{TraceID: tr.ID(), BatchSize: n, Fused: fused}
 	}
 	start := time.Now()
 	defer func() {
@@ -479,57 +687,21 @@ func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte
 		}
 	}()
 
-	// Model pre-processing: probe the cache and, on a miss, deserialize the
-	// blob and lower it to the flat kernel form — exactly once even under
-	// concurrent cold starts (GetOrCompile's singleflight). Recomputing the
-	// blob checksum on every query is the invalidation mechanism — a
-	// replaced model produces a different key and misses, so no DB
-	// write-path hook is needed.
-	var (
-		f        *forest.Forest
-		compiled *kernel.Compiled
-		stats    forest.Stats
-		status   string // "hit" | "miss" | "coalesced"; "" without a cache
-	)
+	// Model pre-processing: resolve the compiled form (cache probe, blob
+	// deserialization, kernel lowering) unless the caller already did — the
+	// fused exec path resolves before data fetch because the feature names
+	// drive projection pruning.
+	rm := plan.resolved
 	endPreproc := p.startSpanAll(trs, StageModelPreproc)
-	if p.Cache != nil {
-		key := cacheKey(modelName, blob)
-		var (
-			e       *cacheEntry
-			evicted int
-		)
-		e, status, evicted, err = p.Cache.GetOrCompile(key, func() (*cacheEntry, error) {
-			cf, cerr := model.Unmarshal(blob)
-			if cerr != nil {
-				return nil, cerr
-			}
-			cc, cerr := cf.Compile()
-			if cerr != nil {
-				return nil, cerr
-			}
-			return &cacheEntry{key: key, forest: cf, compiled: cc, stats: cf.ComputeStats()}, nil
-		})
-		if reg := p.Obs.Metrics(); reg != nil {
-			reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", status).Inc()
-			if evicted > 0 {
-				reg.Counter(MetricModelCacheEventsTotal, helpModelCacheEvents, "event", "eviction").
-					Add(float64(evicted))
-			}
-		}
+	if rm == nil {
+		rm, err = p.resolveModel(plan.modelName, plan.blob)
 		if err != nil {
 			endPreproc()
 			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
 		}
-		f, compiled, stats = e.forest, e.compiled, e.stats
-	} else {
-		f, err = model.Unmarshal(blob)
-		if err != nil {
-			endPreproc()
-			return nil, fmt.Errorf("pipeline: model pre-processing: %w", err)
-		}
-		stats = f.ComputeStats()
 	}
 	endPreproc()
+	f, compiled, stats, status := rm.f, rm.compiled, rm.stats, rm.status
 	// "hit" and "coalesced" both mean the compiled model was already
 	// resident (or becoming resident) in the runtime: no blob transfer, no
 	// deserialization charge.
@@ -537,8 +709,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte
 
 	// Model scoring on the selected backend, over the merged rows. The
 	// pre-compiled kernel form rides along so CPU engines skip their
-	// per-query lowering.
-	eng, source, err := p.resolveBackend(backendName, stats, records)
+	// per-query lowering; the selection rides along so every engine skips
+	// filtered-out rows.
+	eng, source, err := p.resolveBackend(plan.backend, stats, records)
 	if err != nil {
 		return nil, err
 	}
@@ -554,33 +727,67 @@ func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte
 	scored, err := eng.Score(&backend.Request{
 		Forest: f, Data: merged, Compiled: compiled, Stats: &stats,
 		Ctx: ctx, Inject: p.Faults,
+		Sel: plan.sel, WantCounts: wantCounts(plan.agg, n),
 	})
 	endScoring()
 	if err != nil {
 		p.noteScoringError(trs, eng.Name(), err)
 		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
 	}
+	if reg := p.Obs.Metrics(); reg != nil {
+		reg.Counter(MetricRowsScannedTotal,
+			"Rows read from the column store by scoring queries.").Add(float64(records))
+		reg.Counter(MetricRowsScoredTotal,
+			"Rows that survived pushed-down filters and were scored.").Add(float64(scoredRows))
+		if fused {
+			mode := "aggregate"
+			switch {
+			case plan.sel != nil && plan.agg != AggNone:
+				mode = "filter_aggregate"
+			case plan.sel != nil:
+				mode = "filter"
+			}
+			reg.Counter(MetricFusedQueriesTotal,
+				"Fused scoring queries by shape.", "mode", mode).Add(float64(n))
+		}
+	}
 
-	// Post-processing: land each sub-query's prediction slice in its own
-	// result table, in one bulk append per query.
+	// Post-processing: land each sub-query's slice of the output in its own
+	// result table — the prediction column in one bulk append, or, for a
+	// fused aggregate, the class histogram without ever materializing
+	// predictions.
 	endPost := p.startSpanAll(trs, StagePostprocessing)
 	offset := 0
 	for i, d := range datas {
 		nr := d.NumRecords()
-		preds := scored.Predictions[offset : offset+nr]
+		outLo, scoredN := fusedPartition(plan.sel, offset, nr)
 		offset += nr
-		out, terr := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
-		if terr == nil {
-			terr = out.AppendIntRows(preds)
+		var preds []int
+		if scored.Predictions != nil {
+			preds = scored.Predictions[outLo : outLo+scoredN]
+		}
+		subs[i].RowsScanned = nr
+		subs[i].RowsScored = scoredN
+		subs[i].Backend = eng.Name()
+		var out *db.Table
+		var terr error
+		if plan.agg == AggNone {
+			out, terr = db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
+			if terr == nil {
+				terr = out.AppendIntRows(preds)
+			}
+			subs[i].Predictions = preds
+		} else {
+			// scored.ClassCounts is only produced for single-request
+			// batches, so using it for request i is exact.
+			out, terr = aggResult(plan.agg, preds, scored.ClassCounts)
 		}
 		if terr != nil {
 			endPost()
 			err = terr
 			return nil, err
 		}
-		subs[i].Predictions = preds
 		subs[i].Table = out
-		subs[i].Backend = eng.Name()
 	}
 	endPost()
 
@@ -588,23 +795,31 @@ func (p *Pipeline) scoreBatch(ctx context.Context, modelName string, blob []byte
 	// order: invocation, inbound transfer (rows always; the blob only when
 	// the compiled model is not resident), model pre-processing (checksum
 	// verification on hit, full deserialization otherwise), data
-	// pre-processing, scoring, post-processing, outbound transfer.
+	// pre-processing, scoring, post-processing, outbound transfer. Inbound
+	// stages charge for every scanned row (the filter runs inside scoring);
+	// post-processing and the outbound transfer charge only for rows that
+	// were scored, and a fused aggregate returns a histogram instead of a
+	// prediction column.
 	var batch sim.Timeline
 	batch.Add(StagePythonInvocation, sim.KindPipeline, p.Runtime.ProcessInvoke)
 	inBytes := records * features * dataset.BytesPerValue
 	if !resident {
-		inBytes += int64(len(blob))
+		inBytes += int64(len(plan.blob))
 	}
 	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(inBytes))
 	if resident {
-		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelCacheHitTime(int64(len(blob))))
+		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelCacheHitTime(int64(len(plan.blob))))
 	} else {
-		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(int64(len(blob))))
+		batch.Add(StageModelPreproc, sim.KindPipeline, p.Runtime.ModelDeserializeTime(int64(len(plan.blob))))
 	}
 	batch.Add(StageDataPreproc, sim.KindPipeline, p.Runtime.DataPreprocTime(records, features))
 	batch.Add(StageModelScoring, sim.KindCompute, scored.Timeline.Total())
-	batch.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(records))
-	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(records*4))
+	batch.Add(StagePostprocessing, sim.KindPipeline, p.Runtime.PostprocTime(scoredRows))
+	outBytes := scoredRows * 4
+	if plan.agg != AggNone {
+		outBytes = int64(stats.Classes+1) * 16
+	}
+	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(outBytes))
 
 	for i, d := range datas {
 		if n == 1 {
@@ -739,6 +954,13 @@ func (p *Pipeline) observeQuery(tr *obs.Trace, start time.Time, res *QueryResult
 				reg.Histogram(MetricStageSimSeconds,
 					"Simulated per-stage latency of the Fig. 11 end-to-end breakdown.",
 					obs.DefBuckets, "stage", row.Name).Observe(row.Duration.Seconds())
+			}
+			if res.Fused {
+				for _, row := range res.Timeline.Aggregate().Rows {
+					reg.Histogram(MetricFusedStageSimSeconds,
+						"Simulated per-stage latency of fused scoring queries.",
+						obs.DefBuckets, "stage", row.Name).Observe(row.Duration.Seconds())
+				}
 			}
 			reg.Histogram(MetricBackendSimSeconds,
 				"Simulated scoring-stage latency by backend.",

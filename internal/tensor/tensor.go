@@ -195,6 +195,26 @@ func RowSums(m *Matrix) []float32 {
 	return out
 }
 
+// Bincount tallies non-negative integer values into a histogram of at least
+// minLength buckets, growing as needed — the batch aggregation primitive
+// behind fused GROUP BY prediction when the backend returns materialized
+// predictions instead of class counts. Negative values are ignored.
+func Bincount(xs []int, minLength int) []int64 {
+	out := make([]int64, minLength)
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x >= len(out) {
+			grown := make([]int64, x+1)
+			copy(grown, out)
+			out = grown
+		}
+		out[x]++
+	}
+	return out
+}
+
 func mustSameShape(op string, a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
