@@ -67,7 +67,28 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Second, "per-query deadline for -chaos (0 = none)")
 	retries := flag.Int("retries", 3, "max retries per query for -chaos")
 	attemptTimeout := flag.Duration("attempt-timeout", 150*time.Millisecond, "per-attempt hang-detection timeout for -chaos (0 = off)")
+	chaosRestart := flag.Bool("chaos-restart", false,
+		"SIGKILL a real serve process under write load, restart it, and verify no acked write is lost and predictions stay bit-identical")
+	serveBin := flag.String("serve-bin", "", "prebuilt serve binary for -chaos-restart (empty builds one)")
+	kills := flag.Int("kills", 3, "kill/restart cycles for -chaos-restart")
+	writeFor := flag.Duration("write-for", time.Second, "write-load window per -chaos-restart cycle")
+	fsyncPolicy := flag.String("fsync", "always", "serve WAL sync policy for -chaos-restart (always|batch|none)")
 	flag.Parse()
+
+	if *chaosRestart {
+		err := runRestartChaos(restartChaosConfig{
+			ServeBin:    *serveBin,
+			Kills:       *kills,
+			Writers:     *clients,
+			WriteFor:    *writeFor,
+			DemoRecords: 150,
+			Fsync:       *fsyncPolicy,
+		}, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *benchFusion {
 		// Fusion defaults: a scoring-dominated regime (big forest, big table)

@@ -1,0 +1,489 @@
+// Restart chaos: kill the serving process with SIGKILL in the middle of a
+// write-heavy load, restart it on the same data directory, and verify the
+// durability contract end to end over HTTP:
+//
+//   - no acknowledged write is lost (every 200 from /sql survives the kill);
+//   - no phantom rows appear (every recovered synthetic row was sent by a
+//     writer, with exactly the bytes the writer sent);
+//   - recovery is deterministic: a second kill+restart recovers the
+//     identical table, and a locally retrained copy of the demo model
+//     (experiments.DemoForestConfig is seeded, so retraining reproduces it
+//     exactly) scores both recoveries bit-identically.
+//
+// This is the out-of-process complement to the in-process crash harness in
+// internal/storage: here the "crash" is a real SIGKILL of a real server
+// process, so the WAL fsync path, the HTTP acknowledgement ordering and the
+// boot-time recovery all get exercised for real.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/experiments"
+	"accelscore/internal/forest"
+)
+
+// restartChaosConfig parameterizes the kill-and-restart scenario.
+type restartChaosConfig struct {
+	// ServeBin is a prebuilt serve binary; empty builds one with `go build`
+	// (CI prebuilds with -race and passes it in).
+	ServeBin string
+	// Kills is the number of SIGKILL-under-load cycles before verification.
+	Kills int
+	// Writers is the number of concurrent writer clients.
+	Writers int
+	// WriteFor is how long each cycle sustains write load before the kill.
+	WriteFor time.Duration
+	// DemoRecords sizes the server's seeded iris table.
+	DemoRecords int
+	// Fsync is the server's WAL sync policy. "always" (the default) and
+	// "batch" both guarantee acked durability, so the lost-write gate
+	// applies; "none" is loss-permitting and the harness only reports.
+	Fsync string
+}
+
+// syntheticBase offsets writer-generated sepal_length values so they are
+// disjoint from the seeded iris data. Every synthetic value stays below
+// 1<<24 so the float32 -> JSON float64 -> float32 round trip is exact.
+const syntheticBase = 1000
+
+// syntheticRow derives the full, deterministic row for writer id — the
+// verifier recomputes it to check recovered bytes, so acked IDs are all the
+// state the harness needs to carry across the kill.
+func syntheticRow(id int) [5]float64 {
+	return [5]float64{
+		syntheticBase + float64(id),
+		float64(id%97) / 4,
+		float64(id%53) / 8,
+		float64(id%29) / 16,
+		float64(id % 3),
+	}
+}
+
+// restartReport is the JSON artifact merged into CHAOS_report.json.
+type restartReport struct {
+	Kills           int    `json:"kills"`
+	Writers         int    `json:"writers"`
+	Fsync           string `json:"fsync"`
+	Attempted       int    `json:"attempted_writes"`
+	Acked           int    `json:"acked_writes"`
+	Recovered       int    `json:"recovered_writes"`
+	LostAcked       int    `json:"lost_acked_writes"`
+	PhantomRows     int    `json:"phantom_rows"`
+	CorruptRows     int    `json:"corrupt_rows"`
+	PredictionsSame bool   `json:"predictions_bit_identical"`
+	ReplayedRecords int64  `json:"replayed_records_final_boot"`
+	WALBytes        int64  `json:"wal_bytes_final_boot"`
+}
+
+// serveProc is one serve process under harness control.
+type serveProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startServe spawns the server on a fresh loopback port over dataDir and
+// waits until /healthz answers.
+func startServe(bin, dataDir string, cfg restartChaosConfig) (*serveProc, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-fsync", cfg.Fsync,
+		"-demo-records", fmt.Sprint(cfg.DemoRecords))
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting serve: %w", err)
+	}
+	p := &serveProc{cmd: cmd, url: "http://" + addr}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(p.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			p.kill()
+			return nil, fmt.Errorf("serve on %s never became healthy", addr)
+		}
+		if cmd.ProcessState != nil {
+			return nil, fmt.Errorf("serve exited during startup")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — the crash under test, not a graceful shutdown —
+// and reaps the process.
+func (p *serveProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// sqlResult mirrors the server's /sql JSON envelope.
+type sqlResult struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+func postSQL(client *http.Client, url, sql string) (*sqlResult, error) {
+	resp, err := client.Post(url+"/sql", "text/plain", strings.NewReader(sql))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out sqlResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/sql: %s", out.Error)
+	}
+	return &out, nil
+}
+
+// runWriters hammers /sql with INSERTs from cfg.Writers goroutines for
+// cfg.WriteFor, then returns. Writers record an attempt before sending and
+// an ack only after a 200 — a request cut off by the kill stays in-doubt
+// (attempted, not acked), exactly like a real client.
+func runWriters(p *serveProc, cfg restartChaosConfig, nextID *atomic.Int64, attempted, acked *sync.Map) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	stop := time.Now().Add(cfg.WriteFor)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				id := int(nextID.Add(1))
+				row := syntheticRow(id)
+				attempted.Store(id, true)
+				sql := fmt.Sprintf("INSERT INTO iris VALUES (%g, %g, %g, %g, %d)",
+					row[0], row[1], row[2], row[3], int(row[4]))
+				if res, err := postSQL(client, p.url, sql); err == nil && res.OK {
+					acked.Store(id, true)
+				} else {
+					// The server is (being) killed; in-doubt is fine, done.
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fetchIris pulls the whole iris table and splits it into the seeded demo
+// rows and the writer-generated synthetic rows (by id).
+func fetchIris(url string) (all [][]float64, synthetic map[int][]float64, err error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	res, err := postSQL(client, url,
+		"SELECT sepal_length, sepal_width, petal_length, petal_width, label FROM iris")
+	if err != nil {
+		return nil, nil, err
+	}
+	synthetic = make(map[int][]float64)
+	for _, raw := range res.Rows {
+		if len(raw) != 5 {
+			return nil, nil, fmt.Errorf("row has %d cells", len(raw))
+		}
+		row := make([]float64, 5)
+		for i, cell := range raw {
+			f, ok := cell.(float64)
+			if !ok {
+				return nil, nil, fmt.Errorf("non-numeric cell %T", cell)
+			}
+			row[i] = f
+		}
+		all = append(all, row)
+		if row[0] >= syntheticBase {
+			id := int(math.Round(row[0] - syntheticBase))
+			if _, dup := synthetic[id]; dup {
+				return nil, nil, fmt.Errorf("synthetic id %d recovered twice", id)
+			}
+			synthetic[id] = row
+		}
+	}
+	return all, synthetic, nil
+}
+
+// healthzRecovery reads the final boot's recovery stats for the report.
+func healthzRecovery(url string) (replayed, walBytes int64) {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Recovery *struct {
+			ReplayedRecords int64 `json:"ReplayedRecords"`
+		} `json:"recovery"`
+		WALBytes int64 `json:"wal_bytes"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&h) == nil && h.Recovery != nil {
+		return h.Recovery.ReplayedRecords, h.WALBytes
+	}
+	return 0, 0
+}
+
+// score runs the locally retrained demo forest over the fetched rows. The
+// float64 cells are exact images of the server's float32 values, so the
+// predictions are the ones the server itself would compute.
+func score(rows [][]float64) ([]int, error) {
+	iris := dataset.Iris()
+	ds := &dataset.Dataset{
+		Name:         "recovered",
+		FeatureNames: iris.FeatureNames,
+		ClassNames:   iris.ClassNames,
+		X:            make([]float32, 0, len(rows)*4),
+	}
+	for _, row := range rows {
+		for _, f := range row[:4] {
+			ds.X = append(ds.X, float32(f))
+		}
+	}
+	f, err := forest.Train(dataset.Iris(), experiments.DemoForestConfig)
+	if err != nil {
+		return nil, err
+	}
+	return f.PredictBatch(ds), nil
+}
+
+// runRestartChaos drives the whole scenario and writes the verdict into the
+// chaos JSON artifact plus results/restart_chaos.md. It returns an error —
+// failing the run — on any lost acked write, phantom or corrupt row, or
+// prediction divergence.
+func runRestartChaos(cfg restartChaosConfig, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "CHAOS_report.json"
+	}
+	bin := cfg.ServeBin
+	if bin == "" {
+		tmp, err := os.MkdirTemp("", "accelscore-serve-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		bin = filepath.Join(tmp, "serve")
+		log.Printf("restart-chaos: building serve binary")
+		build := exec.Command("go", "build", "-o", bin, "accelscore/cmd/serve")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building serve: %w", err)
+		}
+	}
+	dataDir, err := os.MkdirTemp("", "accelscore-data-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	var nextID atomic.Int64
+	var attempted, acked sync.Map
+	for cycle := 0; cycle < cfg.Kills; cycle++ {
+		p, err := startServe(bin, dataDir, cfg)
+		if err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		// SIGKILL lands while writers are mid-request: the goroutine below
+		// pulls the trigger partway through the write window.
+		killAt := time.Duration(float64(cfg.WriteFor) * 0.6)
+		killed := make(chan struct{})
+		go func() {
+			time.Sleep(killAt)
+			p.kill()
+			close(killed)
+		}()
+		runWriters(p, cfg, &nextID, &attempted, &acked)
+		<-killed
+		log.Printf("restart-chaos: cycle %d killed serve mid-load", cycle+1)
+	}
+
+	// Final boot: recovery must hold everything acked across all kills.
+	p, err := startServe(bin, dataDir, cfg)
+	if err != nil {
+		return fmt.Errorf("final boot: %w", err)
+	}
+	replayed, walBytes := healthzRecovery(p.url)
+	all1, syn1, err := fetchIris(p.url)
+	if err != nil {
+		p.kill()
+		return err
+	}
+	// One more hard kill + boot: recovery must be deterministic, and the
+	// retrained demo model must score both recoveries bit-identically.
+	p.kill()
+	p2, err := startServe(bin, dataDir, cfg)
+	if err != nil {
+		return fmt.Errorf("determinism boot: %w", err)
+	}
+	defer p2.kill()
+	all2, _, err := fetchIris(p2.url)
+	if err != nil {
+		return err
+	}
+
+	rep := restartReport{
+		Kills:           cfg.Kills,
+		Writers:         cfg.Writers,
+		Fsync:           cfg.Fsync,
+		Recovered:       len(syn1),
+		ReplayedRecords: replayed,
+		WALBytes:        walBytes,
+	}
+	attempted.Range(func(any, any) bool { rep.Attempted++; return true })
+	acked.Range(func(k, _ any) bool {
+		rep.Acked++
+		if _, ok := syn1[k.(int)]; !ok {
+			rep.LostAcked++
+		}
+		return true
+	})
+	for id, got := range syn1 {
+		if _, sent := attempted.Load(id); !sent {
+			rep.PhantomRows++
+			continue
+		}
+		want := syntheticRow(id)
+		for i := range want {
+			if got[i] != want[i] {
+				rep.CorruptRows++
+				break
+			}
+		}
+	}
+	preds1, err := score(all1)
+	if err != nil {
+		return err
+	}
+	preds2, err := score(all2)
+	if err != nil {
+		return err
+	}
+	rep.PredictionsSame = len(all1) == len(all2) && len(preds1) == len(preds2)
+	if rep.PredictionsSame {
+		for i := range preds1 {
+			if preds1[i] != preds2[i] || !equalRow(all1[i], all2[i]) {
+				rep.PredictionsSame = false
+				break
+			}
+		}
+	}
+
+	log.Printf("restart-chaos: %d attempted, %d acked, %d recovered synthetic rows, "+
+		"%d lost, %d phantom, %d corrupt, predictions identical: %v",
+		rep.Attempted, rep.Acked, rep.Recovered, rep.LostAcked, rep.PhantomRows,
+		rep.CorruptRows, rep.PredictionsSame)
+
+	if err := mergeChaosJSON(jsonOut, rep); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "restart_chaos.md")
+	if err := writeRestartMarkdown(mdPath, cfg, rep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and merged restart_chaos into %s", mdPath, jsonOut)
+
+	// Both fsyncing policies guarantee acked durability ("batch" blocks the
+	// ack until the group fsync covers it); only "none" is loss-permitting.
+	if cfg.Fsync != "none" && rep.LostAcked > 0 {
+		return fmt.Errorf("restart-chaos: %d acknowledged writes lost", rep.LostAcked)
+	}
+	if rep.PhantomRows > 0 || rep.CorruptRows > 0 {
+		return fmt.Errorf("restart-chaos: %d phantom, %d corrupt rows recovered",
+			rep.PhantomRows, rep.CorruptRows)
+	}
+	if !rep.PredictionsSame {
+		return fmt.Errorf("restart-chaos: predictions diverged between recoveries")
+	}
+	if rep.Acked == 0 {
+		return fmt.Errorf("restart-chaos: no write was ever acknowledged — the load never landed")
+	}
+	return nil
+}
+
+func equalRow(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeChaosJSON adds/overwrites the "restart_chaos" key in the chaos JSON
+// artifact, preserving an existing fault-injection report in the same file.
+func mergeChaosJSON(path string, rep restartReport) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &doc)
+	}
+	doc["restart_chaos"] = rep
+	if _, ok := doc["generated"]; !ok {
+		doc["generated"] = time.Now().UTC().Format(time.RFC3339)
+	}
+	return writeJSON(path, doc)
+}
+
+func writeRestartMarkdown(path string, cfg restartChaosConfig, rep restartReport) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Restart chaos: SIGKILL under write load\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -chaos-restart`: %d kill/restart cycles, "+
+		"%d concurrent writers against /sql, WAL policy `%s`.\n\n", cfg.Kills, cfg.Writers, cfg.Fsync)
+	sb.WriteString("| metric | value |\n|---|---:|\n")
+	fmt.Fprintf(&sb, "| writes attempted | %d |\n", rep.Attempted)
+	fmt.Fprintf(&sb, "| writes acknowledged | %d |\n", rep.Acked)
+	fmt.Fprintf(&sb, "| synthetic rows recovered | %d |\n", rep.Recovered)
+	fmt.Fprintf(&sb, "| acked writes lost | %d |\n", rep.LostAcked)
+	fmt.Fprintf(&sb, "| phantom rows | %d |\n", rep.PhantomRows)
+	fmt.Fprintf(&sb, "| corrupt rows | %d |\n", rep.CorruptRows)
+	fmt.Fprintf(&sb, "| WAL records replayed at final boot | %d |\n", rep.ReplayedRecords)
+	fmt.Fprintf(&sb, "| predictions bit-identical across recoveries | %v |\n", rep.PredictionsSame)
+	sb.WriteString("\nEvery 200 on /sql is a durability acknowledgement: with `-fsync always` the\n" +
+		"WAL record is on disk before the response leaves the server, so a SIGKILL at\n" +
+		"any instant loses only in-doubt requests (sent, never answered) — exactly the\n" +
+		"writes a client cannot assume landed. The verifier retrains the demo forest\n" +
+		"from its exported seeded config and scores the recovered table after two\n" +
+		"independent crash-recoveries; the predictions must match bit for bit, pinning\n" +
+		"the paper's requirement that the storage path feeding the accelerator never\n" +
+		"perturbs the data.\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

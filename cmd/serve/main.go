@@ -18,10 +18,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"html/template"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -31,10 +33,12 @@ import (
 	"syscall"
 	"time"
 
+	"accelscore/internal/db"
 	"accelscore/internal/exec"
 	"accelscore/internal/experiments"
 	"accelscore/internal/faults"
 	"accelscore/internal/obs"
+	"accelscore/internal/storage"
 )
 
 // StatusClientClosedRequest is nginx's non-standard 499: the client
@@ -96,6 +100,11 @@ type server struct {
 	exec  *exec.Executor
 	obs   *obs.Observer
 
+	// store is the durability engine when -data-dir is set; nil means the
+	// classic in-memory mode. The demo database is journaled through it, so
+	// every /sql write is on disk before the response goes out.
+	store *storage.Store
+
 	// demoRecords sizes freshly built hot-path demos (tests shrink it).
 	demoRecords int
 }
@@ -103,16 +112,41 @@ type server struct {
 // newServer builds the shared state and the routed handler. demoRecords <= 0
 // means the default demo size; zero-valued cfg fields get executor defaults.
 // faultSpec, when non-empty, arms a deterministic fault-injection plan (see
-// internal/faults) on the demo pipeline with the given seed.
-func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uint64) (*server, http.Handler, error) {
-	demo, err := experiments.NewDemo(demoRecords)
-	if err != nil {
-		return nil, nil, err
+// internal/faults) on the demo pipeline with the given seed. storeCfg, when
+// non-nil, opens (recovering if needed) a durable store and journals the
+// demo database through it.
+func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uint64, storeCfg *storage.Config) (*server, http.Handler, error) {
+	o := obs.NewObserver()
+	var demo *experiments.Demo
+	var store *storage.Store
+	if storeCfg != nil {
+		sc := *storeCfg
+		sc.Metrics = o.Metrics()
+		st, d, err := storage.Open(sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening data dir %s: %w", sc.Dir, err)
+		}
+		ri := st.Recovery()
+		log.Printf("storage: recovered %s (snapshot=%v lsn=%d replayed=%d dropped=%dB)",
+			sc.Dir, ri.SnapshotLoaded, ri.LastLSN, ri.ReplayedRecords, ri.DroppedWALBytes)
+		demo, err = experiments.NewDemoOn(d, demoRecords)
+		if err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		store = st
+	} else {
+		var err error
+		demo, err = experiments.NewDemo(demoRecords)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	s := &server{
 		suite:       experiments.NewSuite(),
 		demo:        demo,
-		obs:         obs.NewObserver(),
+		obs:         o,
+		store:       store,
 		demoRecords: demoRecords,
 	}
 	s.suite.Pipe.Obs = s.obs
@@ -134,10 +168,21 @@ func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uin
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/fig/", s.handleFig)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/sql", s.handleSQL)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
 	return s, s.withLogging(mux), nil
+}
+
+// Close releases the durable store, if any. Call after the executor drains
+// so no scoring query races the WAL teardown.
+func (s *server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 func main() {
@@ -152,15 +197,38 @@ func main() {
 	faultSpec := flag.String("faults", "",
 		"deterministic fault-injection plan, e.g. 'CPU_SKLearn:invoke:busy:p=0.2;FPGA:compute:hang=50ms:once=3'")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+	dataDir := flag.String("data-dir", "",
+		"durable data directory (snapshot + WAL); empty runs fully in memory")
+	fsync := flag.String("fsync", "always",
+		"WAL sync policy: always (fsync per commit), batch (group commit), none (benchmarks only)")
+	fsyncWindow := flag.Duration("fsync-window", 2*time.Millisecond,
+		"group-commit window for -fsync=batch")
+	compactBytes := flag.Int64("compact-bytes", 0,
+		"WAL size triggering snapshot compaction (0 = default 64MiB, negative disables)")
+	demoRecords := flag.Int("demo-records", 0, "demo table rows (0 = default 2000)")
 	flag.Parse()
 
-	s, handler, err := newServer(0, exec.Config{
+	var storeCfg *storage.Config
+	if *dataDir != "" {
+		policy, err := storage.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		storeCfg = &storage.Config{
+			Dir:          *dataDir,
+			Sync:         policy,
+			SyncWindow:   *fsyncWindow,
+			CompactBytes: *compactBytes,
+		}
+	}
+
+	s, handler, err := newServer(*demoRecords, exec.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CoalesceWindow:  *coalesce,
 		MaxBatch:        *maxBatch,
 		DefaultDeadline: *deadline,
-	}, *faultSpec, *faultSeed)
+	}, *faultSpec, *faultSeed, storeCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -200,6 +268,11 @@ func main() {
 		if err := s.exec.Close(shutdownCtx); err != nil {
 			log.Printf("executor drain: %v", err)
 		}
+		// With the executor drained no query can reach the database, so the
+		// durable store can flush its final fsync and release the WAL.
+		if err := s.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
 		}
@@ -233,6 +306,10 @@ func routeLabel(path string) string {
 		return "/"
 	case path == "/query":
 		return "/query"
+	case path == "/sql":
+		return "/sql"
+	case path == "/healthz":
+		return "/healthz"
 	case path == "/metrics":
 		return "/metrics"
 	case path == "/debug/queries":
@@ -342,6 +419,105 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"to true and model pre-processing collapses to checksum cost. The\n" +
 		"/metrics page accumulates every run.")
 	s.render(w, "Run query", sb.String())
+}
+
+// sqlResponse is the JSON envelope for /sql. For SELECT statements Columns,
+// Types and Rows carry the result table; for DML they are empty and OK
+// acknowledges that the statement is applied — and, when a durable store is
+// attached, already on disk per the -fsync policy.
+type sqlResponse struct {
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Types   []string `json:"types,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+}
+
+// handleSQL executes one SQL statement against the demo database and answers
+// in JSON. The statement comes from ?q= (GET) or the request body (POST).
+// This is the write surface the restart-chaos harness drives: a 200 here is
+// a durability acknowledgement. EXEC/PREDICT statements are rejected — the
+// scoring path with admission control lives on /query.
+func (s *server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("q")
+	if sql == "" && r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeSQLJSON(w, http.StatusBadRequest, sqlResponse{Error: "reading body: " + err.Error()})
+			return
+		}
+		sql = strings.TrimSpace(string(body))
+	}
+	if sql == "" {
+		writeSQLJSON(w, http.StatusBadRequest, sqlResponse{Error: "no statement: pass ?q= or a POST body"})
+		return
+	}
+	tbl, st, err := s.demo.DB.Query(sql)
+	if err != nil {
+		writeSQLJSON(w, http.StatusBadRequest, sqlResponse{Error: err.Error()})
+		return
+	}
+	switch st.(type) {
+	case *db.ExecStmt, *db.PredictStmt:
+		writeSQLJSON(w, http.StatusBadRequest,
+			sqlResponse{Error: "scoring statements go to /query, not /sql"})
+		return
+	}
+	resp := sqlResponse{OK: true}
+	if tbl != nil {
+		for _, c := range tbl.Columns {
+			resp.Columns = append(resp.Columns, c.Name)
+			resp.Types = append(resp.Types, c.Type.String())
+		}
+		for _, row := range tbl.Rows() {
+			out := make([]any, len(row))
+			for i, v := range row {
+				switch tbl.Columns[i].Type {
+				case db.Float32Col:
+					out[i] = float64(v.F) // exact: float32 embeds in float64
+				case db.Int64Col:
+					out[i] = v.I
+				case db.TextCol:
+					out[i] = v.S
+				default:
+					out[i] = v.B // JSON-encodes as base64
+				}
+			}
+			resp.Rows = append(resp.Rows, out)
+		}
+	}
+	writeSQLJSON(w, http.StatusOK, resp)
+}
+
+func writeSQLJSON(w http.ResponseWriter, code int, resp sqlResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("sql response: %v", err)
+	}
+}
+
+// handleHealthz reports liveness plus the durability state: whether a store
+// is attached, what recovery found at boot, and the current WAL size. The
+// restart-chaos harness polls it to decide the server is up and recovered.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status     string                `json:"status"`
+		Durability string                `json:"durability"`
+		Recovery   *storage.RecoveryInfo `json:"recovery,omitempty"`
+		WALBytes   int64                 `json:"wal_bytes,omitempty"`
+	}
+	h := health{Status: "ok", Durability: "disabled"}
+	if s.store != nil {
+		h.Durability = "enabled"
+		ri := s.store.Recovery()
+		h.Recovery = &ri
+		h.WALBytes = s.store.WALSize()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h); err != nil {
+		log.Printf("healthz: %v", err)
+	}
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.

@@ -60,6 +60,7 @@ func (r *Runner) Run(cases []Case) (*Report, error) {
 		if c.Pipeline {
 			r.pipelineChecks(rep, c, ref)
 			r.fusedPipelineChecks(rep, c, ref)
+			r.durabilityChecks(rep, c, ref)
 		}
 	}
 	for _, c := range cases {

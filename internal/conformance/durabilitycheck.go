@@ -1,0 +1,117 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"accelscore/internal/backend"
+	"accelscore/internal/db"
+	"accelscore/internal/model"
+)
+
+// durabilityChecks round-trips the case through the binary snapshot format —
+// the scoring table laid out as checksummed column pages, the model blob
+// beside it — reloads both into a fresh database, and requires every engine
+// to score the reloaded data with the reloaded model bit-identically to the
+// oracle, cold and warm. A storage path that perturbs a single feature bit
+// or blob byte would silently shift accelerator results; this check makes
+// that a conformance failure instead.
+func (r *Runner) durabilityChecks(rep *Report, c Case, ref *Reference) {
+	const check = "durability-roundtrip"
+	d := db.New()
+	tbl, err := db.TableFromDataset("conf_data", c.Data)
+	if err != nil {
+		rep.fail(c.Name, "", check, err.Error())
+		return
+	}
+	if err := d.CreateTable(tbl); err != nil {
+		rep.fail(c.Name, "", check, err.Error())
+		return
+	}
+	if err := d.StoreModelBlob("conf_model", c.Blob); err != nil {
+		rep.fail(c.Name, "", check, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		rep.fail(c.Name, "", check, "save: "+err.Error())
+		return
+	}
+	d2, err := db.Load(&buf)
+	if err != nil {
+		rep.fail(c.Name, "", check, "reload: "+err.Error())
+		return
+	}
+
+	t2, err := d2.Table("conf_data")
+	if err != nil {
+		rep.fail(c.Name, "", check, "table lost in round trip")
+		return
+	}
+	data2, err := db.DatasetFromTable(t2)
+	if err != nil {
+		rep.fail(c.Name, "", check, err.Error())
+		return
+	}
+	if len(data2.X) != len(c.Data.X) {
+		rep.fail(c.Name, "", check,
+			fmt.Sprintf("reloaded %d feature values, want %d", len(data2.X), len(c.Data.X)))
+		return
+	}
+	for i := range data2.X {
+		if math.Float32bits(data2.X[i]) != math.Float32bits(c.Data.X[i]) {
+			rep.fail(c.Name, "", check,
+				fmt.Sprintf("feature value %d changed bits: %g -> %g", i, c.Data.X[i], data2.X[i]))
+			return
+		}
+	}
+	blob2, err := d2.LoadModelBlob("conf_model")
+	if err != nil || !bytes.Equal(blob2, c.Blob) {
+		rep.fail(c.Name, "", check, "model blob not byte-identical after round trip")
+		return
+	}
+	f2, err := model.Unmarshal(blob2)
+	if err != nil {
+		rep.fail(c.Name, "", check, "reloaded blob does not deserialize: "+err.Error())
+		return
+	}
+	rep.pass(c.Name, "", check)
+
+	// Score the reloaded (model, data) pair on every engine, cold and warm,
+	// against the oracle computed on the original.
+	stats := f2.ComputeStats()
+	compiled, cerr := f2.Compile()
+	for _, eng := range r.Engines {
+		name := eng.Name()
+		cold, err := eng.Score(&backend.Request{Forest: f2, Data: data2})
+		if err != nil {
+			// Engines that reject the shape (e.g. GPU_RAPIDS on multi-class)
+			// reject it identically before and after the round trip.
+			rep.skip(c.Name, name, "durability-cold", err.Error())
+			continue
+		}
+		if diff := firstDiff(cold.Predictions, ref.Predictions); diff >= 0 {
+			rep.fail(c.Name, name, "durability-cold", mismatchDetail(diff, cold.Predictions[diff], ref))
+		} else {
+			rep.pass(c.Name, name, "durability-cold")
+		}
+
+		if cerr != nil {
+			rep.fail(c.Name, name, "durability-warm", cerr.Error())
+			continue
+		}
+		warm, err := eng.Score(&backend.Request{
+			Forest: f2, Data: data2, Compiled: compiled, Stats: &stats,
+		})
+		if err != nil {
+			rep.fail(c.Name, name, "durability-warm", err.Error())
+			continue
+		}
+		if diff := firstDiff(warm.Predictions, ref.Predictions); diff >= 0 {
+			rep.fail(c.Name, name, "durability-warm", mismatchDetail(diff, warm.Predictions[diff], ref))
+		} else {
+			rep.pass(c.Name, name, "durability-warm")
+		}
+	}
+}

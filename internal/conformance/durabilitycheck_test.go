@@ -1,0 +1,50 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestDurabilityChecksRunAndPass pins the durability leg of the matrix: on
+// the iris pipeline case the snapshot round trip must pass, and every engine
+// must contribute a cold and a warm durability verdict (pass, or skip for
+// engines that reject the shape — never silence).
+func TestDurabilityChecksRunAndPass(t *testing.T) {
+	c, err := irisCase(60, 42)
+	if err != nil {
+		t.Fatalf("iris case: %v", err)
+	}
+	ref, err := Score(c.Forest, c.Data)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	r := NewRunner()
+	rep := &Report{Cases: 1}
+	r.durabilityChecks(rep, c, ref)
+	if !rep.OK() {
+		t.Fatalf("durability failures:\n%s", rep.Summary())
+	}
+
+	roundTrips, cold, warm := 0, map[string]bool{}, map[string]bool{}
+	for _, f := range rep.Findings {
+		switch f.Check {
+		case "durability-roundtrip":
+			roundTrips++
+		case "durability-cold":
+			cold[f.Engine] = true
+		case "durability-warm":
+			warm[f.Engine] = true
+		}
+	}
+	if roundTrips != 1 {
+		t.Fatalf("expected 1 round-trip finding, got %d", roundTrips)
+	}
+	if len(cold) != len(r.Engines) {
+		t.Fatalf("cold durability verdicts from %d engines, want %d", len(cold), len(r.Engines))
+	}
+	// An engine that scored cold must also be held to the warm path.
+	for _, f := range rep.Findings {
+		if f.Check == "durability-cold" && f.Status == Pass && !warm[f.Engine] {
+			t.Fatalf("engine %s passed cold but has no warm verdict", f.Engine)
+		}
+	}
+}

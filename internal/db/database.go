@@ -29,6 +29,10 @@ const ModelsTable = "models"
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// js holds the optional durability journal (see journal.go). Guarded by
+	// its own lock, not d.mu, so reading it never interacts with catalog
+	// locking.
+	js journalState
 }
 
 // New returns an empty database with the reserved models table created.
@@ -45,12 +49,26 @@ func New() *Database {
 	return d
 }
 
-// CreateTable registers a new table.
+// CreateTable registers a new table. Tables arrive pre-populated (e.g. via
+// TableFromDataset), so the journal record carries the initial rows too.
 func (d *Database) CreateTable(t *Table) error {
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.tables[t.Name]; dup {
 		return fmt.Errorf("db: table %q already exists", t.Name)
+	}
+	if j != nil {
+		t.rowsMu.RLock()
+		rows := t.rowsLocked()
+		t.rowsMu.RUnlock()
+		if err := j.LogCreateTable(t.Name, t.Columns, rows); err != nil {
+			return fmt.Errorf("db: journaling CREATE TABLE %q: %w", t.Name, err)
+		}
 	}
 	d.tables[t.Name] = t
 	return nil
@@ -94,6 +112,11 @@ func (d *Database) StoreModelBlob(name string, blob []byte) error {
 	if name == "" {
 		return fmt.Errorf("db: model needs a name")
 	}
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t := d.tables[ModelsTable]
@@ -106,6 +129,11 @@ func (d *Database) StoreModelBlob(name string, blob []byte) error {
 			}
 		}
 	}
+	if j != nil {
+		if err := j.LogModelStore(name, blob); err != nil {
+			return fmt.Errorf("db: journaling model %q: %w", name, err)
+		}
+	}
 	t.insertLocked([]Value{Text(name), Blob(blob)})
 	return nil
 }
@@ -114,6 +142,11 @@ func (d *Database) StoreModelBlob(name string, blob []byte) error {
 // under the same name) changes the blob checksum, which is what downstream
 // compiled-model caches key invalidation on.
 func (d *Database) DeleteModel(name string) error {
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t := d.tables[ModelsTable]
@@ -122,6 +155,11 @@ func (d *Database) DeleteModel(name string) error {
 	nameIdx := t.ColumnIndex("name")
 	for r := 0; r < t.numRowsLocked(); r++ {
 		if t.cellLocked(r, nameIdx).S == name {
+			if j != nil {
+				if err := j.LogModelDelete(name); err != nil {
+					return fmt.Errorf("db: journaling model delete %q: %w", name, err)
+				}
+			}
 			for ci := range t.Columns {
 				t.cols[ci] = append(t.cols[ci][:r], t.cols[ci][r+1:]...)
 			}

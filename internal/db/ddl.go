@@ -171,12 +171,14 @@ func (d *Database) Create(st *CreateStmt) error {
 }
 
 // InsertRows executes an INSERT statement, coercing literals to the column
-// types.
+// types. All rows are coerced before any is applied or journaled, so a bad
+// statement changes nothing and never reaches the WAL.
 func (d *Database) InsertRows(st *InsertStmt) (int, error) {
 	t, err := d.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
+	rows := make([][]Value, len(st.Rows))
 	for ri, litRow := range st.Rows {
 		if len(litRow) != len(t.Columns) {
 			return 0, fmt.Errorf("db: INSERT row %d has %d values, table %q has %d columns",
@@ -190,11 +192,24 @@ func (d *Database) InsertRows(st *InsertStmt) (int, error) {
 			}
 			row[ci] = v
 		}
-		if err := t.Insert(row); err != nil {
-			return 0, err
+		rows[ri] = row
+	}
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
+	if j != nil {
+		if err := j.LogInsert(st.Table, t.Columns, rows); err != nil {
+			return 0, fmt.Errorf("db: journaling INSERT into %q: %w", st.Table, err)
 		}
 	}
-	return len(st.Rows), nil
+	for _, row := range rows {
+		t.insertLocked(row)
+	}
+	return len(rows), nil
 }
 
 // coerceLiteral converts a parsed literal to a typed cell.
@@ -459,6 +474,11 @@ func (d *Database) Delete(st *DeleteStmt) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
 	t.rowsMu.Lock()
 	defer t.rowsMu.Unlock()
 	victims, err := d.matchRows(t, st.Where)
@@ -467,6 +487,14 @@ func (d *Database) Delete(st *DeleteStmt) (int, error) {
 	}
 	if len(victims) == 0 {
 		return 0, nil
+	}
+	// Logical logging: replay re-runs the DELETE against the identical
+	// pre-state, so it removes exactly these rows. No-op deletes (above)
+	// never reach the WAL.
+	if j != nil {
+		if err := j.LogDelete(st); err != nil {
+			return 0, fmt.Errorf("db: journaling DELETE from %q: %w", st.Table, err)
+		}
 	}
 	drop := make(map[int]bool, len(victims))
 	for _, r := range victims {
@@ -493,6 +521,11 @@ func (d *Database) Update(st *UpdateStmt) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	j := d.journalRef()
+	if j != nil {
+		j.BeginOp()
+		defer j.EndOp()
+	}
 	t.rowsMu.Lock()
 	defer t.rowsMu.Unlock()
 	type setter struct {
@@ -515,13 +548,20 @@ func (d *Database) Update(st *UpdateStmt) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	// Logical logging, same contract as Delete.
+	if j != nil {
+		if err := j.LogUpdate(st); err != nil {
+			return 0, fmt.Errorf("db: journaling UPDATE %q: %w", st.Table, err)
+		}
+	}
 	for _, r := range rows {
 		for _, s := range setters {
 			t.cols[s.col][r] = s.val
 		}
 	}
-	if len(rows) > 0 {
-		t.bumpVersion()
-	}
+	t.bumpVersion()
 	return len(rows), nil
 }

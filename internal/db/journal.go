@@ -1,0 +1,67 @@
+package db
+
+import "sync"
+
+// Journal receives every catalog/data mutation before it is applied, so a
+// storage engine can make the database durable without the db package
+// importing it (internal/storage implements Journal and imports db, not the
+// other way around).
+//
+// Contract: each mutation path calls BeginOp, then the matching Log method
+// while holding the target table's write lock (so WAL order equals apply
+// order), applies the mutation only if Log returned nil, and finally calls
+// EndOp after releasing the lock. A Log error aborts the mutation — the
+// caller never acknowledges a write the journal did not persist. BeginOp /
+// EndOp bracket the whole operation so the engine can quiesce writers (e.g.
+// while writing a compaction snapshot); they must be cheap and may block.
+//
+// Log methods receive plain data (names, schemas, row values, logical
+// statements), never live *Table internals, so implementations need no
+// knowledge of db locking.
+type Journal interface {
+	BeginOp()
+	EndOp()
+	// LogCreateTable records a new table with its initial rows (seeding via
+	// TableFromDataset registers pre-populated tables).
+	LogCreateTable(name string, cols []Column, rows [][]Value) error
+	// LogInsert records rows appended to an existing table. The schema is
+	// passed along so the implementation never needs a catalog lookup (the
+	// caller holds the table's write lock; touching d.mu here could
+	// deadlock against model-store paths that take d.mu before a table
+	// lock).
+	LogInsert(table string, cols []Column, rows [][]Value) error
+	// LogUpdate records a logical UPDATE; replay re-executes it against the
+	// identical pre-state, so the same rows match deterministically.
+	LogUpdate(st *UpdateStmt) error
+	// LogDelete records a logical DELETE.
+	LogDelete(st *DeleteStmt) error
+	// LogModelStore records a model blob insert.
+	LogModelStore(name string, blob []byte) error
+	// LogModelDelete records a model removal.
+	LogModelDelete(name string) error
+}
+
+// journalState holds the attached journal behind its own small lock so
+// mutation paths can read it without involving d.mu.
+type journalState struct {
+	mu sync.RWMutex
+	j  Journal
+}
+
+func (s *journalState) get() Journal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j
+}
+
+// SetJournal attaches (or, with nil, detaches) the database's journal.
+// Attach before the database is reachable by writers: mutations in flight
+// during the swap may miss the new journal.
+func (d *Database) SetJournal(j Journal) {
+	d.js.mu.Lock()
+	d.js.j = j
+	d.js.mu.Unlock()
+}
+
+// journalRef returns the attached journal, or nil.
+func (d *Database) journalRef() Journal { return d.js.get() }

@@ -1,48 +1,177 @@
 package db
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+
+	"accelscore/internal/storage/pagefmt"
 )
 
-// snapshot is the serialized form of a database: exported mirror structs so
-// encoding/gob can see them without exposing Table internals.
-type snapshot struct {
-	Tables []tableSnapshot
+// Snapshot file layout (format 1):
+//
+//	magic "ACSNAP01" (8 bytes)
+//	frame{ u16 version | uvarint tableCount }
+//	per table, sorted by name:
+//	  frame{ name | uvarint ncols | (colName, u8 colType)* | uvarint rows | u64 tableVersion }
+//	  per column, in schema order: checksummed pages until rows are covered
+//	frame{ "ACSNEND" }
+//
+// Pages stream straight out of the column store — Save never materializes a
+// copy of the data (the old gob path deep-copied every table before
+// encoding). Every frame and page carries a CRC, so truncation or bit rot
+// anywhere in the file surfaces as a typed error on load, never as a
+// silently wrong table. Pages of one column are contiguous and
+// self-describing (column index, row range), which is what lets a reader
+// recover only a feature subset's pages — the on-disk mirror of
+// DatasetSnapshotFor's projection pruning.
+var snapshotMagic = [8]byte{'A', 'C', 'S', 'N', 'A', 'P', '0', '1'}
+
+const (
+	snapshotVersion  = 1
+	snapshotEnd      = "ACSNEND"
+	maxHeaderFrame   = 1 << 24 // 16 MiB bounds schema/table headers
+	maxSnapshotCols  = 1 << 16
+	maxSnapshotBytes = 1 << 40 // sanity cap on declared row counts (bytes)
+)
+
+// Typed persistence errors.
+var (
+	// ErrSnapshotFormat reports bytes that are neither the binary page
+	// format nor a legacy gob snapshot — the file needs migration or is
+	// corrupt.
+	ErrSnapshotFormat = errors.New("db: unrecognized snapshot format")
+	// ErrSnapshotCorrupt reports a binary snapshot that fails validation
+	// (truncated, checksum mismatch, impossible structure).
+	ErrSnapshotCorrupt = errors.New("db: corrupt snapshot")
+)
+
+// legacySnapshot is the pre-binary serialized form (encoding/gob): exported
+// mirror structs so gob can see them without exposing Table internals. Load
+// still accepts it so databases written before the page format exist can be
+// read and migrated by a single Save.
+type legacySnapshot struct {
+	Tables []legacyTableSnapshot
 }
 
-type tableSnapshot struct {
+type legacyTableSnapshot struct {
 	Name    string
 	Columns []Column
 	Cols    [][]Value
 }
 
-// Save writes the whole database (tables and stored models) to w.
+// colType maps a schema column type to its page encoding.
+func colType(t ColumnType) pagefmt.ColType {
+	switch t {
+	case Float32Col:
+		return pagefmt.Float32
+	case Int64Col:
+		return pagefmt.Int64
+	case TextCol:
+		return pagefmt.Text
+	default:
+		return pagefmt.Blob
+	}
+}
+
+// Save writes the whole database (tables and stored models) to w in the
+// binary column-page format. Data streams page by page under each table's
+// read lock — memory use is bounded by one page buffer, not by the database
+// size, so a multi-gigabyte table saves without a deep copy.
 func (d *Database) Save(w io.Writer) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	var snap snapshot
-	// Deterministic order for reproducible files. Column vectors are deep
-	// copied under each table's read lock so a concurrent UPDATE (which
-	// rewrites cells in place) cannot tear the encoded snapshot.
-	for _, name := range d.tableNamesLocked() {
-		t := d.tables[name]
-		t.rowsMu.RLock()
-		cols := make([][]Value, len(t.cols))
-		for ci, col := range t.cols {
-			cols[ci] = append([]Value(nil), col...)
-		}
-		t.rowsMu.RUnlock()
-		snap.Tables = append(snap.Tables, tableSnapshot{
-			Name:    t.Name,
-			Columns: t.Columns,
-			Cols:    cols,
-		})
+
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	names := d.tableNamesLocked()
+
+	// scratch holds encoded frames and pages between writes; reused so Save
+	// allocates a constant number of buffers regardless of table size.
+	scratch := make([]byte, 0, 4<<10)
+	hdr := binary.LittleEndian.AppendUint16(scratch[:0], snapshotVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(len(names)))
+	scratch = pagefmt.AppendFrame(scratch[len(hdr):len(hdr)], hdr)
+	if _, err := bw.Write(scratch); err != nil {
+		return err
+	}
+
+	var b pagefmt.Builder
+	var pageBuf []byte
+	for _, name := range names {
+		t := d.tables[name]
+		if err := t.savePages(bw, &b, &pageBuf); err != nil {
+			return fmt.Errorf("db: saving table %q: %w", name, err)
+		}
+	}
+
+	end := pagefmt.AppendFrame(pageBuf[:0], []byte(snapshotEnd))
+	if _, err := bw.Write(end); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// savePages streams one table (header frame + column pages) to w under the
+// table's read lock, so a concurrent UPDATE cannot tear the encoded rows.
+func (t *Table) savePages(w io.Writer, b *pagefmt.Builder, pageBuf *[]byte) error {
+	t.rowsMu.RLock()
+	defer t.rowsMu.RUnlock()
+
+	rows := t.numRowsLocked()
+	version := t.version.Load()
+
+	hdr := (*pageBuf)[:0]
+	hdr = pagefmt.AppendString(hdr, t.Name)
+	hdr = binary.AppendUvarint(hdr, uint64(len(t.Columns)))
+	for _, c := range t.Columns {
+		hdr = pagefmt.AppendString(hdr, c.Name)
+		hdr = append(hdr, byte(c.Type))
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(rows))
+	hdr = binary.LittleEndian.AppendUint64(hdr, version)
+	framed := pagefmt.AppendFrame(hdr[len(hdr):len(hdr)], hdr)
+	if _, err := w.Write(framed); err != nil {
+		return err
+	}
+	*pageBuf = framed[:0]
+
+	emit := func(p *pagefmt.Page) error {
+		*pageBuf = p.AppendTo((*pageBuf)[:0])
+		_, err := w.Write(*pageBuf)
+		return err
+	}
+	for ci, col := range t.Columns {
+		b.Reset(colType(col.Type), uint32(ci), version, pagefmt.DefaultPayload, emit)
+		src := t.cols[ci]
+		var err error
+		for r := 0; r < rows && err == nil; r++ {
+			switch col.Type {
+			case Float32Col:
+				err = b.AddFloat32(src[r].F)
+			case Int64Col:
+				err = b.AddInt64(src[r].I)
+			case TextCol:
+				err = b.AddString(src[r].S)
+			default:
+				err = b.AddBytes(src[r].B)
+			}
+		}
+		if err == nil {
+			err = b.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("column %q: %w", col.Name, err)
+		}
+	}
+	return nil
 }
 
 // tableNamesLocked returns sorted table names; callers hold the lock.
@@ -55,11 +184,194 @@ func (d *Database) tableNamesLocked() []string {
 	return names
 }
 
-// Load reads a database previously written by Save.
+// Load reads a database previously written by Save. Both formats are
+// accepted: the binary page format (sniffed by magic) and the legacy gob
+// snapshot from before the storage engine existed. Bytes that are neither
+// fail with ErrSnapshotFormat; a binary snapshot damaged anywhere — torn
+// tail, flipped bit, impossible structure — fails with ErrSnapshotCorrupt
+// rather than loading wrong data.
 func Load(r io.Reader) (*Database, error) {
-	var snap snapshot
+	var magic [8]byte
+	n, err := io.ReadFull(r, magic[:])
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, err
+	}
+	if magic == snapshotMagic {
+		return loadBinary(bufio.NewReaderSize(r, 64<<10))
+	}
+	return loadLegacyGob(io.MultiReader(newSliceReader(magic[:n]), r))
+}
+
+// newSliceReader avoids importing bytes just for a prefix reader.
+func newSliceReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// loadBinary decodes the page-format snapshot body after the magic.
+func loadBinary(r io.Reader) (*Database, error) {
+	hdr, err := pagefmt.ReadFrame(r, maxHeaderFrame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: file header: %v", ErrSnapshotCorrupt, err)
+	}
+	if len(hdr) < 2 {
+		return nil, fmt.Errorf("%w: short file header", ErrSnapshotCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[:2]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrSnapshotCorrupt, v)
+	}
+	tableCount, sz := binary.Uvarint(hdr[2:])
+	if sz <= 0 || tableCount > 1<<20 {
+		return nil, fmt.Errorf("%w: bad table count", ErrSnapshotCorrupt)
+	}
+
+	d := &Database{tables: make(map[string]*Table)}
+	for i := uint64(0); i < tableCount; i++ {
+		t, err := loadTable(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := d.tables[t.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate table %q", ErrSnapshotCorrupt, t.Name)
+		}
+		d.tables[t.Name] = t
+	}
+	end, err := pagefmt.ReadFrame(r, maxHeaderFrame)
+	if err != nil || string(end) != snapshotEnd {
+		return nil, fmt.Errorf("%w: missing end marker", ErrSnapshotCorrupt)
+	}
+
+	if _, ok := d.tables[ModelsTable]; !ok {
+		// Old or hand-built snapshots without a models table still get one.
+		models, err := NewTable(ModelsTable, []Column{
+			{Name: "name", Type: TextCol},
+			{Name: "model", Type: BlobCol},
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.tables[ModelsTable] = models
+	}
+	return d, nil
+}
+
+// loadTable decodes one table header frame plus its column pages.
+func loadTable(r io.Reader) (*Table, error) {
+	hdr, err := pagefmt.ReadFrame(r, maxHeaderFrame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: table header: %v", ErrSnapshotCorrupt, err)
+	}
+	cr := pagefmt.NewCellReader(hdr)
+	name, err := cr.String()
+	if err != nil {
+		return nil, fmt.Errorf("%w: table name: %v", ErrSnapshotCorrupt, err)
+	}
+	rest := hdr[len(hdr)-cr.Remaining():]
+	ncols, sz := binary.Uvarint(rest)
+	if sz <= 0 || ncols == 0 || ncols > maxSnapshotCols {
+		return nil, fmt.Errorf("%w: table %q: bad column count", ErrSnapshotCorrupt, name)
+	}
+	rest = rest[sz:]
+	cols := make([]Column, 0, ncols)
+	for c := uint64(0); c < ncols; c++ {
+		ccr := pagefmt.NewCellReader(rest)
+		cname, err := ccr.String()
+		if err != nil || ccr.Remaining() < 1 {
+			return nil, fmt.Errorf("%w: table %q: bad column header", ErrSnapshotCorrupt, name)
+		}
+		rest = rest[len(rest)-ccr.Remaining():]
+		typ := ColumnType(rest[0])
+		rest = rest[1:]
+		if typ < Float32Col || typ > BlobCol {
+			return nil, fmt.Errorf("%w: table %q column %q: unknown type %d", ErrSnapshotCorrupt, name, cname, typ)
+		}
+		cols = append(cols, Column{Name: cname, Type: typ})
+	}
+	rows, sz := binary.Uvarint(rest)
+	if sz <= 0 || len(rest[sz:]) < 8 {
+		return nil, fmt.Errorf("%w: table %q: bad row count", ErrSnapshotCorrupt, name)
+	}
+	if rows*4 > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: table %q: implausible row count %d", ErrSnapshotCorrupt, name, rows)
+	}
+
+	t, err := NewTable(name, cols)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	for ci, col := range cols {
+		vals, err := loadColumnPages(r, colType(col.Type), uint32(ci), rows)
+		if err != nil {
+			return nil, fmt.Errorf("%w: table %q column %q: %v", ErrSnapshotCorrupt, name, col.Name, err)
+		}
+		t.cols[ci] = vals
+	}
+	return t, nil
+}
+
+// loadColumnPages reads pages for one column until rows cells are decoded.
+func loadColumnPages(r io.Reader, typ pagefmt.ColType, colIndex uint32, rows uint64) ([]Value, error) {
+	vals := make([]Value, 0, min(rows, 1<<20))
+	var got uint64
+	for got < rows {
+		p, err := pagefmt.ReadPage(r)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type != typ || p.ColIndex != colIndex {
+			return nil, fmt.Errorf("page for column %d type %d, want column %d type %d",
+				p.ColIndex, p.Type, colIndex, typ)
+		}
+		if p.StartRow != got {
+			return nil, fmt.Errorf("page starts at row %d, want %d", p.StartRow, got)
+		}
+		if got+uint64(p.Rows) > rows {
+			return nil, fmt.Errorf("pages overflow declared row count %d", rows)
+		}
+		cr := pagefmt.NewCellReader(p.Payload)
+		for i := uint32(0); i < p.Rows; i++ {
+			var v Value
+			var cellErr error
+			switch typ {
+			case pagefmt.Float32:
+				v.F, cellErr = cr.Float32()
+			case pagefmt.Int64:
+				v.I, cellErr = cr.Int64()
+			case pagefmt.Text:
+				v.S, cellErr = cr.String()
+			default:
+				var b []byte
+				b, cellErr = cr.Bytes()
+				if cellErr == nil {
+					v.B = append([]byte(nil), b...)
+				}
+			}
+			if cellErr != nil {
+				return nil, cellErr
+			}
+			vals = append(vals, v)
+		}
+		if cr.Remaining() != 0 {
+			return nil, fmt.Errorf("%d trailing payload bytes", cr.Remaining())
+		}
+		got += uint64(p.Rows)
+	}
+	return vals, nil
+}
+
+// loadLegacyGob decodes the pre-binary gob snapshot format.
+func loadLegacyGob(r io.Reader) (*Database, error) {
+	var snap legacySnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("db: decoding snapshot: %w", err)
+		return nil, fmt.Errorf("%w (not a page snapshot, and gob decode failed: %v)", ErrSnapshotFormat, err)
 	}
 	d := &Database{tables: make(map[string]*Table)}
 	for _, ts := range snap.Tables {
@@ -84,7 +396,6 @@ func Load(r io.Reader) (*Database, error) {
 		d.tables[ts.Name] = t
 	}
 	if _, ok := d.tables[ModelsTable]; !ok {
-		// Old or hand-built snapshots without a models table still get one.
 		models, err := NewTable(ModelsTable, []Column{
 			{Name: "name", Type: TextCol},
 			{Name: "model", Type: BlobCol},
@@ -95,6 +406,29 @@ func Load(r io.Reader) (*Database, error) {
 		d.tables[ModelsTable] = models
 	}
 	return d, nil
+}
+
+// saveLegacyGob writes the deprecated gob format; it exists so tests can
+// construct pre-migration files and prove Load still reads them.
+func (d *Database) saveLegacyGob(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var snap legacySnapshot
+	for _, name := range d.tableNamesLocked() {
+		t := d.tables[name]
+		t.rowsMu.RLock()
+		cols := make([][]Value, len(t.cols))
+		for ci, col := range t.cols {
+			cols[ci] = append([]Value(nil), col...)
+		}
+		t.rowsMu.RUnlock()
+		snap.Tables = append(snap.Tables, legacyTableSnapshot{
+			Name:    t.Name,
+			Columns: t.Columns,
+			Cols:    cols,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
 }
 
 // SaveFile writes the database to a file.

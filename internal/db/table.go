@@ -216,6 +216,33 @@ func (t *Table) AppendIntRows(vals []int) error {
 	return nil
 }
 
+// AppendRows bulk-appends rows (used by WAL replay and bulk loads). All rows
+// are validated against the schema before any is applied, so a bad batch
+// changes nothing, and the whole batch costs a single version bump.
+func (t *Table) AppendRows(rows [][]Value) error {
+	for i, row := range rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("db: table %q: row %d has %d values, schema has %d columns",
+				t.Name, i, len(row), len(t.Columns))
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	t.rowsMu.Lock()
+	defer t.rowsMu.Unlock()
+	for ci := range t.cols {
+		base := len(t.cols[ci])
+		t.cols[ci] = append(t.cols[ci], make([]Value, len(rows))...)
+		dst := t.cols[ci][base:]
+		for ri, row := range rows {
+			dst[ri] = row[ci]
+		}
+	}
+	t.bumpVersion()
+	return nil
+}
+
 // Cell returns the value at (row, col).
 func (t *Table) Cell(row, col int) Value {
 	t.rowsMu.RLock()
@@ -232,6 +259,11 @@ func (t *Table) cellLocked(row, col int) Value {
 func (t *Table) Rows() [][]Value {
 	t.rowsMu.RLock()
 	defer t.rowsMu.RUnlock()
+	return t.rowsLocked()
+}
+
+// rowsLocked is Rows for callers already holding rowsMu.
+func (t *Table) rowsLocked() [][]Value {
 	out := make([][]Value, t.numRowsLocked())
 	for r := range out {
 		row := make([]Value, len(t.Columns))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -28,32 +29,55 @@ type Demo struct {
 // DemoQuery is the canonical scoring statement against the demo environment.
 const DemoQuery = "EXEC sp_score_model @model='iris_rf', @data='iris', @backend='CPU_SKLearn'"
 
+// DemoForestConfig is the training configuration of the demo's "iris_rf"
+// model. It is exported so out-of-process verifiers (the restart-chaos
+// scenario) can retrain the identical forest and check predictions
+// bit-for-bit against the server's.
+var DemoForestConfig = forest.ForestConfig{
+	NumTrees:  32,
+	Tree:      forest.TrainConfig{MaxDepth: 10},
+	Seed:      1,
+	Bootstrap: true,
+}
+
 // NewDemo builds the demo environment with the IRIS table replicated to
 // records rows (<= 0 means 2000) and a 32-tree depth-10 forest.
 func NewDemo(records int) (*Demo, error) {
+	return NewDemoOn(db.New(), records)
+}
+
+// NewDemoOn builds the demo environment on an existing database — the
+// durable-storage path: after crash recovery the "iris" table and "iris_rf"
+// model already exist and are reused as-is; on a fresh data directory they
+// are seeded (and journaled) like any other write. Seeding is idempotent
+// per object, so a crash between the table landing and the model landing
+// heals on the next boot.
+func NewDemoOn(d *db.Database, records int) (*Demo, error) {
 	if records <= 0 {
 		records = 2000
 	}
 	tb := platform.New()
-	d := db.New()
-	data := dataset.Iris().Replicate(records)
-	tbl, err := db.TableFromDataset("iris", data)
-	if err != nil {
+	if _, err := d.Table("iris"); errors.Is(err, db.ErrTableNotFound) {
+		data := dataset.Iris().Replicate(records)
+		tbl, err := db.TableFromDataset("iris", data)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.CreateTable(tbl); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
 		return nil, err
 	}
-	if err := d.CreateTable(tbl); err != nil {
-		return nil, err
-	}
-	f, err := forest.Train(dataset.Iris(), forest.ForestConfig{
-		NumTrees:  32,
-		Tree:      forest.TrainConfig{MaxDepth: 10},
-		Seed:      1,
-		Bootstrap: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := d.StoreModel("iris_rf", f); err != nil {
+	if _, err := d.LoadModelBlob("iris_rf"); errors.Is(err, db.ErrModelNotFound) {
+		f, err := forest.Train(dataset.Iris(), DemoForestConfig)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.StoreModel("iris_rf", f); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
 		return nil, err
 	}
 	return &Demo{

@@ -1,0 +1,441 @@
+// Package storage is the durability engine under internal/db: an
+// append-only WAL of CRC-framed logical records plus periodic compacted
+// snapshots in the binary column-page format. It implements db.Journal, so
+// the db package stays storage-agnostic while every acknowledged mutation
+// reaches disk before the caller sees success.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"accelscore/internal/db"
+	"accelscore/internal/storage/pagefmt"
+)
+
+// WAL op kinds. The numbering is part of the on-disk format.
+const (
+	opCreateTable byte = 1
+	opInsert      byte = 2
+	opUpdate      byte = 3
+	opDelete      byte = 4
+	opModelStore  byte = 5
+	opModelDelete byte = 6
+)
+
+// ErrRecord reports a WAL record whose frame verified but whose body does
+// not decode — corruption the CRC happened to miss structurally, or a
+// format from a future version.
+var ErrRecord = errors.New("storage: malformed WAL record")
+
+// record is one decoded WAL entry. kind selects which fields are set.
+type record struct {
+	lsn  uint64
+	kind byte
+
+	table string     // createTable, insert
+	cols  []db.Column // createTable
+	rows  [][]db.Value // createTable, insert
+
+	update *db.UpdateStmt
+	del    *db.DeleteStmt
+
+	model string // modelStore, modelDelete
+	blob  []byte // modelStore
+}
+
+// Record payloads are `u64 LSN | u8 op | body`, wrapped in a pagefmt frame
+// by the WAL writer. Cells are self-describing (a kind byte per cell), so a
+// record validates completely without catalog context — which is what lets
+// the boot-time scan find the torn tail before any replay happens.
+
+func appendRecordHeader(dst []byte, lsn uint64, op byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	return append(dst, op)
+}
+
+func appendValue(dst []byte, v db.Value, typ db.ColumnType) []byte {
+	dst = append(dst, byte(typ))
+	switch typ {
+	case db.Float32Col:
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v.F))
+	case db.Int64Col:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+	case db.TextCol:
+		dst = pagefmt.AppendString(dst, v.S)
+	default:
+		dst = pagefmt.AppendBytes(dst, v.B)
+	}
+	return dst
+}
+
+func appendRows(dst []byte, cols []db.Column, rows [][]db.Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	dst = binary.AppendUvarint(dst, uint64(len(cols)))
+	for _, row := range rows {
+		for ci, v := range row {
+			dst = appendValue(dst, v, cols[ci].Type)
+		}
+	}
+	return dst
+}
+
+func appendLiteral(dst []byte, lit db.Literal) []byte {
+	if lit.IsString {
+		dst = append(dst, 1)
+		return pagefmt.AppendString(dst, lit.S)
+	}
+	dst = append(dst, 0)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(lit.N))
+}
+
+func appendConditions(dst []byte, conds []db.Condition) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(conds)))
+	for _, c := range conds {
+		dst = pagefmt.AppendString(dst, c.Column)
+		dst = pagefmt.AppendString(dst, c.Op)
+		dst = appendLiteral(dst, c.Value)
+	}
+	return dst
+}
+
+func encodeCreateTable(lsn uint64, name string, cols []db.Column, rows [][]db.Value) []byte {
+	dst := appendRecordHeader(nil, lsn, opCreateTable)
+	dst = pagefmt.AppendString(dst, name)
+	dst = binary.AppendUvarint(dst, uint64(len(cols)))
+	for _, c := range cols {
+		dst = pagefmt.AppendString(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+	}
+	return appendRows(dst, cols, rows)
+}
+
+func encodeInsert(lsn uint64, table string, cols []db.Column, rows [][]db.Value) []byte {
+	dst := appendRecordHeader(nil, lsn, opInsert)
+	dst = pagefmt.AppendString(dst, table)
+	return appendRows(dst, cols, rows)
+}
+
+func encodeUpdate(lsn uint64, st *db.UpdateStmt) []byte {
+	dst := appendRecordHeader(nil, lsn, opUpdate)
+	dst = pagefmt.AppendString(dst, st.Table)
+	// Map iteration order is random; the record must be deterministic.
+	keys := make([]string, 0, len(st.Set))
+	for k := range st.Set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = pagefmt.AppendString(dst, k)
+		dst = appendLiteral(dst, st.Set[k])
+	}
+	return appendConditions(dst, st.Where)
+}
+
+func encodeDelete(lsn uint64, st *db.DeleteStmt) []byte {
+	dst := appendRecordHeader(nil, lsn, opDelete)
+	dst = pagefmt.AppendString(dst, st.Table)
+	return appendConditions(dst, st.Where)
+}
+
+func encodeModelStore(lsn uint64, name string, blob []byte) []byte {
+	dst := appendRecordHeader(nil, lsn, opModelStore)
+	dst = pagefmt.AppendString(dst, name)
+	return pagefmt.AppendBytes(dst, blob)
+}
+
+func encodeModelDelete(lsn uint64, name string) []byte {
+	dst := appendRecordHeader(nil, lsn, opModelDelete)
+	return pagefmt.AppendString(dst, name)
+}
+
+// recReader decodes record bodies with bounds checking on every read.
+type recReader struct{ b []byte }
+
+func (r *recReader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrRecord
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *recReader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrRecord
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *recReader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, ErrRecord
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *recReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, ErrRecord
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *recReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, ErrRecord
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *recReader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *recReader) value() (db.Value, db.ColumnType, error) {
+	kind, err := r.u8()
+	if err != nil {
+		return db.Value{}, 0, err
+	}
+	typ := db.ColumnType(kind)
+	var v db.Value
+	switch typ {
+	case db.Float32Col:
+		bits, err := r.u32()
+		if err != nil {
+			return db.Value{}, 0, err
+		}
+		v.F = math.Float32frombits(bits)
+	case db.Int64Col:
+		u, err := r.u64()
+		if err != nil {
+			return db.Value{}, 0, err
+		}
+		v.I = int64(u)
+	case db.TextCol:
+		s, err := r.str()
+		if err != nil {
+			return db.Value{}, 0, err
+		}
+		v.S = s
+	case db.BlobCol:
+		b, err := r.bytes()
+		if err != nil {
+			return db.Value{}, 0, err
+		}
+		v.B = append([]byte(nil), b...)
+	default:
+		return db.Value{}, 0, fmt.Errorf("%w: unknown cell kind %d", ErrRecord, kind)
+	}
+	return v, typ, nil
+}
+
+func (r *recReader) rows() ([][]db.Value, error) {
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nrows == 0 {
+		return nil, nil
+	}
+	// Every cell costs at least one kind byte, so the bounds below reject
+	// fabricated counts before any large allocation happens. nrows is capped
+	// first so the product cannot overflow.
+	if ncols == 0 || ncols > 1<<16 || nrows > uint64(len(r.b)) || nrows*ncols > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: implausible row block %dx%d in %d bytes", ErrRecord, nrows, ncols, len(r.b))
+	}
+	rows := make([][]db.Value, nrows)
+	for ri := range rows {
+		row := make([]db.Value, ncols)
+		for ci := range row {
+			v, _, err := r.value()
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = v
+		}
+		rows[ri] = row
+	}
+	return rows, nil
+}
+
+func (r *recReader) literal() (db.Literal, error) {
+	flag, err := r.u8()
+	if err != nil {
+		return db.Literal{}, err
+	}
+	switch flag {
+	case 1:
+		s, err := r.str()
+		return db.Literal{IsString: true, S: s}, err
+	case 0:
+		bits, err := r.u64()
+		return db.Literal{N: math.Float64frombits(bits)}, err
+	default:
+		return db.Literal{}, fmt.Errorf("%w: bad literal flag %d", ErrRecord, flag)
+	}
+}
+
+func (r *recReader) conditions() ([]db.Condition, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("%w: implausible condition count %d", ErrRecord, n)
+	}
+	out := make([]db.Condition, 0, n)
+	for i := uint64(0); i < n; i++ {
+		col, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		op, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		lit, err := r.literal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, db.Condition{Column: col, Op: op, Value: lit})
+	}
+	return out, nil
+}
+
+// decodeRecord parses a framed record payload. Any structural problem
+// returns an error wrapping ErrRecord; the function never panics on
+// arbitrary input (FuzzWALReplay's contract).
+func decodeRecord(payload []byte) (*record, error) {
+	r := &recReader{b: payload}
+	lsn, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	rec := &record{lsn: lsn, kind: kind}
+	switch kind {
+	case opCreateTable:
+		if rec.table, err = r.str(); err != nil {
+			return nil, err
+		}
+		ncols, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ncols == 0 || ncols > 1<<16 || ncols*2 > uint64(len(r.b)) {
+			return nil, fmt.Errorf("%w: implausible column count %d", ErrRecord, ncols)
+		}
+		rec.cols = make([]db.Column, 0, ncols)
+		for i := uint64(0); i < ncols; i++ {
+			name, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			kindByte, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			typ := db.ColumnType(kindByte)
+			if typ < db.Float32Col || typ > db.BlobCol {
+				return nil, fmt.Errorf("%w: unknown column type %d", ErrRecord, kindByte)
+			}
+			rec.cols = append(rec.cols, db.Column{Name: name, Type: typ})
+		}
+		if rec.rows, err = r.rows(); err != nil {
+			return nil, err
+		}
+		for _, row := range rec.rows {
+			if len(row) != len(rec.cols) {
+				return nil, fmt.Errorf("%w: row width %d for %d columns", ErrRecord, len(row), len(rec.cols))
+			}
+		}
+	case opInsert:
+		if rec.table, err = r.str(); err != nil {
+			return nil, err
+		}
+		if rec.rows, err = r.rows(); err != nil {
+			return nil, err
+		}
+	case opUpdate:
+		st := &db.UpdateStmt{Set: map[string]db.Literal{}}
+		if st.Table, err = r.str(); err != nil {
+			return nil, err
+		}
+		nset, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nset > uint64(len(r.b)) {
+			return nil, fmt.Errorf("%w: implausible SET count %d", ErrRecord, nset)
+		}
+		for i := uint64(0); i < nset; i++ {
+			col, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			lit, err := r.literal()
+			if err != nil {
+				return nil, err
+			}
+			st.Set[col] = lit
+		}
+		if st.Where, err = r.conditions(); err != nil {
+			return nil, err
+		}
+		rec.update = st
+	case opDelete:
+		st := &db.DeleteStmt{}
+		if st.Table, err = r.str(); err != nil {
+			return nil, err
+		}
+		if st.Where, err = r.conditions(); err != nil {
+			return nil, err
+		}
+		rec.del = st
+	case opModelStore:
+		if rec.model, err = r.str(); err != nil {
+			return nil, err
+		}
+		blob, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		rec.blob = append([]byte(nil), blob...)
+	case opModelDelete:
+		if rec.model, err = r.str(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %d", ErrRecord, kind)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrRecord, len(r.b))
+	}
+	return rec, nil
+}

@@ -1,0 +1,400 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"accelscore/internal/db"
+	"accelscore/internal/obs"
+	"accelscore/internal/storage/pagefmt"
+)
+
+// On-disk layout inside the data directory:
+//
+//	data.snap — compacted snapshot: magic "ACSTOR01" + frame{u64 lastLSN} +
+//	            the db package's binary page snapshot. Written to a temp
+//	            file, fsynced, then renamed, so a crash mid-compaction
+//	            leaves the previous snapshot intact.
+//	wal.log   — append-only record log. Records with LSN <= the snapshot's
+//	            lastLSN are skipped on replay, which makes the crash window
+//	            between snapshot rename and log truncation idempotent.
+var storeMagic = [8]byte{'A', 'C', 'S', 'T', 'O', 'R', '0', '1'}
+
+const (
+	snapshotFile = "data.snap"
+	walFile      = "wal.log"
+	// DefaultCompactBytes triggers a compaction snapshot once the WAL
+	// crosses this size.
+	DefaultCompactBytes = 64 << 20
+)
+
+// ErrStoreCorrupt reports a data directory whose snapshot or WAL cannot be
+// recovered.
+var ErrStoreCorrupt = errors.New("storage: corrupt data directory")
+
+// Config configures Open.
+type Config struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Sync selects the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncWindow is the SyncBatch group-commit window (default 2ms).
+	SyncWindow time.Duration
+	// CompactBytes triggers compaction when the WAL exceeds it; 0 means
+	// DefaultCompactBytes, negative disables auto-compaction (tests that
+	// need stable WAL offsets rely on this).
+	CompactBytes int64
+	// Metrics, when set, receives WAL and recovery instrumentation.
+	Metrics *obs.Registry
+}
+
+// RecoveryInfo describes what Open found and did.
+type RecoveryInfo struct {
+	// SnapshotLoaded is true when data.snap existed and was read.
+	SnapshotLoaded bool
+	// SnapshotLSN is the last LSN folded into the loaded snapshot.
+	SnapshotLSN uint64
+	// ReplayedRecords counts WAL records applied on top of the snapshot.
+	ReplayedRecords int
+	// SkippedRecords counts valid WAL records already covered by the
+	// snapshot (the compaction crash window).
+	SkippedRecords int
+	// DroppedWALBytes counts torn-tail bytes truncated from the log.
+	DroppedWALBytes int64
+	// LastLSN is the highest LSN in the recovered state.
+	LastLSN uint64
+}
+
+// Store is the durability engine: it implements db.Journal, persisting
+// every acknowledged mutation to the WAL before it is applied, and folds
+// the log into page-format snapshots as it grows.
+type Store struct {
+	cfg Config
+	db  *db.Database
+	wal *wal
+
+	// gate quiesces writers during compaction: every journaled op holds the
+	// read side (BeginOp/EndOp); Compact takes the write side, so the
+	// snapshot it writes contains exactly the ops up to its LSN. Lock order
+	// is gate before any db lock — Compact acquires db locks (via Save)
+	// only while holding gate exclusively, and writers acquire gate before
+	// d.mu / rowsMu.
+	gate sync.RWMutex
+
+	// logMu orders LSN assignment with WAL appends so file order equals
+	// LSN order.
+	logMu   sync.Mutex
+	nextLSN uint64
+
+	recovery RecoveryInfo
+
+	compactMu   sync.Mutex // one compaction at a time
+	compactions *obs.Counter
+	snapBytes   *obs.Gauge
+}
+
+// Open recovers (or initializes) the data directory and returns the store
+// with its database: snapshot loaded, WAL torn tail dropped, surviving
+// records replayed, and the journal attached so subsequent mutations are
+// durable. The returned database is ready to serve.
+func Open(cfg Config) (*Store, *db.Database, error) {
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("storage: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if cfg.CompactBytes == 0 {
+		cfg.CompactBytes = DefaultCompactBytes
+	}
+
+	var info RecoveryInfo
+	d, snapLSN, loaded, err := loadSnapshot(filepath.Join(cfg.Dir, snapshotFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	info.SnapshotLoaded = loaded
+	info.SnapshotLSN = snapLSN
+
+	var m walMetrics
+	var replayRecords, replayDropped, compactions *obs.Counter
+	var snapBytes *obs.Gauge
+	if cfg.Metrics != nil {
+		m = walMetrics{
+			appends: cfg.Metrics.Counter("accelscore_wal_appends_total", "WAL records appended."),
+			bytes:   cfg.Metrics.Counter("accelscore_wal_bytes_total", "WAL bytes appended."),
+			fsyncs:  cfg.Metrics.Counter("accelscore_wal_fsyncs_total", "WAL fsync calls."),
+			size:    cfg.Metrics.Gauge("accelscore_wal_size_bytes", "Current WAL file size."),
+		}
+		replayRecords = cfg.Metrics.Counter("accelscore_storage_replay_records_total", "WAL records replayed at boot.")
+		replayDropped = cfg.Metrics.Counter("accelscore_storage_replay_dropped_bytes_total", "Torn-tail WAL bytes dropped at boot.")
+		compactions = cfg.Metrics.Counter("accelscore_storage_compactions_total", "Compaction snapshots written.")
+		snapBytes = cfg.Metrics.Gauge("accelscore_storage_snapshot_bytes", "Size of the last compaction snapshot.")
+	}
+
+	w, records, dropped, err := openWAL(filepath.Join(cfg.Dir, walFile), cfg.Sync, cfg.SyncWindow, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.DroppedWALBytes = dropped
+	if replayDropped != nil && dropped > 0 {
+		replayDropped.Add(float64(dropped))
+	}
+
+	lastLSN := snapLSN
+	for _, rec := range records {
+		if rec.lsn <= snapLSN {
+			info.SkippedRecords++
+			continue
+		}
+		if err := applyRecord(d, rec); err != nil {
+			w.Close()
+			return nil, nil, fmt.Errorf("%w: replaying LSN %d: %v", ErrStoreCorrupt, rec.lsn, err)
+		}
+		info.ReplayedRecords++
+		lastLSN = rec.lsn
+	}
+	if len(records) > 0 {
+		if tail := records[len(records)-1].lsn; tail > lastLSN {
+			lastLSN = tail
+		}
+	}
+	info.LastLSN = lastLSN
+	if replayRecords != nil && info.ReplayedRecords > 0 {
+		replayRecords.Add(float64(info.ReplayedRecords))
+	}
+
+	s := &Store{
+		cfg:         cfg,
+		db:          d,
+		wal:         w,
+		nextLSN:     lastLSN + 1,
+		recovery:    info,
+		compactions: compactions,
+		snapBytes:   snapBytes,
+	}
+	d.SetJournal(s)
+	return s, d, nil
+}
+
+// loadSnapshot reads data.snap if present; otherwise returns a fresh db.
+func loadSnapshot(path string) (*db.Database, uint64, bool, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return db.New(), 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := f.Read(magic[:]); err != nil || magic != storeMagic {
+		return nil, 0, false, fmt.Errorf("%w: snapshot magic", ErrStoreCorrupt)
+	}
+	hdr, err := pagefmt.ReadFrame(f, 64)
+	if err != nil || len(hdr) != 8 {
+		return nil, 0, false, fmt.Errorf("%w: snapshot LSN header", ErrStoreCorrupt)
+	}
+	lsn := binary.LittleEndian.Uint64(hdr)
+	d, err := db.Load(f)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("%w: snapshot body: %v", ErrStoreCorrupt, err)
+	}
+	return d, lsn, true, nil
+}
+
+// applyRecord replays one WAL record against the database. The journal is
+// not attached yet, so nothing is re-logged.
+func applyRecord(d *db.Database, rec *record) error {
+	switch rec.kind {
+	case opCreateTable:
+		t, err := db.NewTable(rec.table, rec.cols)
+		if err != nil {
+			return err
+		}
+		if err := t.AppendRows(rec.rows); err != nil {
+			return err
+		}
+		return d.CreateTable(t)
+	case opInsert:
+		t, err := d.Table(rec.table)
+		if err != nil {
+			return err
+		}
+		return t.AppendRows(rec.rows)
+	case opUpdate:
+		_, err := d.Update(rec.update)
+		return err
+	case opDelete:
+		_, err := d.Delete(rec.del)
+		return err
+	case opModelStore:
+		return d.StoreModelBlob(rec.model, rec.blob)
+	case opModelDelete:
+		return d.DeleteModel(rec.model)
+	default:
+		return fmt.Errorf("%w: op %d", ErrRecord, rec.kind)
+	}
+}
+
+// Recovery reports what Open found.
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
+
+// WALSize returns the current WAL length in bytes.
+func (s *Store) WALSize() int64 { return s.wal.Size() }
+
+// LastLSN returns the highest LSN assigned so far.
+func (s *Store) LastLSN() uint64 {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.nextLSN - 1
+}
+
+// BeginOp and EndOp implement db.Journal's operation bracket: the read side
+// of the compaction gate, plus the post-op compaction check (which must run
+// after the read lock is released, since Compact takes the write side).
+func (s *Store) BeginOp() { s.gate.RLock() }
+
+// EndOp releases the bracket and, if the WAL has outgrown its budget,
+// compacts synchronously — the writer that crosses the threshold pays for
+// the snapshot, which back-pressures write bursts naturally.
+func (s *Store) EndOp() {
+	s.gate.RUnlock()
+	if s.cfg.CompactBytes > 0 && s.wal.Size() > s.cfg.CompactBytes {
+		_ = s.Compact() // failure poisons the WAL; the next write reports it
+	}
+}
+
+// log assigns the next LSN, encodes the record, and appends it.
+func (s *Store) log(encode func(lsn uint64) []byte) error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if err := s.wal.Append(encode(s.nextLSN)); err != nil {
+		return err
+	}
+	s.nextLSN++
+	return nil
+}
+
+// LogCreateTable implements db.Journal.
+func (s *Store) LogCreateTable(name string, cols []db.Column, rows [][]db.Value) error {
+	return s.log(func(lsn uint64) []byte { return encodeCreateTable(lsn, name, cols, rows) })
+}
+
+// LogInsert implements db.Journal.
+func (s *Store) LogInsert(table string, cols []db.Column, rows [][]db.Value) error {
+	return s.log(func(lsn uint64) []byte { return encodeInsert(lsn, table, cols, rows) })
+}
+
+// LogUpdate implements db.Journal.
+func (s *Store) LogUpdate(st *db.UpdateStmt) error {
+	return s.log(func(lsn uint64) []byte { return encodeUpdate(lsn, st) })
+}
+
+// LogDelete implements db.Journal.
+func (s *Store) LogDelete(st *db.DeleteStmt) error {
+	return s.log(func(lsn uint64) []byte { return encodeDelete(lsn, st) })
+}
+
+// LogModelStore implements db.Journal.
+func (s *Store) LogModelStore(name string, blob []byte) error {
+	return s.log(func(lsn uint64) []byte { return encodeModelStore(lsn, name, blob) })
+}
+
+// LogModelDelete implements db.Journal.
+func (s *Store) LogModelDelete(name string) error {
+	return s.log(func(lsn uint64) []byte { return encodeModelDelete(lsn, name) })
+}
+
+// Compact writes a snapshot of the current database and truncates the WAL.
+// Writers are quiesced for the duration (the gate), so the snapshot's LSN
+// covers exactly the records it folds in. Crash-safety: the snapshot lands
+// via write-temp + fsync + rename; a crash before the rename leaves the old
+// snapshot + full WAL, a crash after it but before the truncation leaves
+// the new snapshot + a WAL whose records are all <= the snapshot LSN and
+// therefore skipped on replay.
+func (s *Store) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.gate.Lock()
+	defer s.gate.Unlock()
+
+	s.logMu.Lock()
+	lsn := s.nextLSN - 1
+	s.logMu.Unlock()
+
+	final := filepath.Join(s.cfg.Dir, snapshotFile)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		if _, err := f.Write(storeMagic[:]); err != nil {
+			return err
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], lsn)
+		if _, err := f.Write(pagefmt.AppendFrame(nil, hdr[:])); err != nil {
+			return err
+		}
+		if err := s.db.Save(f); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: writing compaction snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.cfg.Dir); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	if s.compactions != nil {
+		s.compactions.Inc()
+	}
+	if s.snapBytes != nil {
+		if st, err := os.Stat(final); err == nil {
+			s.snapBytes.Set(float64(st.Size()))
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close quiesces writers and closes the WAL. The journal stays attached:
+// any mutation after Close fails with ErrWALClosed instead of silently
+// losing durability.
+func (s *Store) Close() error {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	return s.wal.Close()
+}

@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"accelscore/internal/obs"
+	"accelscore/internal/storage/pagefmt"
+)
+
+// SyncPolicy selects when the WAL reaches stable storage relative to the
+// commit acknowledgement.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every commit returns: maximum durability,
+	// one fsync per write.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch is group commit: commits block until a shared flusher
+	// fsyncs, so concurrent writers amortize one fsync across the batch.
+	// Acknowledged writes are still crash-durable; only latency differs.
+	SyncBatch
+	// SyncNone never fsyncs on the commit path (the OS flushes when it
+	// pleases). Fastest, but a crash can lose the unsynced suffix —
+	// acknowledged writes included. Benchmarks only.
+	SyncNone
+)
+
+// String returns the flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps a flag value to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always", "":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, batch, or none)", s)
+	}
+}
+
+// ErrWALClosed reports an append after Close.
+var ErrWALClosed = errors.New("storage: WAL closed")
+
+// maxWALRecord bounds a single framed record (a CREATE TABLE record carries
+// the table's initial rows, so the cap is generous).
+const maxWALRecord = 1 << 30
+
+// walMetrics are the observability hooks; any field may be nil.
+type walMetrics struct {
+	appends *obs.Counter
+	bytes   *obs.Counter
+	fsyncs  *obs.Counter
+	size    *obs.Gauge
+}
+
+// wal is the append-only log writer. Appends are serialized by mu; a sticky
+// error poisons the writer after any I/O failure so no later commit is
+// acknowledged against a log of unknown state.
+type wal struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when synced advances or the writer dies
+	f       *os.File
+	path    string
+	policy  SyncPolicy
+	window  time.Duration
+	scratch []byte
+
+	size   int64 // bytes appended
+	synced int64 // bytes known fsynced
+	err    error // sticky
+	closed bool
+
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	m walMetrics
+}
+
+// openWAL opens (creating if needed) the log at path, scans it for the
+// valid record prefix, truncates any torn tail, and returns the writer plus
+// the decoded records and how many trailing bytes were dropped.
+//
+// The scan treats the first invalid byte as end-of-log — the standard WAL
+// convention: a torn tail can only exist at the point the crash interrupted
+// the last write, so everything before the first bad frame is intact
+// (each frame and record is CRC-checked and fully decoded).
+func openWAL(path string, policy SyncPolicy, window time.Duration, m walMetrics) (*wal, []*record, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	records, valid := scanWAL(data)
+	dropped := int64(len(data)) - valid
+	if dropped > 0 {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("storage: dropping torn WAL tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+
+	w := &wal{
+		f:       f,
+		path:    path,
+		policy:  policy,
+		window:  window,
+		size:    valid,
+		synced:  valid,
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		m:       m,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	if w.window <= 0 {
+		w.window = 2 * time.Millisecond
+	}
+	if policy == SyncBatch {
+		w.wg.Add(1)
+		go w.flusher()
+	}
+	if m.size != nil {
+		m.size.Set(float64(valid))
+	}
+	return w, records, dropped, nil
+}
+
+// scanWAL decodes the longest valid record prefix of data. LSNs must be
+// strictly increasing; a regression means the bytes are not a log we wrote.
+func scanWAL(data []byte) ([]*record, int64) {
+	var records []*record
+	var off int64
+	var lastLSN uint64
+	for int(off) < len(data) {
+		payload, consumed, err := pagefmt.DecodeFrame(data[off:], maxWALRecord)
+		if err != nil {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		if rec.lsn <= lastLSN {
+			break
+		}
+		lastLSN = rec.lsn
+		records = append(records, rec)
+		off += int64(consumed)
+	}
+	return records, off
+}
+
+// Append frames and writes one record payload, then syncs according to the
+// policy. When Append returns nil under SyncAlways or SyncBatch, the record
+// is on stable storage.
+func (w *wal) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return ErrWALClosed
+	}
+	w.scratch = pagefmt.AppendFrame(w.scratch[:0], payload)
+	n, err := w.f.Write(w.scratch)
+	w.size += int64(n)
+	if err != nil {
+		w.err = fmt.Errorf("storage: WAL append: %w", err)
+		w.cond.Broadcast()
+		return w.err
+	}
+	if w.m.appends != nil {
+		w.m.appends.Inc()
+		w.m.bytes.Add(float64(n))
+		w.m.size.Set(float64(w.size))
+	}
+
+	switch w.policy {
+	case SyncNone:
+		return nil
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("storage: WAL fsync: %w", err)
+			w.cond.Broadcast()
+			return w.err
+		}
+		w.synced = w.size
+		if w.m.fsyncs != nil {
+			w.m.fsyncs.Inc()
+		}
+		return nil
+	default: // SyncBatch: group commit
+		target := w.size
+		select {
+		case w.flushCh <- struct{}{}:
+		default: // a flush is already pending; it will cover us
+		}
+		for w.synced < target && w.err == nil && !w.closed {
+			w.cond.Wait()
+		}
+		if w.err != nil {
+			return w.err
+		}
+		if w.synced < target {
+			return ErrWALClosed
+		}
+		return nil
+	}
+}
+
+// flusher is the SyncBatch group-commit goroutine: on demand it waits one
+// window (letting concurrent commits pile up), then fsyncs once for the
+// whole batch.
+func (w *wal) flusher() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.flushCh:
+		}
+		time.Sleep(w.window)
+		w.mu.Lock()
+		if w.err == nil && w.size > w.synced {
+			if err := w.f.Sync(); err != nil {
+				w.err = fmt.Errorf("storage: WAL fsync: %w", err)
+			} else {
+				w.synced = w.size
+				if w.m.fsyncs != nil {
+					w.m.fsyncs.Inc()
+				}
+			}
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// Size returns bytes currently in the log.
+func (w *wal) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// reset truncates the log to empty — called after a compaction snapshot has
+// durably landed, making every logged record redundant.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.size, w.synced = 0, 0
+	if w.m.size != nil {
+		w.m.size.Set(0)
+	}
+	return nil
+}
+
+// Close fsyncs (unless SyncNone) and closes the log. Appends after Close
+// fail with ErrWALClosed — a mutation can never be silently non-durable.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.done)
+	var err error
+	if w.err == nil && w.policy != SyncNone && w.size > w.synced {
+		if err = w.f.Sync(); err == nil {
+			w.synced = w.size
+			if w.m.fsyncs != nil {
+				w.m.fsyncs.Inc()
+			}
+		}
+	}
+	cerr := w.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
