@@ -11,6 +11,7 @@ import (
 	"accelscore/internal/experiments"
 	"accelscore/internal/forest"
 	"accelscore/internal/hw"
+	"accelscore/internal/obs"
 	"accelscore/internal/pipeline"
 	"accelscore/internal/platform"
 )
@@ -342,6 +343,36 @@ func BenchmarkPipelineHotPath(b *testing.B) {
 				}
 			}
 		})
+		// The two observed variants bracket the cost of per-query resource
+		// attribution on the warm path: warm+obs pays for metrics and
+		// tracing, warm+attrib adds the thread pinning and cost sampling on
+		// top. The attribution acceptance bar is warm+attrib within 5% of
+		// warm+obs.
+		for _, attrib := range []bool{false, true} {
+			name := fmt.Sprintf("warm+obs/rows=%d", rows)
+			if attrib {
+				name = fmt.Sprintf("warm+attrib/rows=%d", rows)
+			}
+			b.Run(name, func(b *testing.B) {
+				p := hotPathPipeline(b, f, data, true)
+				o := obs.NewObserver()
+				o.Attribution = attrib
+				p.Obs = o
+				if _, err := p.ExecQuery(query); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := p.ExecQuery(query)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if attrib && res.Attribution == nil {
+						b.Fatal("attribution missing from observed query")
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// artifactSchemaVersion versions the shared envelope of every JSON artifact
+// loadgen writes (BENCH_throughput.json, BENCH_fusion.json,
+// CHAOS_report.json). Bump it when an envelope or report field changes
+// meaning, so downstream tooling can reject artifacts it does not
+// understand.
+const artifactSchemaVersion = 1
+
+// envelope returns the fields every loadgen JSON artifact shares: schema
+// version, artifact kind, generation timestamp, the git revision that
+// produced the numbers, and the host shape. Callers merge their
+// report-specific keys on top.
+func envelope(kind string) map[string]any {
+	return map[string]any{
+		"schema_version": artifactSchemaVersion,
+		"kind":           kind,
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"git_describe":   gitDescribe(),
+		"host": map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"num_cpu":    runtime.NumCPU(),
+		},
+	}
+}
+
+// gitDescribe identifies the working tree that produced an artifact.
+// "unknown" when git is unavailable (e.g. a release binary run outside the
+// repo) — the artifact is still valid, just unattributed.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

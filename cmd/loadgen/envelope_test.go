@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/obs"
+)
+
+func TestEnvelopeFields(t *testing.T) {
+	doc := envelope("throughput")
+	if doc["schema_version"] != artifactSchemaVersion {
+		t.Errorf("schema_version = %v", doc["schema_version"])
+	}
+	if doc["kind"] != "throughput" {
+		t.Errorf("kind = %v", doc["kind"])
+	}
+	if s, ok := doc["git_describe"].(string); !ok || s == "" {
+		t.Errorf("git_describe = %v", doc["git_describe"])
+	}
+	gen, ok := doc["generated"].(string)
+	if !ok {
+		t.Fatalf("generated = %v", doc["generated"])
+	}
+	if _, err := time.Parse(time.RFC3339, gen); err != nil {
+		t.Errorf("generated %q is not RFC3339: %v", gen, err)
+	}
+	host, ok := doc["host"].(map[string]any)
+	if !ok {
+		t.Fatalf("host = %v", doc["host"])
+	}
+	for _, k := range []string{"goos", "goarch", "gomaxprocs", "num_cpu"} {
+		if _, ok := host[k]; !ok {
+			t.Errorf("host missing %q", k)
+		}
+	}
+}
+
+func TestBenchDocCarriesEnvelopeAndSLO(t *testing.T) {
+	cfg := exec.LoadConfig{Queries: 10, Seed: 1, Backend: "CPU_SKLearn", TableRows: 64}
+	opt := exec.RunOptions{
+		Clients: 4,
+		SLO:     []obs.Objective{{Class: "default", Latency: 100 * time.Millisecond}},
+	}
+	reports := []*exec.LoadReport{
+		{Label: "serialized", Queries: 10, Ok: 10, ThroughputQPS: 100},
+		{Label: "executor", Queries: 10, Ok: 10, ThroughputQPS: 250},
+	}
+	doc := benchDoc(cfg, opt, reports)
+	if doc["schema_version"] != artifactSchemaVersion || doc["kind"] != "throughput" {
+		t.Errorf("benchDoc envelope: version=%v kind=%v", doc["schema_version"], doc["kind"])
+	}
+	wl, ok := doc["workload"].(map[string]any)
+	if !ok {
+		t.Fatalf("workload = %v", doc["workload"])
+	}
+	if wl["slo"] != "default=100ms" {
+		t.Errorf("workload slo = %v", wl["slo"])
+	}
+	speed, ok := doc["speedup_vs_serialized"].(map[string]float64)
+	if !ok || speed["executor"] != 2.5 {
+		t.Errorf("speedups = %v", doc["speedup_vs_serialized"])
+	}
+}

@@ -40,16 +40,8 @@ func runFusionBench(cfg exec.FusionBenchConfig, jsonOut string) error {
 			time.Duration(c.FusedNS).Round(time.Microsecond), c.Speedup)
 	}
 
-	doc := map[string]any{
-		"generated": time.Now().UTC().Format(time.RFC3339),
-		"host": map[string]any{
-			"goos":       runtime.GOOS,
-			"goarch":     runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-			"num_cpu":    runtime.NumCPU(),
-		},
-		"report": rep,
-	}
+	doc := envelope("fusion")
+	doc["report"] = rep
 	if err := writeJSON(jsonOut, doc); err != nil {
 		return err
 	}

@@ -55,6 +55,10 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 8, "max queries merged into one coalesced run")
 	clients := flag.Int("clients", 8, "closed-loop client count")
 	openLoop := flag.Bool("open", false, "replay at generated arrival times instead of closed-loop")
+	sloSpec := flag.String("slo", "",
+		"per-class latency objectives, e.g. 'interactive=25ms,batch=500ms'; queries are classified "+
+			"by record count (geometric bands over [1, rows], smallest records -> tightest objective) "+
+			"and reports gain per-class goodput")
 	jsonOut := flag.String("json", "", "write the reports as JSON to this path")
 	bench := flag.Bool("bench", false, "run the serialized-vs-executor matrix and write results/throughput_bench.md + BENCH_throughput.json")
 	benchFusion := flag.Bool("bench-fusion", false, "run the fused-vs-unfused selectivity matrix and write results/fusion_bench.md + BENCH_fusion.json")
@@ -159,6 +163,13 @@ func main() {
 		if !set["maxbatch"] {
 			*maxBatch = 4
 		}
+		if !set["slo"] {
+			// Default objectives so -bench always reports goodput: the
+			// values are intentionally loose enough that a healthy run on
+			// modest hardware meets them, tight enough that the serialized
+			// baseline's queueing shows up as burned budget.
+			*sloSpec = "interactive=100ms,batch=1s"
+		}
 	}
 
 	cfg := exec.LoadConfig{
@@ -169,7 +180,11 @@ func main() {
 		TreeChoices: intList(*trees),
 	}
 	cfg.DepthChoices = intList(*depths)
-	opt := exec.RunOptions{Clients: *clients, OpenLoop: *openLoop}
+	objectives, err := obs.ParseSLOSpec(*sloSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := exec.RunOptions{Clients: *clients, OpenLoop: *openLoop, SLO: objectives}
 	ecfg := exec.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -356,21 +371,19 @@ func runChaos(cfg exec.ChaosConfig, jsonOut string) error {
 	log.Println(rep.Healthy)
 	log.Println(rep.Chaos)
 
-	doc := map[string]any{
-		"generated":  time.Now().UTC().Format(time.RFC3339),
-		"plan":       rep.Plan,
-		"fault_seed": rep.Seed,
-		"deadline":   cfg.Deadline.String(),
-		"workload": map[string]any{
-			"queries": cfg.Load.Queries,
-			"seed":    cfg.Load.Seed,
-			"backend": cfg.Load.Backend,
-			"rows":    cfg.Load.TableRows,
-			"clients": cfg.Clients,
-		},
-		"healthy": rep.Healthy,
-		"chaos":   rep.Chaos,
+	doc := envelope("chaos")
+	doc["plan"] = rep.Plan
+	doc["fault_seed"] = rep.Seed
+	doc["deadline"] = cfg.Deadline.String()
+	doc["workload"] = map[string]any{
+		"queries": cfg.Load.Queries,
+		"seed":    cfg.Load.Seed,
+		"backend": cfg.Load.Backend,
+		"rows":    cfg.Load.TableRows,
+		"clients": cfg.Clients,
 	}
+	doc["healthy"] = rep.Healthy
+	doc["chaos"] = rep.Chaos
 	if err := writeJSON(jsonOut, doc); err != nil {
 		return err
 	}
@@ -420,7 +433,7 @@ func writeChaosMarkdown(path string, cfg exec.ChaosConfig, rep *exec.ChaosReport
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
-// benchDoc assembles the JSON artifact.
+// benchDoc assembles the JSON artifact on the common envelope.
 func benchDoc(cfg exec.LoadConfig, opt exec.RunOptions, reports []*exec.LoadReport) map[string]any {
 	speedups := map[string]float64{}
 	base := reports[0]
@@ -429,27 +442,21 @@ func benchDoc(cfg exec.LoadConfig, opt exec.RunOptions, reports []*exec.LoadRepo
 			speedups[r.Label] = r.ThroughputQPS / base.ThroughputQPS
 		}
 	}
-	return map[string]any{
-		"generated": time.Now().UTC().Format(time.RFC3339),
-		"host": map[string]any{
-			"goos":       runtime.GOOS,
-			"goarch":     runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-			"num_cpu":    runtime.NumCPU(),
-		},
-		"workload": map[string]any{
-			"queries":   cfg.Queries,
-			"seed":      cfg.Seed,
-			"backend":   cfg.Backend,
-			"rows":      cfg.TableRows,
-			"trees":     cfg.TreeChoices,
-			"depths":    cfg.DepthChoices,
-			"clients":   opt.Clients,
-			"open_loop": opt.OpenLoop,
-		},
-		"reports":               reports,
-		"speedup_vs_serialized": speedups,
+	doc := envelope("throughput")
+	doc["workload"] = map[string]any{
+		"queries":   cfg.Queries,
+		"seed":      cfg.Seed,
+		"backend":   cfg.Backend,
+		"rows":      cfg.TableRows,
+		"trees":     cfg.TreeChoices,
+		"depths":    cfg.DepthChoices,
+		"clients":   opt.Clients,
+		"open_loop": opt.OpenLoop,
+		"slo":       obs.FormatSLOSpec(opt.SLO),
 	}
+	doc["reports"] = reports
+	doc["speedup_vs_serialized"] = speedups
+	return doc
 }
 
 // writeJSON writes v pretty-printed to path.
@@ -477,18 +484,45 @@ func writeMarkdown(path string, cfg exec.LoadConfig, opt exec.RunOptions, report
 	} else {
 		fmt.Fprintf(&sb, "closed-loop with %d concurrent clients.\n\n", opt.Clients)
 	}
-	sb.WriteString("| configuration | ok | rejected | throughput (qps) | mean | p50 | p99 | speedup |\n")
-	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	haveSLO := len(reports) > 0 && len(reports[0].SLO) > 0
+	if haveSLO {
+		fmt.Fprintf(&sb, "Latency objectives: `%s` — queries are classified by record count "+
+			"(geometric bands, smallest records get the tightest objective); goodput is the "+
+			"fraction answered successfully within objective.\n\n", obs.FormatSLOSpec(opt.SLO))
+		sb.WriteString("| configuration | ok | rejected | throughput (qps) | mean | p50 | p99 | goodput | speedup |\n")
+		sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	} else {
+		sb.WriteString("| configuration | ok | rejected | throughput (qps) | mean | p50 | p99 | speedup |\n")
+		sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	}
 	base := reports[0]
 	for _, r := range reports {
 		speed := "1.00x"
 		if r != base && base.ThroughputQPS > 0 {
 			speed = fmt.Sprintf("%.2fx", r.ThroughputQPS/base.ThroughputQPS)
 		}
-		fmt.Fprintf(&sb, "| %s | %d | %d | %.1f | %v | %v | %v | %s |\n",
-			r.Label, r.Ok, r.Rejected, r.ThroughputQPS,
-			r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
-			r.P99.Round(time.Microsecond), speed)
+		if haveSLO {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %.1f | %v | %v | %v | %.1f%% | %s |\n",
+				r.Label, r.Ok, r.Rejected, r.ThroughputQPS,
+				r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+				r.P99.Round(time.Microsecond), 100*r.Goodput, speed)
+		} else {
+			fmt.Fprintf(&sb, "| %s | %d | %d | %.1f | %v | %v | %v | %s |\n",
+				r.Label, r.Ok, r.Rejected, r.ThroughputQPS,
+				r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+				r.P99.Round(time.Microsecond), speed)
+		}
+	}
+	if haveSLO {
+		sb.WriteString("\n## Per-class goodput\n\n")
+		sb.WriteString("| configuration | class | objective | good / total | goodput |\n")
+		sb.WriteString("|---|---|---:|---:|---:|\n")
+		for _, r := range reports {
+			for _, c := range r.SLO {
+				fmt.Fprintf(&sb, "| %s | %s | %v | %d / %d | %.1f%% |\n",
+					r.Label, c.Class, c.Objective, c.Good, c.Total, 100*c.Goodput)
+			}
+		}
 	}
 	sb.WriteString("\nEach configuration runs against a fresh environment (cold model cache). ")
 	sb.WriteString("The executor's win on a single core comes from request coalescing — merging " +

@@ -454,8 +454,13 @@ func mergeChaosJSON(path string, rep restartReport) error {
 		_ = json.Unmarshal(data, &doc)
 	}
 	doc["restart_chaos"] = rep
-	if _, ok := doc["generated"]; !ok {
-		doc["generated"] = time.Now().UTC().Format(time.RFC3339)
+	// A fresh file gets the full artifact envelope; merging into an existing
+	// fault-injection report keeps its envelope (the restart run happened on
+	// the same host, and "generated" should date the original numbers).
+	for k, v := range envelope("chaos") {
+		if _, ok := doc[k]; !ok {
+			doc[k] = v
+		}
 	}
 	return writeJSON(path, doc)
 }

@@ -1,0 +1,50 @@
+// Command obslint validates a Prometheus text exposition with the repo's
+// strict linter (internal/obs.LintPrometheus): exposition syntax, histogram
+// invariants, duplicate series, and exemplar placement. CI pipes a live
+// /metrics scrape through it so a malformed exposition fails the build, not
+// the dashboard.
+//
+// Usage:
+//
+//	obslint [file...]   # no args reads stdin
+//
+// Exit status 0 when clean; 1 with one problem per line otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"accelscore/internal/obs"
+)
+
+func main() {
+	dirty := false
+	lint := func(name string, r io.Reader) {
+		probs := obs.LintPrometheus(r)
+		for _, p := range probs {
+			fmt.Fprintf(os.Stderr, "%s:%s\n", name, p)
+		}
+		if len(probs) > 0 {
+			dirty = true
+		} else {
+			fmt.Printf("%s: ok\n", name)
+		}
+	}
+	if len(os.Args) < 2 {
+		lint("<stdin>", os.Stdin)
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lint(path, f)
+		f.Close()
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -105,8 +106,26 @@ type server struct {
 	// every /sql write is on disk before the response goes out.
 	store *storage.Store
 
+	// slo classifies finished scoring queries against per-class latency
+	// objectives (-slo flag); nil disables SLO accounting.
+	slo *obs.SLOEngine
+	// runtimeC is the background runtime-health sampler; nil when disabled.
+	runtimeC *obs.RuntimeCollector
+
 	// demoRecords sizes freshly built hot-path demos (tests shrink it).
 	demoRecords int
+}
+
+// obsConfig bundles the observability knobs of newServer.
+type obsConfig struct {
+	// SLOSpec is the -slo flag value ("interactive=50ms,batch=2s"); empty
+	// disables the SLO engine.
+	SLOSpec string
+	// Attribution enables per-stage resource measurement on the scoring path.
+	Attribution bool
+	// RuntimeSample is the runtime-health sampling period; 0 disables the
+	// collector.
+	RuntimeSample time.Duration
 }
 
 // newServer builds the shared state and the routed handler. demoRecords <= 0
@@ -115,8 +134,9 @@ type server struct {
 // internal/faults) on the demo pipeline with the given seed. storeCfg, when
 // non-nil, opens (recovering if needed) a durable store and journals the
 // demo database through it.
-func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uint64, storeCfg *storage.Config) (*server, http.Handler, error) {
+func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uint64, storeCfg *storage.Config, oc obsConfig) (*server, http.Handler, error) {
 	o := obs.NewObserver()
+	o.Attribution = oc.Attribution
 	var demo *experiments.Demo
 	var store *storage.Store
 	if storeCfg != nil {
@@ -163,6 +183,16 @@ func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uin
 		s.demo.Pipe.Faults = exec.WireFaultMetrics(inj, s.obs.Metrics())
 	}
 	s.exec = exec.New(demo.Pipe, cfg)
+	if oc.SLOSpec != "" {
+		objs, err := obs.ParseSLOSpec(oc.SLOSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.slo = obs.NewSLOEngine(o.Metrics(), objs, obs.DefaultSLOTarget)
+	}
+	if oc.RuntimeSample > 0 {
+		s.runtimeC = obs.StartRuntimeCollector(o.Metrics(), oc.RuntimeSample)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -173,12 +203,24 @@ func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uin
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	// net/http/pprof under the same logging middleware and bounded route
+	// labels as everything else — the continuous-profiling surface: live CPU
+	// profiles, heap snapshots and execution traces from a serving process.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s, s.withLogging(mux), nil
 }
 
-// Close releases the durable store, if any. Call after the executor drains
-// so no scoring query races the WAL teardown.
+// Close stops the runtime sampler and releases the durable store, if any.
+// Call after the executor drains so no scoring query races the WAL teardown.
 func (s *server) Close() error {
+	if s.runtimeC != nil {
+		s.runtimeC.Stop()
+		s.runtimeC = nil
+	}
 	if s.store == nil {
 		return nil
 	}
@@ -206,6 +248,12 @@ func main() {
 	compactBytes := flag.Int64("compact-bytes", 0,
 		"WAL size triggering snapshot compaction (0 = default 64MiB, negative disables)")
 	demoRecords := flag.Int("demo-records", 0, "demo table rows (0 = default 2000)")
+	sloSpec := flag.String("slo", "",
+		"per-class latency objectives, e.g. 'interactive=50ms,batch=2s' (empty disables SLO accounting)")
+	attrib := flag.Bool("attrib", true,
+		"measure per-stage CPU/allocation attribution on every scoring query")
+	runtimeSample := flag.Duration("runtime-sample", obs.DefaultRuntimeSampleInterval,
+		"runtime health (GC, heap, goroutines, scheduler latency) sampling period; 0 disables")
 	flag.Parse()
 
 	var storeCfg *storage.Config
@@ -228,7 +276,11 @@ func main() {
 		CoalesceWindow:  *coalesce,
 		MaxBatch:        *maxBatch,
 		DefaultDeadline: *deadline,
-	}, *faultSpec, *faultSeed, storeCfg)
+	}, *faultSpec, *faultSeed, storeCfg, obsConfig{
+		SLOSpec:       *sloSpec,
+		Attribution:   *attrib,
+		RuntimeSample: *runtimeSample,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -316,6 +368,10 @@ func routeLabel(path string) string {
 		return "/debug/queries"
 	case strings.HasPrefix(path, "/debug/trace/"):
 		return "/debug/trace/:id"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		// One label for the whole pprof tree: profile names are bounded but
+		// there is no reason to spend a series per profile.
+		return "/debug/pprof/:profile"
 	case strings.HasPrefix(path, "/fig/"):
 		return "/fig/:fig"
 	default:
@@ -382,7 +438,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		sql += fmt.Sprintf(", @timeout='%s'", d)
 	}
+	class := r.URL.Query().Get("class")
+	if class == "" {
+		class = "default"
+	}
+	queryStart := time.Now()
 	res, err := s.exec.Submit(r.Context(), sql)
+	good := s.slo.Observe(class, time.Since(queryStart), err == nil)
 	if err != nil {
 		switch {
 		case errors.Is(err, exec.ErrRejected), errors.Is(err, exec.ErrClosed):
@@ -410,10 +472,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "model cache      hit=%v\n", res.CacheHit)
 	fmt.Fprintf(&sb, "coalesced batch  %d\n", res.BatchSize)
 	fmt.Fprintf(&sb, "simulated total  %v\n", res.Timeline.Total().Round(time.Microsecond))
+	if s.slo != nil {
+		verdict := "bad (over objective)"
+		if good {
+			verdict = "good (within objective)"
+		}
+		fmt.Fprintf(&sb, "slo class        %s: %s\n", class, verdict)
+	}
 	fmt.Fprintf(&sb, "trace            %s (download: /debug/trace/%s)\n", res.TraceID, res.TraceID)
 	sb.WriteString("\nsimulated per-stage breakdown (Fig. 11 stages):\n")
 	for _, row := range res.Timeline.Aggregate().Rows {
 		fmt.Fprintf(&sb, "  %-28s %v\n", row.Name, row.Duration)
+	}
+	if len(res.Attribution) > 0 {
+		sb.WriteString("\nmeasured per-stage attribution (cpu / alloc / moved):\n")
+		for _, c := range res.Attribution {
+			fmt.Fprintf(&sb, "  %-28s cpu=%-10v alloc=%dB/%d objs moved=%dB\n",
+				c.Stage, c.CPUTime.Round(time.Microsecond), c.AllocBytes, c.AllocObjects, c.BytesMoved)
+		}
+		tot := res.Attribution.Total()
+		fmt.Fprintf(&sb, "  %-28s cpu=%-10v alloc=%dB/%d objs moved=%dB\n",
+			"total", tot.CPUTime.Round(time.Microsecond), tot.AllocBytes, tot.AllocObjects, tot.BytesMoved)
 	}
 	sb.WriteString("\nRe-run this page to watch the warm path: the model cache hit flips\n" +
 		"to true and model pre-processing collapses to checksum cost. The\n" +
@@ -554,6 +633,10 @@ func (s *server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, span := range snap.WallSpans {
 			fmt.Fprintf(&sb, "    wall  %-26s %v\n", span.Name, span.Duration.Round(time.Microsecond))
+		}
+		for _, c := range snap.Costs {
+			fmt.Fprintf(&sb, "    cost  %-26s cpu=%-10v alloc=%dB/%d objs moved=%dB\n",
+				c.Stage, c.CPUTime.Round(time.Microsecond), c.AllocBytes, c.AllocObjects, c.BytesMoved)
 		}
 		for _, track := range snap.Tracks {
 			fmt.Fprintf(&sb, "    track %s (total %v)\n", track.Name, track.Total)

@@ -13,6 +13,7 @@ import (
 
 	"accelscore/internal/exec"
 	"accelscore/internal/experiments"
+	"accelscore/internal/obs"
 	"accelscore/internal/pipeline"
 	"accelscore/internal/storage"
 )
@@ -29,7 +30,8 @@ func startTestServer(t *testing.T) *httptest.Server {
 // pipeline and returns the server state for executor assertions.
 func startTestServerFaults(t *testing.T, faultSpec string) (*httptest.Server, *server) {
 	t.Helper()
-	s, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8}, faultSpec, 7, nil)
+	s, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8}, faultSpec, 7, nil,
+		obsConfig{Attribution: true, SLOSpec: "default=30s"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func startTestServerFaults(t *testing.T, faultSpec string) (*httptest.Server, *s
 func startDurableServer(t *testing.T, dir string) (*httptest.Server, *server) {
 	t.Helper()
 	s, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8},
-		"", 7, &storage.Config{Dir: dir, Sync: storage.SyncAlways, CompactBytes: -1})
+		"", 7, &storage.Config{Dir: dir, Sync: storage.SyncAlways, CompactBytes: -1}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,6 +317,9 @@ func TestRouteLabelBoundsCardinality(t *testing.T) {
 		"/fig/hotpath":         "/fig/:fig",
 		"/debug/trace/q-00001": "/debug/trace/:id",
 		"/debug/queries":       "/debug/queries",
+		"/debug/pprof/":        "/debug/pprof/:profile",
+		"/debug/pprof/profile": "/debug/pprof/:profile",
+		"/debug/pprof/heap":    "/debug/pprof/:profile",
 		"/metrics":             "/metrics",
 		"/etc/passwd":          "other",
 		"/favicon.ico":         "other",
@@ -366,6 +371,160 @@ func TestSQLEndpoint(t *testing.T) {
 	}
 	if code, _ := get(t, ts.URL+"/sql"); code != http.StatusBadRequest {
 		t.Fatalf("empty statement = %d, want 400", code)
+	}
+}
+
+// TestQueryReportsAttribution: with attribution on, the /query page carries
+// the measured per-stage resource breakdown and the SLO verdict, and the
+// trace download attaches the costs as span args.
+func TestQueryReportsAttribution(t *testing.T) {
+	ts := startTestServer(t)
+	code, body := get(t, ts.URL+"/query")
+	if code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", code, body)
+	}
+	for _, needle := range []string{
+		"measured per-stage attribution",
+		"model scoring",
+		"slo class        default: good",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("/query missing %q:\n%s", needle, body)
+		}
+	}
+	// The trace export carries the costs as args on the wall spans.
+	code, trace := get(t, ts.URL+"/debug/trace/q-000001")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	if !strings.Contains(trace, `"alloc_bytes"`) || !strings.Contains(trace, `"cpu_us"`) {
+		t.Errorf("trace export missing attribution args:\n%s", trace)
+	}
+	// And /debug/queries prints the cost lines.
+	code, dbg := get(t, ts.URL+"/debug/queries")
+	if code != http.StatusOK || !strings.Contains(dbg, "cost  model scoring") {
+		t.Errorf("/debug/queries missing cost lines (code %d):\n%s", code, dbg)
+	}
+}
+
+// TestMetricsExemplarResolvesToTrace is the tentpole acceptance loop: scrape
+// /metrics, find an exemplar trace ID on the wall-latency histogram, then
+// download exactly that trace.
+func TestMetricsExemplarResolvesToTrace(t *testing.T) {
+	ts := startTestServer(t)
+	if code, body := get(t, ts.URL+"/query"); code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", code, body)
+	}
+	_, metricsText := get(t, ts.URL+"/metrics")
+	var traceID string
+	for _, line := range strings.Split(metricsText, "\n") {
+		if !strings.HasPrefix(line, pipeline.MetricQueryWallSeconds+"_bucket") {
+			continue
+		}
+		_, ex, ok := strings.Cut(line, `# {trace_id="`)
+		if !ok {
+			continue
+		}
+		traceID, _, _ = strings.Cut(ex, `"`)
+		break
+	}
+	if traceID == "" {
+		t.Fatalf("no exemplar on %s buckets:\n%s", pipeline.MetricQueryWallSeconds, metricsText)
+	}
+	code, trace := get(t, ts.URL+"/debug/trace/"+traceID)
+	if code != http.StatusOK {
+		t.Fatalf("exemplar trace %s = %d", traceID, code)
+	}
+	if !strings.Contains(trace, traceID) {
+		t.Errorf("downloaded trace does not mention its own ID %s", traceID)
+	}
+}
+
+// TestMetricsExpositionLints runs the repo's strict exposition lint over a
+// live scrape after real traffic — the satellite (c) acceptance at the HTTP
+// layer.
+func TestMetricsExpositionLints(t *testing.T) {
+	ts := startTestServer(t)
+	for i := 0; i < 3; i++ {
+		get(t, ts.URL+"/query")
+	}
+	get(t, ts.URL+"/debug/queries")
+	_, text := get(t, ts.URL+"/metrics")
+	if probs := obs.LintPrometheus(strings.NewReader(text)); len(probs) != 0 {
+		msgs := make([]string, len(probs))
+		for i, p := range probs {
+			msgs[i] = p.String()
+		}
+		t.Errorf("live /metrics scrape fails lint:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestPprofMounted: the pprof index and a short CPU profile answer under the
+// logged mux.
+func TestPprofMounted(t *testing.T) {
+	ts := startTestServer(t)
+	code, body := get(t, ts.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(raw) == 0 {
+		t.Fatalf("/debug/pprof/profile = %d, %d bytes", resp.StatusCode, len(raw))
+	}
+	// The middleware counted it under the bounded route label.
+	_, metricsText := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsText, `route="/debug/pprof/:profile"`) {
+		t.Error("pprof requests not counted under the bounded route label")
+	}
+}
+
+// TestRuntimeGaugesOnMetrics: a server with the collector enabled publishes
+// runtime health gauges on /metrics.
+func TestRuntimeGaugesOnMetrics(t *testing.T) {
+	s, handler, err := newServer(50, exec.Config{}, "", 7, nil,
+		obsConfig{RuntimeSample: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	_, text := get(t, ts.URL+"/metrics")
+	for _, needle := range []string{
+		obs.MetricRuntimeGoroutines,
+		obs.MetricRuntimeHeapAllocBytes,
+		obs.MetricRuntimeGCCyclesTotal,
+		obs.MetricRuntimeSchedLatencySeconds + `{quantile="0.5"}`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("/metrics missing %q", needle)
+		}
+	}
+}
+
+// TestSLOMetricsPublished: SLO counters, objectives and burn-rate gauges
+// appear after classified queries.
+func TestSLOMetricsPublished(t *testing.T) {
+	ts := startTestServer(t)
+	if code, _ := get(t, ts.URL+"/query"); code != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	_, text := get(t, ts.URL+"/metrics")
+	for _, needle := range []string{
+		obs.MetricSLOEventsTotal + `{class="default",result="good"} 1`,
+		obs.MetricSLOObjectiveSeconds + `{class="default"} 30`,
+		obs.MetricSLOBurnRate + `{class="default",window="1m"} 0`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("/metrics missing %q:\n%s", needle, text)
+		}
 	}
 }
 

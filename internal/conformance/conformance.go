@@ -61,6 +61,7 @@ func (r *Runner) Run(cases []Case) (*Report, error) {
 			r.pipelineChecks(rep, c, ref)
 			r.fusedPipelineChecks(rep, c, ref)
 			r.durabilityChecks(rep, c, ref)
+			r.attributionChecks(rep, c, ref)
 		}
 	}
 	for _, c := range cases {

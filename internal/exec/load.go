@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -183,6 +184,37 @@ type RunOptions struct {
 	// OpenLoop replays the stream at its generated arrival times instead
 	// of closed-loop; latency then includes queueing behind slow queries.
 	OpenLoop bool
+	// SLO holds per-class latency objectives; when non-empty every query
+	// is classified by record count (see ClassForRecords) and the report
+	// gains per-class goodput. Rejected and errored queries burn budget.
+	SLO []obs.Objective
+}
+
+// ClassForRecords maps a query's record count onto an objective class by
+// splitting [1, maxRecords] into geometric bands, one per objective in
+// ascending-latency order — the smallest queries get the tightest
+// objective. The mapping is deterministic, so the same stream classifies
+// identically across runs and configurations.
+func ClassForRecords(objs []obs.Objective, records, maxRecords int64) string {
+	if len(objs) == 0 {
+		return ""
+	}
+	byLatency := append([]obs.Objective(nil), objs...)
+	sort.Slice(byLatency, func(i, j int) bool { return byLatency[i].Latency < byLatency[j].Latency })
+	if maxRecords <= 1 || records <= 1 {
+		return byLatency[0].Class
+	}
+	if records > maxRecords {
+		records = maxRecords
+	}
+	// Record counts are drawn log-uniformly, so geometric bands split the
+	// stream roughly evenly across classes.
+	frac := math.Log(float64(records)) / math.Log(float64(maxRecords))
+	idx := int(frac * float64(len(byLatency)))
+	if idx >= len(byLatency) {
+		idx = len(byLatency) - 1
+	}
+	return byLatency[idx].Class
 }
 
 // LoadReport summarizes one load run.
@@ -197,14 +229,22 @@ type LoadReport struct {
 	Mean          time.Duration `json:"mean_ns"`
 	P50           time.Duration `json:"p50_ns"`
 	P99           time.Duration `json:"p99_ns"`
+	// SLO is the per-class goodput accounting when objectives were
+	// configured (RunOptions.SLO); Goodput is the overall good fraction.
+	SLO     []obs.ClassReport `json:"slo,omitempty"`
+	Goodput float64           `json:"goodput,omitempty"`
 }
 
 // String renders one report line.
 func (r *LoadReport) String() string {
-	return fmt.Sprintf("%-24s %5d ok %4d rej %3d err  wall %-10v  %8.1f qps  mean %-10v p50 %-10v p99 %v",
+	s := fmt.Sprintf("%-24s %5d ok %4d rej %3d err  wall %-10v  %8.1f qps  mean %-10v p50 %-10v p99 %v",
 		r.Label, r.Ok, r.Rejected, r.Errors, r.Wall.Round(time.Millisecond),
 		r.ThroughputQPS, r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond))
+	if len(r.SLO) > 0 {
+		s += fmt.Sprintf("  goodput %.1f%%", 100*r.Goodput)
+	}
+	return s
 }
 
 // RunLoad replays the environment's query stream through the runner and
@@ -283,6 +323,25 @@ func RunLoad(env *LoadEnv, r QueryRunner, label string, opt RunOptions) (*LoadRe
 		rep.ThroughputQPS = float64(rep.Ok) / rep.Wall.Seconds()
 	}
 	rep.Mean, rep.P50, rep.P99 = latencySummary(okLats)
+	if len(opt.SLO) > 0 {
+		// A nil registry keeps the engine pure accounting — loadgen's
+		// per-run environments are throwaway, so no gauges to publish.
+		eng := obs.NewSLOEngine(nil, opt.SLO, 0)
+		maxRec := int64(env.Cfg.TableRows)
+		for i := range env.Queries {
+			class := ClassForRecords(opt.SLO, env.Queries[i].Records, maxRec)
+			eng.Observe(class, lats[i], outcomes[i] == nil)
+		}
+		rep.SLO = eng.Report()
+		var good, total uint64
+		for _, c := range rep.SLO {
+			good += c.Good
+			total += c.Total
+		}
+		if total > 0 {
+			rep.Goodput = float64(good) / float64(total)
+		}
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,106 @@
+package exec_test
+
+import (
+	"testing"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/obs"
+)
+
+func TestClassForRecords(t *testing.T) {
+	objs := []obs.Objective{
+		{Class: "batch", Latency: time.Second},
+		{Class: "interactive", Latency: 10 * time.Millisecond},
+	}
+	const maxRec = 4096
+	if got := exec.ClassForRecords(objs, 1, maxRec); got != "interactive" {
+		t.Errorf("records=1 -> %q, want interactive", got)
+	}
+	if got := exec.ClassForRecords(objs, maxRec, maxRec); got != "batch" {
+		t.Errorf("records=max -> %q, want batch", got)
+	}
+	// Monotone: once a stream crosses into the slower class it never drops
+	// back to the tighter one.
+	crossed := false
+	for r := int64(1); r <= maxRec; r *= 2 {
+		c := exec.ClassForRecords(objs, r, maxRec)
+		switch c {
+		case "batch":
+			crossed = true
+		case "interactive":
+			if crossed {
+				t.Fatalf("records=%d classified interactive after batch", r)
+			}
+		default:
+			t.Fatalf("records=%d -> unknown class %q", r, c)
+		}
+	}
+	// Single objective absorbs everything; no objectives yield no class.
+	one := []obs.Objective{{Class: "only", Latency: time.Second}}
+	if got := exec.ClassForRecords(one, maxRec, maxRec); got != "only" {
+		t.Errorf("single objective -> %q, want only", got)
+	}
+	if got := exec.ClassForRecords(nil, 1, maxRec); got != "" {
+		t.Errorf("no objectives -> %q, want empty", got)
+	}
+}
+
+// TestRunLoadGoodput runs the tiny load harness twice over the same stream:
+// with unmissable objectives every query is good, with impossible ones every
+// query burns budget — bracketing the goodput accounting from both sides.
+func TestRunLoadGoodput(t *testing.T) {
+	env, err := exec.BuildLoadEnv(exec.LoadConfig{
+		Queries:     16,
+		TableRows:   256,
+		TreeChoices: []int{4}, DepthChoices: []int{6},
+	}, obs.NewObserver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &exec.SerializedRunner{Pipe: env.Pipe}
+
+	loose := []obs.Objective{
+		{Class: "interactive", Latency: time.Hour},
+		{Class: "batch", Latency: 2 * time.Hour},
+	}
+	rep, err := exec.RunLoad(env, runner, "loose", exec.RunOptions{Clients: 4, SLO: loose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goodput != 1.0 {
+		t.Errorf("loose objectives: goodput = %v, want 1.0\nreport: %+v", rep.Goodput, rep.SLO)
+	}
+	var total uint64
+	for _, c := range rep.SLO {
+		total += c.Total
+		if c.Good != c.Total {
+			t.Errorf("class %s: good %d != total %d under 1h objective", c.Class, c.Good, c.Total)
+		}
+	}
+	if total != 16 {
+		t.Errorf("classified %d queries, want 16", total)
+	}
+
+	tight, err := exec.RunLoad(env, runner, "tight", exec.RunOptions{
+		Clients: 4, SLO: []obs.Objective{{Class: "default", Latency: time.Nanosecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Goodput != 0 {
+		t.Errorf("1ns objective: goodput = %v, want 0", tight.Goodput)
+	}
+	if len(tight.SLO) != 1 || tight.SLO[0].Total != 16 {
+		t.Errorf("1ns objective report: %+v", tight.SLO)
+	}
+
+	// No SLO configured: the report stays clean so JSON artifacts omit it.
+	plain, err := exec.RunLoad(env, runner, "plain", exec.RunOptions{Clients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SLO != nil || plain.Goodput != 0 {
+		t.Errorf("no-SLO run leaked goodput fields: %+v", plain)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+const threadCPUSupported = true
+
+// threadCPUTime returns the calling OS thread's consumed CPU time
+// (user + system) via getrusage(RUSAGE_THREAD). Meaningful across a
+// measured region only when the goroutine is pinned to its thread
+// (runtime.LockOSThread) for the duration, which the pipeline's
+// attribution bracket guarantees.
+func threadCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

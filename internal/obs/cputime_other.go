@@ -1,0 +1,11 @@
+//go:build !linux
+
+package obs
+
+import "time"
+
+const threadCPUSupported = false
+
+// threadCPUTime is unavailable off Linux: attribution still reports
+// allocations and transfer bytes, with CPU time pinned at zero.
+func threadCPUTime() time.Duration { return 0 }

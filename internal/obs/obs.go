@@ -24,6 +24,11 @@ type Observer struct {
 	Registry *Registry
 	// Tracer records one trace per query in a bounded ring.
 	Tracer *Tracer
+	// Attribution enables per-stage resource measurement (thread CPU time,
+	// heap allocations, transfer bytes) on the scoring path. Off by
+	// default: the samples cost two runtime/metrics reads and a getrusage
+	// per stage, which benchmark-grade paths may not want.
+	Attribution bool
 }
 
 // NewObserver returns an observer with a fresh registry and a
@@ -49,4 +54,10 @@ func (o *Observer) Metrics() *Registry {
 		return nil
 	}
 	return o.Registry
+}
+
+// AttributionOn reports whether per-stage resource attribution is enabled.
+// Nil-safe, like every observer entry point.
+func (o *Observer) AttributionOn() bool {
+	return o != nil && o.Attribution
 }

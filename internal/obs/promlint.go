@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus-exposition lint: a strict, stdlib-only validator for the text
+// format WritePrometheus emits (version 0.0.4 plus OpenMetrics exemplar
+// suffixes on _bucket lines). The registry panics on malformed NAMES at
+// creation time, but nothing before this guarded the full rendered output —
+// escaping, histogram invariants, duplicate series — which is exactly what a
+// real Prometheus server would reject at scrape time. The lint runs in tests
+// over a fully-populated registry and in the obs-smoke CI job against a live
+// /metrics scrape.
+
+// LintProblem is one violation found in an exposition, with its 1-based
+// line number.
+type LintProblem struct {
+	Line int
+	Msg  string
+}
+
+func (p LintProblem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// LintPrometheus parses a text exposition and returns every violation found:
+// malformed names, labels or values, TYPE/HELP misuse, duplicate series,
+// decreasing counters, and broken histogram invariants (unsorted or
+// non-cumulative buckets, missing +Inf, _count/_bucket{+Inf} mismatch,
+// exemplars outside their bucket). An empty slice means the exposition is
+// clean.
+func LintPrometheus(r io.Reader) []LintProblem {
+	l := &linter{
+		types:    make(map[string]string),
+		helps:    make(map[string]bool),
+		seen:     make(map[string]int),
+		hists:    make(map[string]*histSeries),
+		typeLine: make(map[string]int),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		l.line(n, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errf(n, "read: %v", err)
+	}
+	l.finish()
+	sort.Slice(l.problems, func(i, j int) bool { return l.problems[i].Line < l.problems[j].Line })
+	return l.problems
+}
+
+// histSeries accumulates one histogram child (family + labels minus le) for
+// end-of-input invariant checks.
+type histSeries struct {
+	firstLine int
+	// le -> cumulative count, in input order.
+	bounds []float64
+	counts []float64
+	hasInf bool
+	infVal float64
+	sum    *float64
+	count  *float64
+}
+
+type linter struct {
+	problems []LintProblem
+	types    map[string]string // family -> declared type
+	typeLine map[string]int
+	helps    map[string]bool
+	seen     map[string]int // name+labels -> first line (duplicate detection)
+	hists    map[string]*histSeries
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.problems = append(l.problems, LintProblem{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *linter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		l.comment(n, s)
+		return
+	}
+	l.sample(n, s)
+}
+
+func (l *linter) comment(n int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment: legal, ignored
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			l.errf(n, "malformed HELP line %q", s)
+			return
+		}
+		if l.helps[fields[2]] {
+			l.errf(n, "duplicate HELP for %q", fields[2])
+		}
+		l.helps[fields[2]] = true
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			l.errf(n, "malformed TYPE line %q", s)
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown TYPE %q for %q", typ, name)
+			return
+		}
+		if _, dup := l.types[name]; dup {
+			l.errf(n, "duplicate TYPE for %q", name)
+			return
+		}
+		l.types[name] = typ
+		l.typeLine[name] = n
+	}
+	// Other comments are permitted free-form.
+}
+
+// sample parses `name{labels} value [timestamp][ # {labels} value [timestamp]]`.
+func (l *linter) sample(n int, s string) {
+	name, rest, ok := scanMetricName(s)
+	if !ok {
+		l.errf(n, "malformed metric name in %q", s)
+		return
+	}
+	var labels []labelPair
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, ok = scanLabels(rest)
+		if !ok {
+			l.errf(n, "malformed labels in %q", s)
+			return
+		}
+	}
+	// Split off an exemplar suffix before parsing value/timestamp.
+	body, exemplar, hasExemplar := strings.Cut(rest, " # ")
+	fields := strings.Fields(body)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "expected 'value [timestamp]' after series, got %q", strings.TrimSpace(body))
+		return
+	}
+	value, err := parsePromValue(fields[0])
+	if err != nil {
+		l.errf(n, "bad sample value %q: %v", fields[0], err)
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			l.errf(n, "bad timestamp %q", fields[1])
+		}
+	}
+
+	// Label hygiene: valid names, no duplicates.
+	seenLabels := make(map[string]bool, len(labels))
+	var le string
+	hasLe := false
+	for _, lp := range labels {
+		if lp.name != "le" && !validLabelName(lp.name) {
+			l.errf(n, "invalid label name %q", lp.name)
+		}
+		if seenLabels[lp.name] {
+			l.errf(n, "duplicate label %q", lp.name)
+		}
+		seenLabels[lp.name] = true
+		if lp.name == "le" {
+			le, hasLe = lp.value, true
+		}
+	}
+
+	// Family resolution: histogram series carry _bucket/_sum/_count suffixes.
+	family, kind := name, ""
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && l.types[base] == "histogram" {
+			family, kind = base, suf
+			break
+		}
+	}
+	typ, declared := l.types[family]
+	if !declared {
+		l.errf(n, "series %q has no preceding TYPE", name)
+	} else if l.typeLine[family] > n {
+		l.errf(n, "series %q precedes its TYPE line", name)
+	}
+
+	// Duplicate series detection on the full identity.
+	id := name + "{" + canonicalPairs(labels) + "}"
+	if first, dup := l.seen[id]; dup {
+		l.errf(n, "duplicate series %s (first at line %d)", id, first)
+	} else {
+		l.seen[id] = n
+	}
+
+	switch typ {
+	case "counter":
+		if value < 0 {
+			l.errf(n, "counter %q has negative value %g", name, value)
+		}
+	case "histogram":
+		l.histogramSample(n, family, kind, labels, le, hasLe, value)
+	}
+
+	if hasExemplar {
+		if kind != "_bucket" {
+			l.errf(n, "exemplar on non-bucket series %q", name)
+			return
+		}
+		l.exemplar(n, exemplar, le, hasLe)
+	}
+}
+
+// histogramSample folds one histogram series line into its child's
+// accumulated state.
+func (l *linter) histogramSample(n int, family, kind string, labels []labelPair, le string, hasLe bool, value float64) {
+	switch kind {
+	case "":
+		l.errf(n, "histogram family %q exposed without _bucket/_sum/_count suffix", family)
+		return
+	case "_bucket":
+		if !hasLe {
+			l.errf(n, "histogram bucket of %q missing le label", family)
+			return
+		}
+	default:
+		if hasLe {
+			l.errf(n, "le label on %s%s", family, kind)
+		}
+	}
+	others := make([]labelPair, 0, len(labels))
+	for _, lp := range labels {
+		if lp.name != "le" {
+			others = append(others, lp)
+		}
+	}
+	key := family + "{" + canonicalPairs(others) + "}"
+	h := l.hists[key]
+	if h == nil {
+		h = &histSeries{firstLine: n}
+		l.hists[key] = h
+	}
+	switch kind {
+	case "_bucket":
+		if le == "+Inf" {
+			h.hasInf = true
+			h.infVal = value
+			return
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			l.errf(n, "bad le value %q on %q", le, family)
+			return
+		}
+		h.bounds = append(h.bounds, bound)
+		h.counts = append(h.counts, value)
+	case "_sum":
+		h.sum = &value
+	case "_count":
+		h.count = &value
+	}
+}
+
+// exemplar validates the OpenMetrics suffix: `{labels} value [timestamp]`.
+func (l *linter) exemplar(n int, s, le string, hasLe bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") {
+		l.errf(n, "exemplar missing label set: %q", s)
+		return
+	}
+	labels, rest, ok := scanLabels(s)
+	if !ok {
+		l.errf(n, "malformed exemplar labels in %q", s)
+		return
+	}
+	var runes int
+	for _, lp := range labels {
+		if !validLabelName(lp.name) {
+			l.errf(n, "invalid exemplar label name %q", lp.name)
+		}
+		runes += len(lp.name) + len(lp.value)
+	}
+	// OpenMetrics caps the exemplar label set at 128 runes total.
+	if runes > 128 {
+		l.errf(n, "exemplar label set exceeds 128 runes (%d)", runes)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "exemplar needs 'value [timestamp]', got %q", rest)
+		return
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		l.errf(n, "bad exemplar value %q: %v", fields[0], err)
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			l.errf(n, "bad exemplar timestamp %q", fields[1])
+		}
+	}
+	// The exemplar must fall in the bucket it annotates (value <= le).
+	if hasLe && le != "+Inf" {
+		if bound, err := strconv.ParseFloat(le, 64); err == nil && v > bound {
+			l.errf(n, "exemplar value %g exceeds its bucket bound le=%q", v, le)
+		}
+	}
+}
+
+// finish runs the end-of-input histogram invariants.
+func (l *linter) finish() {
+	keys := make([]string, 0, len(l.hists))
+	for k := range l.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := l.hists[k]
+		if !sort.Float64sAreSorted(h.bounds) {
+			l.errf(h.firstLine, "histogram %s has unsorted buckets", k)
+		}
+		for i := 1; i < len(h.counts); i++ {
+			if h.counts[i] < h.counts[i-1] {
+				l.errf(h.firstLine, "histogram %s bucket counts are not cumulative", k)
+				break
+			}
+		}
+		if !h.hasInf {
+			l.errf(h.firstLine, "histogram %s missing +Inf bucket", k)
+			continue
+		}
+		if len(h.counts) > 0 && h.infVal < h.counts[len(h.counts)-1] {
+			l.errf(h.firstLine, "histogram %s +Inf bucket below last finite bucket", k)
+		}
+		if h.count == nil {
+			l.errf(h.firstLine, "histogram %s missing _count", k)
+		} else if *h.count != h.infVal {
+			l.errf(h.firstLine, "histogram %s _count %g != +Inf bucket %g", k, *h.count, h.infVal)
+		}
+		if h.sum == nil {
+			l.errf(h.firstLine, "histogram %s missing _sum", k)
+		}
+	}
+}
+
+type labelPair struct{ name, value string }
+
+func canonicalPairs(pairs []labelPair) string {
+	sorted := append([]labelPair(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	parts := make([]string, len(sorted))
+	for i, p := range sorted {
+		parts[i] = p.name + "=" + p.value
+	}
+	return strings.Join(parts, ",")
+}
+
+// scanMetricName consumes a leading metric name, returning it and the rest.
+func scanMetricName(s string) (name, rest string, ok bool) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		digit := c >= '0' && c <= '9'
+		if !alpha && !(digit && i > 0) {
+			break
+		}
+		i++
+	}
+	if i == 0 {
+		return "", s, false
+	}
+	return s[:i], s[i:], true
+}
+
+// scanLabels consumes a `{k="v",...}` block (handling escaped quotes and
+// backslashes inside values), returning the pairs and the rest of the line.
+func scanLabels(s string) (pairs []labelPair, rest string, ok bool) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, false
+	}
+	i := 1
+	for {
+		// Allow `{}` and trailing commas per the format grammar.
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return pairs, s[i+1:], true
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, s, false
+		}
+		name := s[start:i]
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, s, false
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, s, false // invalid escape
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(s[i])
+			i++
+		}
+		if i >= len(s) {
+			return nil, s, false
+		}
+		i++ // closing '"'
+		pairs = append(pairs, labelPair{name: name, value: val.String()})
+	}
+}
+
+// parsePromValue parses a sample value, accepting the format's +Inf/-Inf/NaN
+// spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

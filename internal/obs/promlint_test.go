@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// populateRegistry fills a registry with every instrument type, exemplars
+// included, so the lint test exercises the full rendering surface.
+func populateRegistry(reg *Registry) {
+	reg.Counter("accelscore_test_events_total", "Events.", "kind", "a").Add(3)
+	reg.Counter("accelscore_test_events_total", "Events.", "kind", "b").Inc()
+	reg.Gauge("accelscore_test_depth", "Depth.").Set(-2.5)
+	reg.Gauge("accelscore_test_labeled", "Labeled gauge.", "cls", `quo"te`, "other", `back\slash`).Set(1)
+	h := reg.Histogram("accelscore_test_latency_seconds", "Latency.", DefBuckets, "path", "/query")
+	h.ObserveExemplar(0.0004, "q-000001")
+	h.ObserveExemplar(3.2, "q-000002")
+	h.Observe(0.02)
+	reg.Histogram("accelscore_test_plain_seconds", "No exemplars.", []float64{0.1, 1}).Observe(0.5)
+}
+
+func TestLintCleanRegistry(t *testing.T) {
+	reg := NewRegistry()
+	populateRegistry(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if probs := LintPrometheus(strings.NewReader(sb.String())); len(probs) != 0 {
+		t.Errorf("clean registry lints dirty:\n%s\nexposition:\n%s", joinProblems(probs), sb.String())
+	}
+}
+
+func TestLintExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("accelscore_test_seconds", "T.", []float64{0.001, 1})
+	h.ObserveExemplar(0.5, "q-000042")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="q-000042"} 0.5`) {
+		t.Fatalf("exemplar suffix missing:\n%s", out)
+	}
+	// The exemplar lands on the le="1" bucket, not the 0.001 one.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.001"`) && strings.Contains(line, "q-000042") {
+			t.Errorf("exemplar on wrong bucket: %s", line)
+		}
+	}
+	if probs := LintPrometheus(strings.NewReader(out)); len(probs) != 0 {
+		t.Errorf("exemplar exposition lints dirty:\n%s", joinProblems(probs))
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"no type", "accelscore_x 1\n", "no preceding TYPE"},
+		{"bad value", "# TYPE accelscore_x gauge\naccelscore_x banana\n", "bad sample value"},
+		{"negative counter", "# TYPE accelscore_x counter\naccelscore_x -1\n", "negative value"},
+		{"duplicate series", "# TYPE accelscore_x gauge\naccelscore_x 1\naccelscore_x 2\n", "duplicate series"},
+		{"duplicate type", "# TYPE accelscore_x gauge\n# TYPE accelscore_x counter\naccelscore_x 1\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE accelscore_x banana\n", "unknown TYPE"},
+		{"bad label name", "# TYPE accelscore_x gauge\naccelscore_x{0bad=\"v\"} 1\n", "invalid label name"},
+		{"unterminated labels", "# TYPE accelscore_x gauge\naccelscore_x{a=\"v\n", "malformed labels"},
+		{"bad escape", "# TYPE accelscore_x gauge\naccelscore_x{a=\"\\t\"} 1\n", "malformed labels"},
+		{
+			"missing inf",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket{le=\"1\"} 1\naccelscore_h_sum 1\naccelscore_h_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"non-cumulative",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket{le=\"1\"} 5\naccelscore_h_bucket{le=\"2\"} 3\naccelscore_h_bucket{le=\"+Inf\"} 5\naccelscore_h_sum 1\naccelscore_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"count mismatch",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket{le=\"+Inf\"} 5\naccelscore_h_sum 1\naccelscore_h_count 4\n",
+			"_count 4 != +Inf bucket 5",
+		},
+		{
+			"missing sum",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket{le=\"+Inf\"} 1\naccelscore_h_count 1\n",
+			"missing _sum",
+		},
+		{
+			"exemplar on gauge",
+			"# TYPE accelscore_x gauge\naccelscore_x 1 # {trace_id=\"q-1\"} 1 1.5\n",
+			"exemplar on non-bucket",
+		},
+		{
+			"exemplar outside bucket",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket{le=\"1\"} 1 # {trace_id=\"q-1\"} 5 1.5\naccelscore_h_bucket{le=\"+Inf\"} 1\naccelscore_h_sum 5\naccelscore_h_count 1\n",
+			"exceeds its bucket bound",
+		},
+		{
+			"bucket without le",
+			"# TYPE accelscore_h histogram\naccelscore_h_bucket 1\naccelscore_h_bucket{le=\"+Inf\"} 1\naccelscore_h_sum 1\naccelscore_h_count 1\n",
+			"missing le label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probs := LintPrometheus(strings.NewReader(tc.in))
+			for _, p := range probs {
+				if strings.Contains(p.Msg, tc.want) {
+					return
+				}
+			}
+			t.Errorf("want problem containing %q, got:\n%s", tc.want, joinProblems(probs))
+		})
+	}
+}
+
+func TestLintAcceptsTimestampsAndInf(t *testing.T) {
+	in := "# TYPE accelscore_x gauge\naccelscore_x +Inf 1700000000000\naccelscore_y 1\n# TYPE accelscore_y gauge\n"
+	probs := LintPrometheus(strings.NewReader(in))
+	// accelscore_y's TYPE comes after its sample: exactly one problem.
+	if len(probs) != 1 || !strings.Contains(probs[0].Msg, "no preceding TYPE") {
+		t.Errorf("got problems:\n%s", joinProblems(probs))
+	}
+}
+
+func TestExemplarSuffixEscapesAndFormats(t *testing.T) {
+	e := &Exemplar{Value: 0.25, TraceID: `q"1`, Time: time.UnixMilli(1700000000123)}
+	s := exemplarSuffix(e)
+	if s != ` # {trace_id="q\"1"} 0.25 1700000000.123` {
+		t.Errorf("suffix = %q", s)
+	}
+	if exemplarSuffix(nil) != "" {
+		t.Error("nil exemplar should render empty")
+	}
+}
+
+func joinProblems(probs []LintProblem) string {
+	parts := make([]string, len(probs))
+	for i, p := range probs {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "\n")
+}

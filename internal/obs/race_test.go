@@ -37,12 +37,21 @@ func TestRegistryTracerHammer(t *testing.T) {
 				r.Histogram("hammer_seconds", "", nil, "worker", label).Observe(float64(i) * 1e-5)
 
 				tr := tc.Start("hammer")
+				// Exemplars race exposition: every observation swaps the
+				// bucket's exemplar pointer while scrapes render it.
+				r.Histogram("hammer_exemplar_seconds", "", nil, "worker", label).
+					ObserveExemplar(float64(i)*1e-5, tr.ID())
 				end := tr.StartSpan("stage")
 				tr.SetAttr("worker", label)
 				var tl sim.Timeline
 				tl.Add("compute", sim.KindCompute, time.Duration(i)*time.Microsecond)
 				tr.AddTimeline("sim", &tl)
 				end()
+				// Stage costs land while other workers export the ring: the
+				// Chrome export must snapshot them under the trace lock.
+				tr.SetStageCosts(Attribution{
+					{Stage: "stage", CPUTime: time.Duration(i) * time.Microsecond, AllocBytes: uint64(i), AllocObjects: 1},
+				})
 				tr.Finish()
 
 				if i%50 == 0 {

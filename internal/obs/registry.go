@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing float64, safe for concurrent use.
@@ -61,11 +62,28 @@ func addFloat(bits *atomic.Uint64, v float64) {
 // Exposition follows the Prometheus convention: bucket counts are cumulative
 // ("observations less than or equal to the bound"), plus a running sum and a
 // total count.
+//
+// Each bucket additionally retains the LATEST exemplar recorded into it via
+// ObserveExemplar — an (observed value, trace ID, timestamp) triple — so a
+// scrape showing a populated P99 bucket links straight to an offending
+// trace at /debug/trace/<id>. Exemplars are rendered in the OpenMetrics
+// suffix syntax on _bucket lines.
 type Histogram struct {
-	upper  []float64
-	counts []atomic.Uint64 // len(upper)+1; last is +Inf
-	sum    atomic.Uint64   // float64 bits
-	count  atomic.Uint64
+	upper     []float64
+	counts    []atomic.Uint64 // len(upper)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomic.Uint64 // float64 bits
+	count     atomic.Uint64
+}
+
+// Exemplar ties one histogram observation back to its trace.
+type Exemplar struct {
+	// Value is the observed value the exemplar represents.
+	Value float64
+	// TraceID identifies the trace at /debug/trace/<id>.
+	TraceID string
+	// Time is when the observation happened.
+	Time time.Time
 }
 
 // Observe records one value.
@@ -74,6 +92,30 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sum, v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and retains (value, traceID, now) as
+// the landing bucket's exemplar, replacing the previous one — latest wins,
+// so the slowest recent query is always one click away from its bucket.
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplars returns each bucket's retained exemplar (nil where none was
+// recorded), one entry per bound plus the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -232,7 +274,11 @@ func (r *Registry) child(name, help string, typ metricType, buckets []float64, l
 		case gaugeType:
 			ch.gauge = &Gauge{}
 		case histogramType:
-			ch.hist = &Histogram{upper: fam.buckets, counts: make([]atomic.Uint64, len(fam.buckets)+1)}
+			ch.hist = &Histogram{
+				upper:     fam.buckets,
+				counts:    make([]atomic.Uint64, len(fam.buckets)+1),
+				exemplars: make([]atomic.Pointer[Exemplar], len(fam.buckets)+1),
+			}
 		}
 		fam.metrics[labelStr] = ch
 	}
@@ -280,12 +326,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&sb, "%s%s %s\n", fam.name, braced(c.labelStr), formatFloat(c.gauge.Value()))
 			case histogramType:
 				cum := c.hist.CumulativeCounts()
+				exs := c.hist.Exemplars()
 				for i, bound := range fam.buckets {
-					fmt.Fprintf(&sb, "%s_bucket%s %d\n", fam.name,
-						braced(joinLabels(c.labelStr, `le="`+formatFloat(bound)+`"`)), cum[i])
+					fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", fam.name,
+						braced(joinLabels(c.labelStr, `le="`+formatFloat(bound)+`"`)), cum[i],
+						exemplarSuffix(exs[i]))
 				}
-				fmt.Fprintf(&sb, "%s_bucket%s %d\n", fam.name,
-					braced(joinLabels(c.labelStr, `le="+Inf"`)), cum[len(cum)-1])
+				fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", fam.name,
+					braced(joinLabels(c.labelStr, `le="+Inf"`)), cum[len(cum)-1],
+					exemplarSuffix(exs[len(exs)-1]))
 				fmt.Fprintf(&sb, "%s_sum%s %s\n", fam.name, braced(c.labelStr), formatFloat(c.hist.Sum()))
 				fmt.Fprintf(&sb, "%s_count%s %d\n", fam.name, braced(c.labelStr), cum[len(cum)-1])
 			}
@@ -348,6 +397,20 @@ func escapeLabelValue(v string) string {
 func escapeHelp(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// exemplarSuffix renders a bucket's exemplar in the OpenMetrics exemplar
+// syntax (` # {trace_id="q-000042"} 0.52 1718000000.123`), or "" when the
+// bucket has none. The repo's own exposition lint (LintPrometheus) parses
+// and validates this suffix; plain 0.0.4 scrapers that stop at the sample
+// value must strip it.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+		escapeLabelValue(e.TraceID), formatFloat(e.Value),
+		float64(e.Time.UnixMilli())/1e3)
 }
 
 func formatFloat(v float64) string {

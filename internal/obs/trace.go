@@ -129,6 +129,7 @@ type Trace struct {
 	attrs  map[string]string
 	wall   []wallSpan
 	tracks []simTrack
+	costs  Attribution
 	total  time.Duration
 	done   bool
 }
@@ -185,6 +186,18 @@ func (tr *Trace) AddTimeline(track string, tl *sim.Timeline) {
 	tr.tracks = append(tr.tracks, simTrack{name: track, spans: tl.Spans()})
 }
 
+// SetStageCosts records the query's per-stage resource attribution. The
+// costs surface in Snapshot, /debug/queries, and as args on the matching
+// wall-clock spans of the Chrome trace export.
+func (tr *Trace) SetStageCosts(costs Attribution) {
+	if tr == nil || len(costs) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.costs = append(Attribution(nil), costs...)
+}
+
 // Finish seals the trace, fixing its wall-clock total. Idempotent.
 func (tr *Trace) Finish() {
 	if tr == nil {
@@ -222,6 +235,8 @@ type TraceSnapshot struct {
 	Attrs     map[string]string
 	WallSpans []WallSpanSnapshot
 	Tracks    []TrackSnapshot
+	// Costs is the per-stage resource attribution, when recorded.
+	Costs Attribution
 }
 
 // Snapshot copies the trace state under its lock.
@@ -255,6 +270,7 @@ func (tr *Trace) Snapshot() TraceSnapshot {
 		}
 		snap.Tracks = append(snap.Tracks, ts)
 	}
+	snap.Costs = append(Attribution(nil), tr.costs...)
 	return snap
 }
 
@@ -290,11 +306,22 @@ func (snap TraceSnapshot) chromeEvents(pid int) []chromeEvent {
 		{Name: "thread_name", Ph: "M", PID: pid, TID: 1, Args: map[string]string{"name": "wall clock"}},
 		{Name: snap.Name, Cat: "query", Ph: "i", PID: pid, TID: 1, Args: snap.Attrs},
 	}
+	// Wall spans carry the measured resource attribution of their stage as
+	// args, so a span selected in the viewer shows CPU time, allocations
+	// and bytes moved alongside its duration.
+	costByStage := make(map[string]StageCost, len(snap.Costs))
+	for _, c := range snap.Costs {
+		costByStage[c.Stage] = c
+	}
 	for _, w := range snap.WallSpans {
-		evs = append(evs, chromeEvent{
+		ev := chromeEvent{
 			Name: w.Name, Cat: "wall", Ph: "X",
 			TS: micros(w.Offset), Dur: micros(w.Duration), PID: pid, TID: 1,
-		})
+		}
+		if c, ok := costByStage[w.Name]; ok {
+			ev.Args = c.args()
+		}
+		evs = append(evs, ev)
 	}
 	for i, trk := range snap.Tracks {
 		tid := 2 + i

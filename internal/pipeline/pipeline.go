@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -92,6 +93,25 @@ const (
 	// MetricFusedStageSimSeconds is MetricStageSimSeconds restricted to fused
 	// queries {stage}, for before/after fusion comparisons.
 	MetricFusedStageSimSeconds = "accelscore_fused_stage_sim_seconds"
+	// MetricStageCPUSeconds is the MEASURED per-stage thread-CPU-time
+	// histogram {stage} (populated only with attribution enabled).
+	MetricStageCPUSeconds = "accelscore_stage_cpu_seconds"
+	// MetricStageAllocBytesTotal accumulates measured heap-allocated bytes
+	// per stage {stage} (attribution only).
+	MetricStageAllocBytesTotal = "accelscore_stage_alloc_bytes_total"
+	// MetricStageAllocObjectsTotal accumulates measured heap-allocated
+	// objects per stage {stage} (attribution only).
+	MetricStageAllocObjectsTotal = "accelscore_stage_alloc_objects_total"
+	// MetricTransferBytesTotal accumulates simulated bytes crossing the
+	// runtime boundary {direction="in"|"out"}.
+	MetricTransferBytesTotal = "accelscore_transfer_bytes_total"
+)
+
+// Attribution stage names for the two transfer legs (the measured stages
+// reuse the Fig. 11 stage names directly).
+const (
+	StageTransferIn  = StageDataTransfer + " (in)"
+	StageTransferOut = StageDataTransfer + " (out)"
 )
 
 // Pipeline executes scoring queries end to end.
@@ -171,6 +191,13 @@ type QueryResult struct {
 	// Fused reports whether the query engaged operator fusion (a pushed-down
 	// WHERE and/or a fused aggregate).
 	Fused bool
+	// Attribution is the query's measured per-stage resource cost (thread
+	// CPU time, heap allocations, transfer bytes), populated when the
+	// pipeline's observer has Attribution enabled. Coalesced batches
+	// amortize the leader's measured cost the same way timelines are:
+	// fixed per-invocation stages divide by the batch size,
+	// row-proportional stages scale by row share.
+	Attribution obs.Attribution
 }
 
 // ExecQuery parses and runs one T-SQL statement. SELECTs execute directly in
@@ -662,6 +689,17 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	}
 	fused := plan.sel != nil || plan.agg != AggNone
 
+	// Resource attribution brackets the three measured stages with cost
+	// samples. Thread-CPU deltas are only meaningful while the goroutine is
+	// pinned to one OS thread, so the stage loop locks itself for the
+	// duration when attribution is on.
+	attribOn := p.Obs.AttributionOn()
+	var costPreproc, costScoring, costPost obs.StageCost
+	if attribOn {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+
 	subs := make([]*QueryResult, n)
 	trs := make([]*obs.Trace, n)
 	for i, d := range datas {
@@ -692,6 +730,10 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	// fused exec path resolves before data fetch because the feature names
 	// drive projection pruning.
 	rm := plan.resolved
+	var sample obs.CostSample
+	if attribOn {
+		sample = obs.ReadCostSample()
+	}
 	endPreproc := p.startSpanAll(trs, StageModelPreproc)
 	if rm == nil {
 		rm, err = p.resolveModel(plan.modelName, plan.blob)
@@ -701,6 +743,12 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		}
 	}
 	endPreproc()
+	if attribOn {
+		next := obs.ReadCostSample()
+		costPreproc = next.Sub(sample)
+		costPreproc.Stage = StageModelPreproc
+		sample = next
+	}
 	f, compiled, stats, status := rm.f, rm.compiled, rm.stats, rm.status
 	// "hit" and "coalesced" both mean the compiled model was already
 	// resident (or becoming resident) in the runtime: no blob transfer, no
@@ -723,6 +771,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	if err = ctx.Err(); err != nil {
 		return nil, err
 	}
+	if attribOn {
+		sample = obs.ReadCostSample()
+	}
 	endScoring := p.startSpanAll(trs, StageModelScoring)
 	scored, err := eng.Score(&backend.Request{
 		Forest: f, Data: merged, Compiled: compiled, Stats: &stats,
@@ -730,6 +781,11 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		Sel: plan.sel, WantCounts: wantCounts(plan.agg, n),
 	})
 	endScoring()
+	if attribOn {
+		next := obs.ReadCostSample()
+		costScoring = next.Sub(sample)
+		costScoring.Stage = StageModelScoring
+	}
 	if err != nil {
 		p.noteScoringError(trs, eng.Name(), err)
 		return nil, fmt.Errorf("pipeline: scoring on %s: %w", eng.Name(), err)
@@ -756,6 +812,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	// result table — the prediction column in one bulk append, or, for a
 	// fused aggregate, the class histogram without ever materializing
 	// predictions.
+	if attribOn {
+		sample = obs.ReadCostSample()
+	}
 	endPost := p.startSpanAll(trs, StagePostprocessing)
 	offset := 0
 	for i, d := range datas {
@@ -790,6 +849,10 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		subs[i].Table = out
 	}
 	endPost()
+	if attribOn {
+		costPost = obs.ReadCostSample().Sub(sample)
+		costPost.Stage = StagePostprocessing
+	}
 
 	// Simulated Fig. 11 breakdown of the whole batch, in canonical stage
 	// order: invocation, inbound transfer (rows always; the blob only when
@@ -821,10 +884,25 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	}
 	batch.Add(StageDataTransfer, sim.KindPipeline, p.Runtime.IPCTime(outBytes))
 
+	// Batch-level attribution in canonical order: the two transfer legs carry
+	// the (simulated) byte volumes that crossed the runtime boundary, the
+	// three measured stages carry real thread-CPU and allocation deltas.
+	var batchAttrib obs.Attribution
+	if attribOn {
+		batchAttrib = obs.Attribution{
+			{Stage: StageTransferIn, BytesMoved: inBytes},
+			costPreproc,
+			costScoring,
+			costPost,
+			{Stage: StageTransferOut, BytesMoved: outBytes},
+		}
+	}
+
 	for i, d := range datas {
 		if n == 1 {
 			subs[i].Timeline = batch
 			subs[i].ScoringDetail = scored.Timeline
+			subs[i].Attribution = batchAttrib
 		} else {
 			share := 1.0 / float64(n)
 			if records > 0 {
@@ -832,6 +910,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 			}
 			subs[i].Timeline = apportionTimeline(&batch, n, share)
 			subs[i].ScoringDetail = scaleTimeline(&scored.Timeline, share)
+			if attribOn {
+				subs[i].Attribution = apportionAttribution(batchAttrib, n, share)
+			}
 		}
 		subs[i].CacheHit = status == "hit"
 		if p.Cache != nil {
@@ -871,6 +952,23 @@ func apportionTimeline(batch *sim.Timeline, n int, share float64) sim.Timeline {
 			d = time.Duration(float64(d) * share)
 		}
 		out.AddSpan(sim.Span{Name: s.Name, Kind: s.Kind, Duration: d})
+	}
+	return out
+}
+
+// apportionAttribution is apportionTimeline for measured costs: fixed
+// per-invocation stages (model pre-processing happens once per batch) divide
+// evenly across the batch, row-proportional stages scale by the sub-query's
+// row share.
+func apportionAttribution(batch obs.Attribution, n int, share float64) obs.Attribution {
+	out := make(obs.Attribution, 0, len(batch))
+	for _, c := range batch {
+		switch c.Stage {
+		case StagePythonInvocation, StageModelPreproc:
+			out = append(out, c.Divide(n))
+		default:
+			out = append(out, c.Scale(share))
+		}
 	}
 	return out
 }
@@ -947,9 +1045,12 @@ func (p *Pipeline) observeQuery(tr *obs.Trace, start time.Time, res *QueryResult
 		}
 		reg.Counter(MetricQueriesTotal, "Scoring queries by terminal status.", "status", status).Inc()
 		if err == nil && res != nil {
+			// The exemplar links each latency bucket to the freshest trace
+			// that landed in it, so a P99 spike on /metrics resolves to
+			// /debug/trace/<id>.
 			reg.Histogram(MetricQueryWallSeconds,
 				"Measured wall-clock latency of successful scoring queries.", obs.DefBuckets).
-				Observe(wall.Seconds())
+				ObserveExemplar(wall.Seconds(), res.TraceID)
 			for _, row := range res.Timeline.Aggregate().Rows {
 				reg.Histogram(MetricStageSimSeconds,
 					"Simulated per-stage latency of the Fig. 11 end-to-end breakdown.",
@@ -972,6 +1073,29 @@ func (p *Pipeline) observeQuery(tr *obs.Trace, start time.Time, res *QueryResult
 						"backend", res.Backend, "kind", kind.String()).Add(d.Seconds())
 				}
 			}
+			for _, c := range res.Attribution {
+				switch c.Stage {
+				case StageTransferIn:
+					reg.Counter(MetricTransferBytesTotal,
+						"Bytes crossing the runtime boundary by direction.",
+						"direction", "in").Add(float64(c.BytesMoved))
+				case StageTransferOut:
+					reg.Counter(MetricTransferBytesTotal,
+						"Bytes crossing the runtime boundary by direction.",
+						"direction", "out").Add(float64(c.BytesMoved))
+				default:
+					reg.Histogram(MetricStageCPUSeconds,
+						"Measured per-stage thread CPU time (attribution).",
+						obs.DefBuckets, "stage", c.Stage).
+						ObserveExemplar(c.CPUTime.Seconds(), res.TraceID)
+					reg.Counter(MetricStageAllocBytesTotal,
+						"Measured heap bytes allocated per stage (attribution).",
+						"stage", c.Stage).Add(float64(c.AllocBytes))
+					reg.Counter(MetricStageAllocObjectsTotal,
+						"Measured heap objects allocated per stage (attribution).",
+						"stage", c.Stage).Add(float64(c.AllocObjects))
+				}
+			}
 		}
 		if p.Cache != nil {
 			reg.Gauge(MetricModelCacheEntries, "Compiled models resident in the cache.").
@@ -988,6 +1112,7 @@ func (p *Pipeline) observeQuery(tr *obs.Trace, start time.Time, res *QueryResult
 			}
 			tr.AddTimeline("simulated end-to-end (Fig. 11)", &res.Timeline)
 			tr.AddTimeline("simulated scoring detail (Fig. 7)", &res.ScoringDetail)
+			tr.SetStageCosts(res.Attribution)
 		}
 		tr.Finish()
 	}

@@ -1,0 +1,104 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"accelscore/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+var traceIDPat = regexp.MustCompile(`q-\d{6}`)
+
+// costArgKeys are the measured-attribution args whose values depend on the
+// machine; the golden file locks their presence, not their numbers.
+var costArgKeys = map[string]bool{"cpu_us": true, "alloc_bytes": true, "alloc_objects": true}
+
+// normalizeChrome strips the volatile parts of a Chrome trace export:
+// measured wall-clock timestamps/durations, trace IDs, and attribution
+// numbers. Simulated spans keep their exact durations — they derive from the
+// deterministic hardware model, and regressions there are real.
+func normalizeChrome(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	evs, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("export has no traceEvents array")
+	}
+	for _, e := range evs {
+		ev, ok := e.(map[string]any)
+		if !ok {
+			t.Fatalf("traceEvents entry is not an object: %v", e)
+		}
+		if ev["cat"] == "wall" || ev["cat"] == "query" {
+			ev["ts"], ev["dur"] = 0.0, 0.0
+		}
+		if args, ok := ev["args"].(map[string]any); ok {
+			for k, v := range args {
+				if costArgKeys[k] {
+					args[k] = "x"
+				} else if s, ok := v.(string); ok {
+					args[k] = traceIDPat.ReplaceAllString(s, "q-XXXXXX")
+				}
+			}
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestChromeTraceGolden exports the trace of one fixed seeded query and
+// compares its normalized structure — span names, categories, track layout,
+// deterministic simulated durations, attribution arg keys — against the
+// checked-in golden file. Regenerate with `go test ./internal/pipeline
+// -run TestChromeTraceGolden -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	p, _, _ := newPipeline(t, 8, 8, 200)
+	o := obs.NewObserver()
+	o.Attribution = true
+	p.Obs = o
+	res, err := p.ExecQuery(obsQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := o.Tracer.Get(res.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not retained", res.TraceID)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeChrome(t, buf.Bytes())
+
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("normalized Chrome export drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -36,8 +36,8 @@ type record struct {
 	lsn  uint64
 	kind byte
 
-	table string     // createTable, insert
-	cols  []db.Column // createTable
+	table string       // createTable, insert
+	cols  []db.Column  // createTable
 	rows  [][]db.Value // createTable, insert
 
 	update *db.UpdateStmt

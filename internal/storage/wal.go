@@ -67,10 +67,11 @@ const maxWALRecord = 1 << 30
 
 // walMetrics are the observability hooks; any field may be nil.
 type walMetrics struct {
-	appends *obs.Counter
-	bytes   *obs.Counter
-	fsyncs  *obs.Counter
-	size    *obs.Gauge
+	appends  *obs.Counter
+	bytes    *obs.Counter
+	fsyncs   *obs.Counter
+	fsyncDur *obs.Histogram
+	size     *obs.Gauge
 }
 
 // wal is the append-only log writer. Appends are serialized by mu; a sticky
@@ -212,15 +213,12 @@ func (w *wal) Append(payload []byte) error {
 	case SyncNone:
 		return nil
 	case SyncAlways:
-		if err := w.f.Sync(); err != nil {
+		if err := w.timedSync(); err != nil {
 			w.err = fmt.Errorf("storage: WAL fsync: %w", err)
 			w.cond.Broadcast()
 			return w.err
 		}
 		w.synced = w.size
-		if w.m.fsyncs != nil {
-			w.m.fsyncs.Inc()
-		}
 		return nil
 	default: // SyncBatch: group commit
 		target := w.size
@@ -255,18 +253,29 @@ func (w *wal) flusher() {
 		time.Sleep(w.window)
 		w.mu.Lock()
 		if w.err == nil && w.size > w.synced {
-			if err := w.f.Sync(); err != nil {
+			if err := w.timedSync(); err != nil {
 				w.err = fmt.Errorf("storage: WAL fsync: %w", err)
 			} else {
 				w.synced = w.size
-				if w.m.fsyncs != nil {
-					w.m.fsyncs.Inc()
-				}
 			}
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
 	}
+}
+
+// timedSync fsyncs the log file, charging the fsync counter and duration
+// histogram on success. Callers hold w.mu.
+func (w *wal) timedSync() error {
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.m.fsyncs != nil {
+		w.m.fsyncs.Inc()
+		w.m.fsyncDur.Observe(time.Since(t0).Seconds())
+	}
+	return nil
 }
 
 // Size returns bytes currently in the log.
@@ -315,11 +324,8 @@ func (w *wal) Close() error {
 	close(w.done)
 	var err error
 	if w.err == nil && w.policy != SyncNone && w.size > w.synced {
-		if err = w.f.Sync(); err == nil {
+		if err = w.timedSync(); err == nil {
 			w.synced = w.size
-			if w.m.fsyncs != nil {
-				w.m.fsyncs.Inc()
-			}
 		}
 	}
 	cerr := w.f.Close()
