@@ -1,0 +1,23 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"accelscore/internal/router"
+)
+
+// sharedTransport is the one tuned http.Transport every loadgen HTTP client
+// shares. Go's default transport keeps only 2 idle connections per host, so
+// a closed-loop load with N workers re-handshakes TCP on nearly every
+// request and the harness ends up benchmarking the kernel's connect path
+// instead of the server. The pool is sized above any worker population the
+// harness runs (restart-chaos writers, scale-out bench clients), and sharing
+// one transport across scenarios reuses warm connections between phases.
+var sharedTransport = router.SharedTransport(64)
+
+// tunedClient returns an HTTP client over the shared transport; only the
+// timeout varies per use.
+func tunedClient(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: sharedTransport, Timeout: timeout}
+}

@@ -77,7 +77,39 @@ func main() {
 	kills := flag.Int("kills", 3, "kill/restart cycles for -chaos-restart")
 	writeFor := flag.Duration("write-for", time.Second, "write-load window per -chaos-restart cycle")
 	fsyncPolicy := flag.String("fsync", "always", "serve WAL sync policy for -chaos-restart (always|batch|none)")
+	benchScaleout := flag.Bool("bench-scaleout", false,
+		"boot real serve shards behind the router, sweep shards x records, verify bit-identical merges, "+
+			"and write results/scaleout_bench.md + BENCH_scaleout.json")
+	scaleShards := flag.String("scale-shards", "1,2,4", "shard counts for -bench-scaleout (1 anchors speedups)")
+	scaleRecords := flag.String("scale-records", "2000,50000,400000", "demo table sizes for -bench-scaleout")
+	scaleQueries := flag.Int("scale-queries", 8, "closed-loop queries per -bench-scaleout cell")
+	scaleBackend := flag.String("scale-backend", "CPU_ONNX", "engine every -bench-scaleout query requests")
+	paceScale := flag.Float64("pace-scale", 1,
+		"shard pacing multiple of the simulated total for -bench-scaleout (each shard = one simulated device)")
+	scaleChaosLeg := flag.Bool("scale-chaos", true, "run the SIGKILL-one-shard leg of -bench-scaleout")
+	scaleMinSpeedup := flag.Float64("scale-min-speedup", 0,
+		"fail -bench-scaleout unless the widest scatter reaches this measured speedup (0 = report only)")
+	routerOverhead := flag.Duration("router-overhead", 5*time.Millisecond,
+		"fixed per-sub-query overhead fed to the predicted scaling curve")
 	flag.Parse()
+
+	if *benchScaleout {
+		err := runScaleoutBench(scaleoutConfig{
+			ServeBin:       *serveBin,
+			Shards:         intList(*scaleShards),
+			Records:        intList(*scaleRecords),
+			Queries:        *scaleQueries,
+			Backend:        *scaleBackend,
+			PaceScale:      *paceScale,
+			Chaos:          *scaleChaosLeg,
+			MinSpeedup:     *scaleMinSpeedup,
+			RouterOverhead: *routerOverhead,
+		}, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *chaosRestart {
 		err := runRestartChaos(restartChaosConfig{

@@ -180,7 +180,7 @@ func postSQL(client *http.Client, url, sql string) (*sqlResult, error) {
 // an ack only after a 200 — a request cut off by the kill stays in-doubt
 // (attempted, not acked), exactly like a real client.
 func runWriters(p *serveProc, cfg restartChaosConfig, nextID *atomic.Int64, attempted, acked *sync.Map) {
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := tunedClient(5 * time.Second)
 	stop := time.Now().Add(cfg.WriteFor)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Writers; w++ {
@@ -208,7 +208,7 @@ func runWriters(p *serveProc, cfg restartChaosConfig, nextID *atomic.Int64, atte
 // fetchIris pulls the whole iris table and splits it into the seeded demo
 // rows and the writer-generated synthetic rows (by id).
 func fetchIris(url string) (all [][]float64, synthetic map[int][]float64, err error) {
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := tunedClient(30 * time.Second)
 	res, err := postSQL(client, url,
 		"SELECT sepal_length, sepal_width, petal_length, petal_width, label FROM iris")
 	if err != nil {

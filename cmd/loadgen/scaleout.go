@@ -1,0 +1,591 @@
+// Scale-out bench: measure the sharded scatter-gather tier for real. The
+// harness boots N serve processes as shards (each pinned to -workers 1 with
+// -pace-scale, so one shard behaves like one simulated scoring device),
+// fronts them with the router, and sweeps shard count x record count under a
+// closed-loop client population. Every repetition's merged predictions are
+// verified bit-identical against an in-process single-node oracle before its
+// timing counts — a scale-out tier that returns different answers has no
+// throughput worth reporting.
+//
+// The measured curve is written next to the sched scatter simulator's
+// predicted curve (same workload, same shard counts), so the gap — HTTP,
+// JSON, the gather barrier's straggler tax — is a number, not a feeling.
+// This is the paper's overheads question asked at tier scale: partitioning
+// buys parallel scoring, but the per-sub-query invocation costs do not
+// amortize as the scatter widens.
+//
+// A chaos leg SIGKILLs one shard mid-run and asserts the router's
+// degradation contract: queries may fail or reroute, but a successful
+// answer is always bit-identical — never silently wrong or partial.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelscore/internal/dataset"
+	"accelscore/internal/experiments"
+	"accelscore/internal/forest"
+	"accelscore/internal/model"
+	"accelscore/internal/router"
+	"accelscore/internal/sched"
+)
+
+// scaleoutConfig parameterizes the scale-out bench.
+type scaleoutConfig struct {
+	// ServeBin is a prebuilt serve binary; empty builds one.
+	ServeBin string
+	// Shards are the scatter widths to sweep (1 anchors the speedups).
+	Shards []int
+	// Records are the demo table sizes to sweep (the per-query workload).
+	Records []int
+	// Queries is the closed-loop query count per cell.
+	Queries int
+	// Backend is the engine every query requests.
+	Backend string
+	// PaceScale paces each shard to PaceScale x its simulated total.
+	PaceScale float64
+	// Chaos enables the SIGKILL-one-shard leg.
+	Chaos bool
+	// MinSpeedup, when positive, fails the run unless the best measured
+	// speedup at the widest scatter reaches it (the acceptance gate).
+	MinSpeedup float64
+	// RouterOverhead is the fixed per-sub-query cost fed to the predicted
+	// curve (request handling + serialization on a shard).
+	RouterOverhead time.Duration
+}
+
+// scaleCell is one measured sweep point.
+type scaleCell struct {
+	Records          int     `json:"records"`
+	Shards           int     `json:"shards"`
+	Queries          int     `json:"queries"`
+	MakespanNS       int64   `json:"makespan_ns"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	RowsPerSec       float64 `json:"rows_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	MeanLatencyNS    int64   `json:"mean_latency_ns"`
+	MeanStragglerNS  int64   `json:"mean_straggler_gap_ns"`
+	Reroutes         int     `json:"reroutes"`
+	CacheHits        int     `json:"cache_hits"`
+	BitIdentical     bool    `json:"verified_bit_identical"`
+	PredictedQPS     float64 `json:"predicted_queries_per_sec"`
+	PredictedSpeedup float64 `json:"predicted_speedup"`
+	PredictedLatNS   int64   `json:"predicted_mean_latency_ns"`
+}
+
+// scaleChaos is the SIGKILL leg's verdict.
+type scaleChaos struct {
+	Shards           int    `json:"shards"`
+	Records          int    `json:"records"`
+	KilledShard      int    `json:"killed_shard"`
+	QueriesOK        int    `json:"queries_ok"`
+	QueriesFailed    int    `json:"queries_failed"`
+	OKAfterKill      int    `json:"ok_after_kill"`
+	Reroutes         int    `json:"reroutes"`
+	WrongPredictions int    `json:"wrong_predictions"`
+	Verdict          string `json:"verdict"`
+}
+
+// ensureServeBin returns a serve binary path, building one into a temp dir
+// when bin is empty. cleanup is non-nil only for the built case.
+func ensureServeBin(bin string) (string, func(), error) {
+	if bin != "" {
+		return bin, func() {}, nil
+	}
+	tmp, err := os.MkdirTemp("", "accelscore-serve-*")
+	if err != nil {
+		return "", nil, err
+	}
+	out := filepath.Join(tmp, "serve")
+	log.Printf("bench-scaleout: building serve binary")
+	build := exec.Command("go", "build", "-o", out, "accelscore/cmd/serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(tmp)
+		return "", nil, fmt.Errorf("building serve: %w", err)
+	}
+	return out, func() { os.RemoveAll(tmp) }, nil
+}
+
+// startShard boots one serve process as shard k over a records-row demo
+// table and waits until it answers /healthz. -workers 1 plus -pace-scale
+// makes the shard serve like a single simulated device; coalescing and
+// attribution are off so the measurement is the scoring path itself.
+func startShard(bin string, k, records int, paceScale float64) (*serveProc, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-shard-id", fmt.Sprintf("shard-%d", k),
+		"-demo-records", fmt.Sprint(records),
+		"-workers", "1",
+		"-pace-scale", fmt.Sprint(paceScale),
+		"-coalesce", "0",
+		"-attrib=false",
+		"-runtime-sample", "0")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting shard %d: %w", k, err)
+	}
+	p := &serveProc{cmd: cmd, url: "http://" + addr}
+	deadline := time.Now().Add(60 * time.Second)
+	client := tunedClient(2 * time.Second)
+	for {
+		resp, err := client.Get(p.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return p, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			p.kill()
+			return nil, fmt.Errorf("shard %d on %s never became healthy", k, addr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// bootShards starts n shards over the same workload shape.
+func bootShards(bin string, n, records int, paceScale float64) ([]*serveProc, []router.Backend, error) {
+	procs := make([]*serveProc, 0, n)
+	backends := make([]router.Backend, 0, n)
+	client := tunedClient(120 * time.Second)
+	for k := 0; k < n; k++ {
+		p, err := startShard(bin, k, records, paceScale)
+		if err != nil {
+			for _, q := range procs {
+				q.kill()
+			}
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+		shard, err := router.NewHTTPShard(fmt.Sprintf("shard-%d", k), p.url, client)
+		if err != nil {
+			for _, q := range procs {
+				q.kill()
+			}
+			return nil, nil, err
+		}
+		backends = append(backends, shard)
+	}
+	return procs, backends, nil
+}
+
+func killShards(procs []*serveProc) {
+	for _, p := range procs {
+		p.kill()
+	}
+}
+
+// scaleOracle is the single-node ground truth for one record count: the
+// exact predictions every routed repetition must reproduce, plus the
+// calibrated per-record-count service estimator feeding the predicted curve.
+type scaleOracle struct {
+	predictions []int
+	service     func(records int64) (time.Duration, error)
+}
+
+// buildOracle trains the identical demo environment in-process, scores it
+// single-node once for the ground-truth predictions, and derives the service
+// estimator from the seeded demo forest's shape (DemoForestConfig is seeded,
+// so retraining reproduces the servers' model exactly).
+func buildOracle(records int, backend string) (*scaleOracle, error) {
+	demo, err := experiments.NewDemo(records)
+	if err != nil {
+		return nil, err
+	}
+	res, err := demo.Pipe.ExecQuery(scaleSQL(backend))
+	if err != nil {
+		return nil, err
+	}
+	f, err := forest.Train(dataset.Iris(), experiments.DemoForestConfig)
+	if err != nil {
+		return nil, err
+	}
+	stats := f.ComputeStats()
+	blobBytes := int64(stats.TotalNodes)*model.ApproxNodeBytes + 64
+	return &scaleOracle{
+		predictions: res.Predictions,
+		service: func(recs int64) (time.Duration, error) {
+			tl, _, err := demo.Pipe.Estimate(stats, recs, blobBytes, backend)
+			if err != nil {
+				return 0, err
+			}
+			return tl.Total(), nil
+		},
+	}, nil
+}
+
+func scaleSQL(backend string) string {
+	return fmt.Sprintf("EXEC sp_score_model @model='iris_rf', @data='iris', @backend='%s'", backend)
+}
+
+// runScaleCell measures one (records, shards) sweep point: queries issued
+// closed-loop by `shards` clients through a fresh router, every merged
+// result verified against the oracle.
+func runScaleCell(backends []router.Backend, shards, queries int, sql string, oracle *scaleOracle) (*scaleCell, error) {
+	r, err := router.New(router.Config{
+		Backends:   backends[:shards],
+		WarmModels: []string{"iris_rf"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		merged *router.Merged
+		err    error
+	}
+	outcomes := make([]outcome, queries)
+	var next atomic.Int64
+	clients := shards
+	if clients > queries {
+		clients = queries
+	}
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				q := int(next.Add(1)) - 1
+				if q >= queries {
+					return
+				}
+				m, err := r.Query(ctx, sql, router.QueryOptions{})
+				outcomes[q] = outcome{merged: m, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	makespan := time.Since(start)
+
+	cell := &scaleCell{
+		Shards:       shards,
+		Queries:      queries,
+		MakespanNS:   int64(makespan),
+		BitIdentical: true,
+	}
+	var latSum, gapSum time.Duration
+	for q, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("query %d on %d shards: %w", q, shards, o.err)
+		}
+		m := o.merged
+		if m.Partial {
+			return nil, fmt.Errorf("query %d on %d shards degraded to partial with all shards healthy", q, shards)
+		}
+		if m.ScoredRows != nil {
+			return nil, fmt.Errorf("query %d on %d shards: merged result not dense (%d ordinals kept)",
+				q, shards, len(m.ScoredRows))
+		}
+		if len(m.Predictions) != len(oracle.predictions) {
+			return nil, fmt.Errorf("query %d on %d shards: %d predictions, single-node %d",
+				q, shards, len(m.Predictions), len(oracle.predictions))
+		}
+		for i := range m.Predictions {
+			if m.Predictions[i] != oracle.predictions[i] {
+				return nil, fmt.Errorf("query %d on %d shards: row %d predicted %d, single-node %d — NOT bit-identical",
+					q, shards, i, m.Predictions[i], oracle.predictions[i])
+			}
+		}
+		cell.Reroutes += m.Reroutes
+		if m.CacheHit {
+			cell.CacheHits++
+		}
+		gapSum += m.StragglerGap
+		var worst time.Duration
+		for _, l := range m.ShardLatency {
+			if l > worst {
+				worst = l
+			}
+		}
+		latSum += worst
+	}
+	cell.QueriesPerSec = float64(queries) / makespan.Seconds()
+	cell.RowsPerSec = cell.QueriesPerSec * float64(len(oracle.predictions))
+	cell.MeanLatencyNS = int64(latSum) / int64(queries)
+	cell.MeanStragglerNS = int64(gapSum) / int64(queries)
+	return cell, nil
+}
+
+// runScaleChaos is the degradation leg: SIGKILL one shard while queries
+// flow, then verify every successful answer stayed bit-identical and that
+// the tier kept answering through reroutes after the kill.
+func runScaleChaos(bin string, cfg scaleoutConfig, records int, oracle *scaleOracle) (*scaleChaos, error) {
+	const shards = 3
+	procs, backends, err := bootShards(bin, shards, records, cfg.PaceScale)
+	if err != nil {
+		return nil, err
+	}
+	defer killShards(procs)
+	r, err := router.New(router.Config{
+		Backends:   backends,
+		WarmModels: []string{"iris_rf"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sql := scaleSQL(cfg.Backend)
+	queries := cfg.Queries * 3
+	if queries < 12 {
+		queries = 12
+	}
+	const killedShard = 1
+	killAfter := queries / 3
+	rep := &scaleChaos{Shards: shards, Records: records, KilledShard: killedShard}
+	type outcome struct {
+		merged    *router.Merged
+		err       error
+		afterKill bool
+	}
+	outcomes := make([]outcome, queries)
+	var next atomic.Int64
+	var killed atomic.Bool
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < shards; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				q := int(next.Add(1)) - 1
+				if q >= queries {
+					return
+				}
+				if q == killAfter && killed.CompareAndSwap(false, true) {
+					log.Printf("bench-scaleout: chaos SIGKILL shard %d mid-run", killedShard)
+					procs[killedShard].kill()
+				}
+				after := killed.Load()
+				m, err := r.Query(ctx, sql, router.QueryOptions{})
+				outcomes[q] = outcome{merged: m, err: err, afterKill: after}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, o := range outcomes {
+		if o.err != nil {
+			rep.QueriesFailed++
+			continue
+		}
+		m := o.merged
+		if m.Partial {
+			// Partial mode is off: a partial here is a contract violation.
+			rep.WrongPredictions++
+			continue
+		}
+		ok := len(m.Predictions) == len(oracle.predictions)
+		if ok {
+			for i := range m.Predictions {
+				if m.Predictions[i] != oracle.predictions[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			rep.WrongPredictions++
+			continue
+		}
+		rep.QueriesOK++
+		rep.Reroutes += m.Reroutes
+		if o.afterKill {
+			rep.OKAfterKill++
+		}
+	}
+	rep.Verdict = "pass"
+	if rep.WrongPredictions > 0 {
+		rep.Verdict = "FAIL: wrong predictions"
+		return rep, fmt.Errorf("bench-scaleout chaos: %d queries returned wrong or partial predictions",
+			rep.WrongPredictions)
+	}
+	if rep.OKAfterKill == 0 {
+		rep.Verdict = "FAIL: no successful query after the kill"
+		return rep, fmt.Errorf("bench-scaleout chaos: tier never recovered after SIGKILL")
+	}
+	return rep, nil
+}
+
+// runScaleoutBench drives the full sweep and writes
+// results/scaleout_bench.md + BENCH_scaleout.json.
+func runScaleoutBench(cfg scaleoutConfig, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "BENCH_scaleout.json"
+	}
+	bin, cleanup, err := ensureServeBin(cfg.ServeBin)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	maxShards := 0
+	for _, n := range cfg.Shards {
+		if n > maxShards {
+			maxShards = n
+		}
+	}
+	if maxShards == 0 {
+		return fmt.Errorf("bench-scaleout: empty shard sweep")
+	}
+
+	sql := scaleSQL(cfg.Backend)
+	var cells []scaleCell
+	var chaosRep *scaleChaos
+	for _, records := range cfg.Records {
+		log.Printf("bench-scaleout: records=%d building single-node oracle", records)
+		oracle, err := buildOracle(records, cfg.Backend)
+		if err != nil {
+			return err
+		}
+		predicted, err := sched.ScatterCurve(sched.ScatterConfig{
+			Queries:  cfg.Queries,
+			Records:  int64(records),
+			Service:  oracle.service,
+			Overhead: cfg.RouterOverhead,
+		}, cfg.Shards)
+		if err != nil {
+			return err
+		}
+		predByShards := map[int]sched.ScatterPoint{}
+		for _, p := range predicted {
+			predByShards[p.Shards] = p
+		}
+
+		procs, backends, err := bootShards(bin, maxShards, records, cfg.PaceScale)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, n := range cfg.Shards {
+			log.Printf("bench-scaleout: records=%d shards=%d: %d queries", records, n, cfg.Queries)
+			cell, err := runScaleCell(backends, n, cfg.Queries, sql, oracle)
+			if err != nil {
+				killShards(procs)
+				return err
+			}
+			cell.Records = records
+			if base == 0 {
+				base = cell.QueriesPerSec
+			}
+			cell.Speedup = cell.QueriesPerSec / base
+			if p, ok := predByShards[n]; ok {
+				cell.PredictedQPS = p.Throughput
+				cell.PredictedSpeedup = p.Speedup
+				cell.PredictedLatNS = int64(p.MeanLatency)
+			}
+			log.Printf("bench-scaleout: records=%d shards=%d: %.2f q/s (speedup %.2fx, predicted %.2fx), "+
+				"straggler gap %v, bit-identical",
+				records, n, cell.QueriesPerSec, cell.Speedup, cell.PredictedSpeedup,
+				time.Duration(cell.MeanStragglerNS).Round(time.Millisecond))
+			cells = append(cells, *cell)
+		}
+		killShards(procs)
+
+		if cfg.Chaos && chaosRep == nil {
+			chaosRep, err = runScaleChaos(bin, cfg, records, oracle)
+			if err != nil {
+				return err
+			}
+			log.Printf("bench-scaleout: chaos: %d ok (%d after kill), %d failed, %d reroutes, %d wrong",
+				chaosRep.QueriesOK, chaosRep.OKAfterKill, chaosRep.QueriesFailed,
+				chaosRep.Reroutes, chaosRep.WrongPredictions)
+		}
+	}
+
+	best := bestSpeedup(cells, maxShards)
+	doc := envelope("scaleout")
+	doc["backend"] = cfg.Backend
+	doc["pace_scale"] = cfg.PaceScale
+	doc["queries_per_cell"] = cfg.Queries
+	doc["router_overhead_ns"] = int64(cfg.RouterOverhead)
+	doc["cells"] = cells
+	doc["best_speedup_at_max_shards"] = best
+	if chaosRep != nil {
+		doc["chaos"] = chaosRep
+	}
+	if err := writeJSON(jsonOut, doc); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "scaleout_bench.md")
+	if err := writeScaleoutMarkdown(mdPath, cfg, cells, chaosRep, best); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", mdPath, jsonOut)
+
+	if cfg.MinSpeedup > 0 && best < cfg.MinSpeedup {
+		return fmt.Errorf("bench-scaleout: best speedup at %d shards is %.2fx, below the %.2fx gate",
+			maxShards, best, cfg.MinSpeedup)
+	}
+	return nil
+}
+
+// bestSpeedup returns the highest measured speedup among max-width cells.
+func bestSpeedup(cells []scaleCell, maxShards int) float64 {
+	best := 0.0
+	for _, c := range cells {
+		if c.Shards == maxShards && c.Speedup > best {
+			best = c.Speedup
+		}
+	}
+	return best
+}
+
+func writeScaleoutMarkdown(path string, cfg scaleoutConfig, cells []scaleCell, chaosRep *scaleChaos, best float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Scale-out serving: sharded scatter-gather vs single node\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -bench-scaleout`: real serve processes "+
+		"(one per shard, `-workers 1 -pace-scale %g` so each shard serves like one simulated "+
+		"scoring device), fronted by the router, backend %s, %d closed-loop queries per cell. "+
+		"Every repetition's merged predictions are verified bit-identical against an "+
+		"in-process single-node oracle before its timing counts.\n\n",
+		cfg.PaceScale, cfg.Backend, cfg.Queries)
+	sb.WriteString("| records | shards | queries/s | rows/s | speedup | predicted speedup | mean latency | straggler gap | bit-identical |\n")
+	sb.WriteString("|---:|---:|---:|---:|---:|---:|---:|---:|:---|\n")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "| %d | %d | %.2f | %.0f | %.2fx | %.2fx | %v | %v | %v |\n",
+			c.Records, c.Shards, c.QueriesPerSec, c.RowsPerSec, c.Speedup, c.PredictedSpeedup,
+			time.Duration(c.MeanLatencyNS).Round(time.Millisecond),
+			time.Duration(c.MeanStragglerNS).Round(time.Millisecond),
+			c.BitIdentical)
+	}
+	fmt.Fprintf(&sb, "\nBest measured speedup at the widest scatter: **%.2fx**.\n\n", best)
+	sb.WriteString("The predicted column is the `sched` scatter simulator run on the same " +
+		"workload (calibrated per-partition service times plus a fixed per-sub-query router " +
+		"overhead): the measured-vs-predicted gap is the real tier's unamortized costs — " +
+		"HTTP, JSON serialization and the gather barrier waiting on the slowest shard. " +
+		"Small record counts stay overhead-bound (the paper's unamortized-invocation regime " +
+		"at tier scale): the fixed per-sub-query invocation cost is paid once per shard per " +
+		"query, so widening the scatter cannot help until per-partition compute dominates.\n")
+	if chaosRep != nil {
+		sb.WriteString("\n## Chaos: SIGKILL one shard mid-run\n\n")
+		fmt.Fprintf(&sb, "With %d shards serving, shard %d was SIGKILLed mid-run: %d queries "+
+			"succeeded (%d after the kill, via %d reroutes), %d failed, and **%d** returned "+
+			"wrong or silently partial predictions — the degradation contract is reroute or "+
+			"fail loudly, never fabricate.\n",
+			chaosRep.Shards, chaosRep.KilledShard, chaosRep.QueriesOK, chaosRep.OKAfterKill,
+			chaosRep.Reroutes, chaosRep.QueriesFailed, chaosRep.WrongPredictions)
+		fmt.Fprintf(&sb, "\nVerdict: %s.\n", chaosRep.Verdict)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,154 @@
+// Command router is the scatter-gather front of the scale-out serving tier.
+// It hash-partitions each scoring query's rows across N serve shards (FNV
+// over the stable row ordinal; ?tenant= switches to tenant-affine routing),
+// scatters one sub-query per partition through per-shard circuit breakers,
+// and merges the shard results into a single answer bit-identical to a
+// single-node run. A dead shard's partition reroutes to a healthy replica;
+// when every route is exhausted the query either fails with a typed partial
+// error or (with -partial) degrades to an explicit partial result — never
+// silently wrong answers.
+//
+// Usage:
+//
+//	router -shards http://localhost:8081,http://localhost:8082 \
+//	    [-addr :8090] [-warm iris_rf] [-partial] \
+//	    [-breaker-threshold 3] [-breaker-cooldown 250ms] [-conns-per-shard 32]
+//
+// Endpoints: /query (?sql= or POST body, ?tenant=), /warm?model=, /healthz,
+// /metrics, /debug/queries, /debug/trace/<id>.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelscore/internal/obs"
+	"accelscore/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shards := flag.String("shards", "",
+		"comma-separated shard base URLs, e.g. http://localhost:8081,http://localhost:8082")
+	warm := flag.String("warm", "",
+		"comma-separated models to warm on every shard at startup (replica-aware cache warming)")
+	partial := flag.Bool("partial", false,
+		"degrade queries with unreachable partitions to explicit partial results instead of failing")
+	breakerThreshold := flag.Int("breaker-threshold", 0,
+		"consecutive failures opening a shard's circuit (0 = default 3, negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0,
+		"open-circuit cooldown before a half-open probe (0 = default 250ms)")
+	connsPerShard := flag.Int("conns-per-shard", 32,
+		"idle HTTP connections kept per shard (size to the expected client concurrency)")
+	warmTimeout := flag.Duration("warm-timeout", 10*time.Second, "startup warm fan-out budget")
+	flag.Parse()
+
+	urls := splitList(*shards)
+	if len(urls) == 0 {
+		log.Fatal("router: -shards is required (comma-separated serve base URLs)")
+	}
+
+	// One shared client: the connection pool is reused across shards and
+	// queries, so a steady scatter load never thrashes TCP handshakes.
+	client := &http.Client{
+		Transport: router.SharedTransport(*connsPerShard),
+		Timeout:   120 * time.Second,
+	}
+	backends := make([]router.Backend, len(urls))
+	for i, u := range urls {
+		shard, err := router.NewHTTPShard(fmt.Sprintf("shard-%d", i), u, client)
+		if err != nil {
+			log.Fatalf("router: shard %d: %v", i, err)
+		}
+		backends[i] = shard
+	}
+
+	r, err := router.New(router.Config{
+		Backends:         backends,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		AllowPartial:     *partial,
+		Obs:              obs.NewObserver(),
+		WarmModels:       splitList(*warm),
+		WarmTimeout:      *warmTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("router: %d shards: %s", len(urls), strings.Join(urls, ", "))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           withLogging(router.Handler(r)),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("accelscore router listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("router: %v", err)
+		}
+	}
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withLogging logs every request with its status and latency.
+func withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Microsecond))
+	})
+}

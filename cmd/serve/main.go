@@ -114,6 +114,14 @@ type server struct {
 
 	// demoRecords sizes freshly built hot-path demos (tests shrink it).
 	demoRecords int
+
+	// shardID names this process in the scale-out tier (-shard-id); it tags
+	// /score results and /healthz so the router and operators can tell
+	// replicas apart. Empty outside a sharded deployment.
+	shardID string
+	// fsync is the WAL sync policy spelling for /healthz ("disabled" when
+	// running in memory).
+	fsync string
 }
 
 // obsConfig bundles the observability knobs of newServer.
@@ -126,6 +134,8 @@ type obsConfig struct {
 	// RuntimeSample is the runtime-health sampling period; 0 disables the
 	// collector.
 	RuntimeSample time.Duration
+	// ShardID names this process in a scale-out deployment (-shard-id).
+	ShardID string
 }
 
 // newServer builds the shared state and the routed handler. demoRecords <= 0
@@ -168,6 +178,11 @@ func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uin
 		obs:         o,
 		store:       store,
 		demoRecords: demoRecords,
+		shardID:     oc.ShardID,
+		fsync:       "disabled",
+	}
+	if storeCfg != nil {
+		s.fsync = storeCfg.Sync.String()
 	}
 	s.suite.Pipe.Obs = s.obs
 	s.demo.Pipe.Obs = s.obs
@@ -199,6 +214,8 @@ func newServer(demoRecords int, cfg exec.Config, faultSpec string, faultSeed uin
 	mux.HandleFunc("/fig/", s.handleFig)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/sql", s.handleSQL)
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/warm", s.handleWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
@@ -254,6 +271,11 @@ func main() {
 		"measure per-stage CPU/allocation attribution on every scoring query")
 	runtimeSample := flag.Duration("runtime-sample", obs.DefaultRuntimeSampleInterval,
 		"runtime health (GC, heap, goroutines, scheduler latency) sampling period; 0 disables")
+	shardID := flag.String("shard-id", "",
+		"shard name in a scale-out tier; tags /score results and /healthz")
+	paceScale := flag.Float64("pace-scale", 0,
+		"pace scoring batches to this multiple of their simulated total (0 disables); "+
+			"with -workers 1 each shard behaves like one simulated device")
 	flag.Parse()
 
 	var storeCfg *storage.Config
@@ -276,10 +298,12 @@ func main() {
 		CoalesceWindow:  *coalesce,
 		MaxBatch:        *maxBatch,
 		DefaultDeadline: *deadline,
+		PaceScale:       *paceScale,
 	}, *faultSpec, *faultSeed, storeCfg, obsConfig{
 		SLOSpec:       *sloSpec,
 		Attribution:   *attrib,
 		RuntimeSample: *runtimeSample,
+		ShardID:       *shardID,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -360,6 +384,10 @@ func routeLabel(path string) string {
 		return "/query"
 	case path == "/sql":
 		return "/sql"
+	case path == "/score":
+		return "/score"
+	case path == "/warm":
+		return "/warm"
 	case path == "/healthz":
 		return "/healthz"
 	case path == "/metrics":
@@ -576,17 +604,28 @@ func writeSQLJSON(w http.ResponseWriter, code int, resp sqlResponse) {
 	}
 }
 
-// handleHealthz reports liveness plus the durability state: whether a store
-// is attached, what recovery found at boot, and the current WAL size. The
-// restart-chaos harness polls it to decide the server is up and recovered.
+// handleHealthz reports liveness plus identity and the durability state:
+// which shard this process is (scale-out tier), which build is running,
+// whether a store is attached, what recovery found at boot, and the current
+// WAL size. The restart-chaos harness polls it to decide the server is up
+// and recovered; the router's health probe reads it per shard.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status     string                `json:"status"`
-		Durability string                `json:"durability"`
-		Recovery   *storage.RecoveryInfo `json:"recovery,omitempty"`
-		WALBytes   int64                 `json:"wal_bytes,omitempty"`
+		Status      string                `json:"status"`
+		ShardID     string                `json:"shard_id,omitempty"`
+		GitDescribe string                `json:"git_describe"`
+		Fsync       string                `json:"fsync"`
+		Durability  string                `json:"durability"`
+		Recovery    *storage.RecoveryInfo `json:"recovery,omitempty"`
+		WALBytes    int64                 `json:"wal_bytes,omitempty"`
 	}
-	h := health{Status: "ok", Durability: "disabled"}
+	h := health{
+		Status:      "ok",
+		ShardID:     s.shardID,
+		GitDescribe: gitDescribe(),
+		Fsync:       s.fsync,
+		Durability:  "disabled",
+	}
 	if s.store != nil {
 		h.Durability = "enabled"
 		ri := s.store.Recovery()

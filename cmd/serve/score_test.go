@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/router"
+)
+
+// startShardServer builds a serve handler configured as one scale-out shard.
+func startShardServer(t *testing.T, shardID string) *httptest.Server {
+	t.Helper()
+	_, handler, err := newServer(50, exec.Config{CoalesceWindow: 2 * time.Millisecond, MaxBatch: 8},
+		"", 7, nil, obsConfig{ShardID: shardID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postScore(t *testing.T, url string, req router.Request) (int, *router.Result) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res router.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &res
+}
+
+// TestScoreEndpoint drives the shard-side wire contract: a partitioned
+// sub-query scores only its partition's rows, results carry the shard id,
+// and query-level failures come back with the bad_request code so the
+// router never reroutes them.
+func TestScoreEndpoint(t *testing.T) {
+	ts := startShardServer(t, "shard-7")
+
+	code, res := postScore(t, ts.URL, router.Request{
+		Model: "iris_rf", Data: "iris", Backend: "CPU_ONNX", Partition: "0/2",
+	})
+	if code != http.StatusOK || res.Error != "" {
+		t.Fatalf("/score = %d, error %q", code, res.Error)
+	}
+	if res.ShardID != "shard-7" {
+		t.Fatalf("shard id %q, want shard-7", res.ShardID)
+	}
+	if res.RowsScored == 0 || res.RowsScored >= res.RowsScanned {
+		t.Fatalf("partition 0/2 scored %d of %d rows", res.RowsScored, res.RowsScanned)
+	}
+	if len(res.ScoredRows) != len(res.Predictions) {
+		t.Fatalf("%d ordinals for %d predictions", len(res.ScoredRows), len(res.Predictions))
+	}
+
+	// The complementary partition covers the remaining rows exactly.
+	code2, res2 := postScore(t, ts.URL, router.Request{
+		Model: "iris_rf", Data: "iris", Backend: "CPU_ONNX", Partition: "1/2",
+	})
+	if code2 != http.StatusOK || res2.Error != "" {
+		t.Fatalf("/score 1/2 = %d, error %q", code2, res2.Error)
+	}
+	if res.RowsScored+res2.RowsScored != res.RowsScanned {
+		t.Fatalf("partitions cover %d+%d of %d rows",
+			res.RowsScored, res2.RowsScored, res.RowsScanned)
+	}
+
+	// Unknown model: query-level, never rerouteable.
+	code3, res3 := postScore(t, ts.URL, router.Request{Model: "nope", Data: "iris"})
+	if code3 != http.StatusBadRequest || res3.Code != router.CodeBadRequest {
+		t.Fatalf("unknown model = %d code %q, want 400 %q", code3, res3.Code, router.CodeBadRequest)
+	}
+
+	// Malformed wire request.
+	resp, err := http.Post(ts.URL+"/score", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", resp.StatusCode)
+	}
+}
+
+// TestWarmEndpoint checks replica cache warming: first warm misses (loads),
+// second hits, unknown models 404.
+func TestWarmEndpoint(t *testing.T) {
+	ts := startShardServer(t, "shard-0")
+	warm := func(model string) (int, warmPayload) {
+		resp, err := http.Post(ts.URL+"/warm?model="+model, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var p warmPayload
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, p
+	}
+	if code, p := warm("iris_rf"); code != http.StatusOK || p.Status != "miss" {
+		t.Fatalf("first warm = %d %q", code, p.Status)
+	}
+	if code, p := warm("iris_rf"); code != http.StatusOK || p.Status != "hit" {
+		t.Fatalf("second warm = %d %q", code, p.Status)
+	}
+	if code, p := warm("nope"); code != http.StatusNotFound || p.Error == "" {
+		t.Fatalf("unknown model warm = %d %+v", code, p)
+	}
+}
+
+// TestHealthzShardInfo is the healthz satellite: the payload identifies the
+// shard, the build and the fsync policy.
+func TestHealthzShardInfo(t *testing.T) {
+	ts := startShardServer(t, "shard-3")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status      string `json:"status"`
+		ShardID     string `json:"shard_id"`
+		GitDescribe string `json:"git_describe"`
+		Fsync       string `json:"fsync"`
+		Durability  string `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.ShardID != "shard-3" {
+		t.Fatalf("healthz %+v", h)
+	}
+	if h.GitDescribe == "" {
+		t.Fatal("healthz missing git_describe")
+	}
+	if h.Fsync != "disabled" || h.Durability != "disabled" {
+		t.Fatalf("in-memory server reports fsync=%q durability=%q", h.Fsync, h.Durability)
+	}
+}
+
+// TestHTTPShardAgainstServe closes the loop between both wire ends: the
+// router's HTTPShard backend scoring through a real serve process must agree
+// with the in-process pipeline, including warm and health probes.
+func TestHTTPShardAgainstServe(t *testing.T) {
+	ts := startShardServer(t, "shard-0")
+	shard, err := router.NewHTTPShard("shard-0", ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := shard.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	status, err := shard.Warm(ctx, "iris_rf")
+	if err != nil || status != "miss" {
+		t.Fatalf("warm = %q, %v", status, err)
+	}
+	res, err := shard.Score(ctx, router.Request{Model: "iris_rf", Data: "iris", Backend: "CPU_ONNX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsScored != res.RowsScanned || len(res.Predictions) != res.RowsScored {
+		t.Fatalf("full scan scored %d of %d rows, %d predictions",
+			res.RowsScored, res.RowsScanned, len(res.Predictions))
+	}
+	if !res.CacheHit {
+		t.Fatal("warmed shard missed its model cache")
+	}
+	if _, err := shard.Score(ctx, router.Request{Model: "nope", Data: "iris"}); !exec.IsNoReroute(err) {
+		t.Fatalf("unknown model over HTTP should be NoReroute, got %v", err)
+	}
+}

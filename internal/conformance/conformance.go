@@ -62,6 +62,7 @@ func (r *Runner) Run(cases []Case) (*Report, error) {
 			r.fusedPipelineChecks(rep, c, ref)
 			r.durabilityChecks(rep, c, ref)
 			r.attributionChecks(rep, c, ref)
+			r.scaleoutChecks(rep, c, ref)
 		}
 	}
 	for _, c := range cases {

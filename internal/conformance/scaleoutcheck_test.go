@@ -1,0 +1,62 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestScaleoutChecksRunAndPass pins the scale-out leg of the matrix: on the
+// iris pipeline case the router-over-three-shards topology must be
+// bit-identical to single-node for every engine, and every engine must
+// contribute a verdict for each of the four routed forms (scan, tenant,
+// @where, aggregate) — pass, or skip for engines that reject the shape, never
+// silence.
+func TestScaleoutChecksRunAndPass(t *testing.T) {
+	c, err := irisCase(60, 42)
+	if err != nil {
+		t.Fatalf("iris case: %v", err)
+	}
+	ref, err := Score(c.Forest, c.Data)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	r := NewRunner()
+	rep := &Report{Cases: 1}
+	r.scaleoutChecks(rep, c, ref)
+	if !rep.OK() {
+		t.Fatalf("scale-out failures:\n%s", rep.Summary())
+	}
+
+	byCheck := map[string]map[string]bool{}
+	for _, f := range rep.Findings {
+		if byCheck[f.Check] == nil {
+			byCheck[f.Check] = map[string]bool{}
+		}
+		byCheck[f.Check][f.Engine] = true
+	}
+	// Every engine reports a scan verdict; an engine whose scan PASSED (so it
+	// accepts the shape) must also be held to the other routed forms.
+	if got := len(byCheck["scaleout-scan"]); got != len(r.Engines) {
+		t.Fatalf("scaleout-scan verdicts from %d engines, want %d", got, len(r.Engines))
+	}
+	for _, f := range rep.Findings {
+		if f.Check != "scaleout-scan" || f.Status != Pass {
+			continue
+		}
+		for _, check := range []string{"scaleout-tenant", "scaleout-where", "scaleout-aggregate"} {
+			if !byCheck[check][f.Engine] {
+				t.Fatalf("engine %s passed scaleout-scan but has no %s verdict", f.Engine, check)
+			}
+		}
+	}
+	// The multi-class iris case must pass on at least the CPU reference
+	// engine — a sweep where everything skipped would prove nothing.
+	var passes int
+	for _, f := range rep.Findings {
+		if f.Status == Pass {
+			passes++
+		}
+	}
+	if passes == 0 {
+		t.Fatal("scale-out sweep produced no passing checks")
+	}
+}

@@ -123,6 +123,16 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Seed seeds the retry-jitter RNG (default 1; deterministic).
 	Seed uint64
+	// PaceScale, when positive, paces successful scoring batches to their
+	// simulated timeline: after the real computation finishes, the device
+	// token is held until PaceScale x the batch's simulated total has
+	// elapsed since the attempt started. This makes a shard's wall-clock
+	// behave like the calibrated device it models — the scale-out bench
+	// uses it so measured multi-shard scaling reflects the simulated
+	// device times plus the REAL serving-tier overheads (HTTP, scatter,
+	// merge), instead of N processes fighting over the host's cores.
+	// 0 disables pacing (the default; production serving is unpaced).
+	PaceScale float64
 }
 
 // withDefaults fills unset fields.
@@ -260,38 +270,12 @@ func (e *Executor) Submit(ctx context.Context, sql string) (res *pipeline.QueryR
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e.closeMu.RLock()
-	if e.closed {
-		e.closeMu.RUnlock()
-		return nil, ErrClosed
-	}
-	e.wg.Add(1)
-	e.closeMu.RUnlock()
-	defer e.wg.Done()
 	defer func() { e.noteTerminal(err) }()
-
-	select {
-	case e.admission <- struct{}{}:
-	default:
-		if reg := e.pipe.Obs.Metrics(); reg != nil {
-			reg.Counter(MetricRejectedTotal, "Queries shed at admission (queue full).").Inc()
-		}
-		return nil, ErrRejected
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
 	}
-	e.admitted.Add(1)
-	e.publishGauges()
-	defer func() {
-		e.admitted.Add(-1)
-		e.publishGauges()
-		<-e.admission
-	}()
-
-	// Deadline-aware admission: work whose budget is already gone is shed
-	// before it costs a worker or a device token.
-	if cerr := ctx.Err(); cerr != nil {
-		e.noteExpiredShed(1)
-		return nil, cerr
-	}
+	defer release()
 
 	st, err := db.Parse(sql)
 	if err != nil {
@@ -348,6 +332,77 @@ func (e *Executor) Submit(ctx context.Context, sql string) (res *pipeline.QueryR
 		<-e.workers
 	}()
 	return e.pipe.ExecStatementCtx(qctx, st)
+}
+
+// admit performs the shared Submit prologue: refuse after Close, take an
+// admission token (shed with ErrRejected when the queue is full), publish
+// the gauges, and shed work whose deadline already expired. The returned
+// release must be deferred by the caller; it returns the token and settles
+// the wait-group count.
+func (e *Executor) admit(ctx context.Context) (func(), error) {
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	e.wg.Add(1)
+	e.closeMu.RUnlock()
+
+	select {
+	case e.admission <- struct{}{}:
+	default:
+		if reg := e.pipe.Obs.Metrics(); reg != nil {
+			reg.Counter(MetricRejectedTotal, "Queries shed at admission (queue full).").Inc()
+		}
+		e.wg.Done()
+		return nil, ErrRejected
+	}
+	e.admitted.Add(1)
+	e.publishGauges()
+	release := func() {
+		e.admitted.Add(-1)
+		e.publishGauges()
+		<-e.admission
+		e.wg.Done()
+	}
+
+	// Deadline-aware admission: work whose budget is already gone is shed
+	// before it costs a worker or a device token.
+	if cerr := ctx.Err(); cerr != nil {
+		e.noteExpiredShed(1)
+		release()
+		return nil, cerr
+	}
+	return release, nil
+}
+
+// SubmitScore runs one pre-validated scoring request through the concurrent
+// hot path: the same admission, coalescing, device-token, retry, breaker and
+// fallback machinery as Submit, minus the SQL parse. The scale-out shard
+// endpoint uses it to serve router sub-queries, whose partition rides in
+// req.Partition (and in the coalescing key, so distinct partitions never
+// merge into one batch).
+func (e *Executor) SubmitScore(ctx context.Context, req *pipeline.ScoreRequest) (res *pipeline.QueryResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() { e.noteTerminal(err) }()
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	qctx, cancel := e.queryContext(ctx, req.Timeout)
+	defer cancel()
+	if e.cfg.CoalesceWindow > 0 && e.cfg.MaxBatch > 1 {
+		return e.coalesce(qctx, req)
+	}
+	results, err := e.runBatch(qctx, []*pipeline.ScoreRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // queryContext layers the query's own @timeout (or the configured default

@@ -279,6 +279,7 @@ func (e *Executor) runOn(ctx context.Context, reqs []*pipeline.ScoreRequest, tar
 		acancel()
 		if err == nil {
 			br.success()
+			e.pace(ctx, start, results)
 			e.observeRunTime(dev, time.Since(start))
 			for _, r := range results {
 				if r == nil {
@@ -309,6 +310,34 @@ func (e *Executor) runOn(ctx context.Context, reqs []*pipeline.ScoreRequest, tar
 		if !e.backoff(ctx, attempt) {
 			return nil, ctx.Err()
 		}
+	}
+}
+
+// pace holds the batch (and its device token) until PaceScale x the batch's
+// simulated end-to-end time has elapsed since start, so a paced shard's
+// wall-clock tracks the calibrated device model it simulates. The sleep is
+// skipped when the real run already took at least that long, and cut short
+// by the query context. Device utilization stays honest: the token is held
+// for the paced duration, exactly as a real device would be busy.
+func (e *Executor) pace(ctx context.Context, start time.Time, results []*pipeline.QueryResult) {
+	if e.cfg.PaceScale <= 0 {
+		return
+	}
+	var sim time.Duration
+	for _, r := range results {
+		if r != nil {
+			sim += r.Timeline.Total()
+		}
+	}
+	wait := time.Duration(float64(sim)*e.cfg.PaceScale) - time.Since(start)
+	if wait <= 0 {
+		return
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 

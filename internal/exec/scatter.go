@@ -1,0 +1,264 @@
+// Shard-aware scatter dispatch for the scale-out serving tier. A Dispatcher
+// owns one circuit breaker per shard (the same breaker machinery the
+// executor uses per device) and fans a query's partitions out concurrently.
+// Shards are data-symmetric replicas — every shard holds the full table and
+// any shard can score any partition — so resilience is rerouting: when a
+// shard's breaker is open or a sub-call fails, its partition moves to the
+// next healthy shard. Only when every route is exhausted does a partition
+// degrade to a typed partial result (PartialError), never to silently
+// missing or zero-valued predictions.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"accelscore/internal/pipeline"
+)
+
+// ErrShardBreakerOpen is the per-partition error when every shard that
+// could serve it sits behind an open circuit.
+var ErrShardBreakerOpen = errors.New("exec: all shard circuit breakers open")
+
+// ShardFunc executes one partition of a query on one shard, returning the
+// shard's (opaque to the dispatcher) sub-result. Implementations signal
+// query-level errors — ones that would fail identically on every replica,
+// like a malformed statement — by wrapping them with NoReroute.
+type ShardFunc func(ctx context.Context, shard int, part pipeline.Partition) (any, error)
+
+// noRerouteError marks an error as the query's fault, not the shard's:
+// rerouting would fail everywhere, and the shard's breaker stays untouched.
+type noRerouteError struct{ err error }
+
+func (e *noRerouteError) Error() string { return e.err.Error() }
+func (e *noRerouteError) Unwrap() error { return e.err }
+
+// NoReroute wraps an error so the dispatcher fails the partition
+// immediately instead of rerouting it and charging the shard's breaker.
+func NoReroute(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &noRerouteError{err: err}
+}
+
+// rerouteable reports whether the dispatcher may retry err on another shard.
+func rerouteable(err error) bool {
+	var nr *noRerouteError
+	return !errors.As(err, &nr)
+}
+
+// IsNoReroute reports whether err is a query-level error (wrapped by
+// NoReroute somewhere in its chain): every replica would fail identically,
+// so the caller should fail the query rather than degrade to partial
+// results.
+func IsNoReroute(err error) bool { return err != nil && !rerouteable(err) }
+
+// DispatchResult is one partition's outcome.
+type DispatchResult struct {
+	// Part is the partition this result covers.
+	Part pipeline.Partition
+	// Shard is the shard that produced Value (or the last shard tried).
+	Shard int
+	// Reroutes is how many other shards were tried before Shard.
+	Reroutes int
+	// Value is the ShardFunc result (nil when Err is set).
+	Value any
+	// Err is the partition's terminal error after every route failed.
+	Err error
+	// Latency is the wall time of the successful attempt (or of the whole
+	// failed route sequence).
+	Latency time.Duration
+}
+
+// DispatcherConfig tunes a shard dispatcher.
+type DispatcherConfig struct {
+	// Shards is the replica count (required, >= 1).
+	Shards int
+	// BreakerThreshold opens a shard's circuit after this many consecutive
+	// failures (default 3; negative disables the breakers).
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit cooldown before one half-open
+	// probe (default 250ms).
+	BreakerCooldown time.Duration
+	// MaxReroutes bounds how many ADDITIONAL shards a partition may try
+	// after its preferred one (default Shards-1: every replica).
+	MaxReroutes int
+	// OnBreakerChange, when set, observes shard circuit transitions (for
+	// metrics); state uses the breaker's metric encoding 0/1/2.
+	OnBreakerChange func(shard int, state int)
+}
+
+// Dispatcher scatters partitions across shard replicas with per-shard
+// circuit breakers and reroute-on-failure.
+type Dispatcher struct {
+	cfg      DispatcherConfig
+	breakers []*breaker
+}
+
+// NewDispatcher builds a dispatcher over cfg.Shards replicas.
+func NewDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("exec: dispatcher needs at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	}
+	if cfg.MaxReroutes <= 0 {
+		cfg.MaxReroutes = cfg.Shards - 1
+	}
+	d := &Dispatcher{cfg: cfg, breakers: make([]*breaker, cfg.Shards)}
+	if cfg.BreakerThreshold > 0 {
+		for i := range d.breakers {
+			shard := i
+			var onChange func(breakerState)
+			if cfg.OnBreakerChange != nil {
+				onChange = func(s breakerState) { cfg.OnBreakerChange(shard, int(s)) }
+			}
+			d.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, onChange)
+		}
+	}
+	return d, nil
+}
+
+// Shards returns the replica count.
+func (d *Dispatcher) Shards() int { return d.cfg.Shards }
+
+// ShardState returns shard i's circuit state in the metric encoding
+// (0 closed, 1 half-open, 2 open).
+func (d *Dispatcher) ShardState(i int) int { return int(d.breakers[i].current()) }
+
+// ShardStateName returns shard i's circuit state as its label spelling.
+func (d *Dispatcher) ShardStateName(i int) string { return d.breakers[i].current().String() }
+
+// NoteFailure charges shard i's breaker with a failure observed outside a
+// Scatter call (e.g. a failed health probe), accelerating circuit opening.
+func (d *Dispatcher) NoteFailure(i int) { d.breakers[i].failure() }
+
+// Scatter runs do once per partition, concurrently, and returns one
+// DispatchResult per partition in input order. Partition k prefers shard
+// k mod Shards; a failure or an open breaker routes it onward through the
+// remaining replicas (up to MaxReroutes extra attempts). Scatter never
+// fabricates data: a partition with no surviving route carries Err.
+func (d *Dispatcher) Scatter(ctx context.Context, parts []pipeline.Partition, do ShardFunc) []DispatchResult {
+	out := make([]DispatchResult, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part pipeline.Partition) {
+			defer wg.Done()
+			out[i] = d.route(ctx, part, do)
+		}(i, part)
+	}
+	wg.Wait()
+	return out
+}
+
+// route tries one partition on its preferred shard and reroutes on failure.
+func (d *Dispatcher) route(ctx context.Context, part pipeline.Partition, do ShardFunc) DispatchResult {
+	n := d.cfg.Shards
+	preferred := part.Index % n
+	res := DispatchResult{Part: part, Shard: preferred}
+	start := time.Now()
+
+	var errs []error
+	allOpen := true
+	for hop := 0; hop <= d.cfg.MaxReroutes && hop < n; hop++ {
+		shard := (preferred + hop) % n
+		br := d.breakers[shard]
+		if cerr := ctx.Err(); cerr != nil {
+			res.Err = cerr
+			res.Latency = time.Since(start)
+			return res
+		}
+		if !br.allow() {
+			errs = append(errs, fmt.Errorf("shard %d: circuit open", shard))
+			continue
+		}
+		allOpen = false
+		attemptStart := time.Now()
+		v, err := do(ctx, shard, part)
+		if err == nil {
+			br.success()
+			res.Shard = shard
+			res.Value = v
+			res.Latency = time.Since(attemptStart) // successful attempt only
+			return res
+		}
+		if !rerouteable(err) {
+			// The query itself is bad; the shard answered correctly.
+			br.success()
+			res.Shard = shard
+			res.Err = err
+			res.Latency = time.Since(start)
+			return res
+		}
+		if ctx.Err() != nil {
+			// The caller's budget expired mid-call; don't blame the shard.
+			br.abandon()
+			res.Shard = shard
+			res.Err = ctx.Err()
+			res.Latency = time.Since(start)
+			return res
+		}
+		br.failure()
+		res.Reroutes++
+		errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
+		res.Shard = shard
+	}
+	if allOpen {
+		errs = append(errs, ErrShardBreakerOpen)
+	}
+	res.Err = errors.Join(errs...)
+	res.Latency = time.Since(start)
+	return res
+}
+
+// PartialError is the typed "partial results" outcome: some partitions have
+// no surviving route. Callers that cannot tolerate gaps fail the query;
+// callers that can (the router's partial mode) return the surviving
+// partitions with an explicit partial marker, never splicing in zeros.
+type PartialError struct {
+	// Missing lists the partition indices with no result, ascending.
+	Missing []int
+	// Errs maps each missing partition index to its terminal error.
+	Errs map[int]error
+}
+
+// Error implements error.
+func (p *PartialError) Error() string {
+	parts := make([]string, 0, len(p.Missing))
+	for _, k := range p.Missing {
+		parts = append(parts, fmt.Sprintf("%d: %v", k, p.Errs[k]))
+	}
+	return fmt.Sprintf("exec: partial result, %d partition(s) missing [%s]",
+		len(p.Missing), strings.Join(parts, "; "))
+}
+
+// Partial inspects a scatter outcome and returns the typed PartialError when
+// any partition failed (nil when all succeeded).
+func Partial(results []DispatchResult) *PartialError {
+	var pe *PartialError
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if pe == nil {
+			pe = &PartialError{Errs: make(map[int]error)}
+		}
+		pe.Missing = append(pe.Missing, r.Part.Index)
+		pe.Errs[r.Part.Index] = r.Err
+	}
+	if pe != nil {
+		sort.Ints(pe.Missing)
+	}
+	return pe
+}

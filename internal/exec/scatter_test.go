@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"accelscore/internal/pipeline"
+)
+
+func parts(n int) []pipeline.Partition {
+	out := make([]pipeline.Partition, n)
+	for i := range out {
+		out[i] = pipeline.Partition{Index: i, Count: n}
+	}
+	return out
+}
+
+func TestScatterHappyPath(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := d.Scatter(context.Background(), parts(4),
+		func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+			return fmt.Sprintf("s%d:p%d", shard, part.Index), nil
+		})
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("partition %d: %v", i, r.Err)
+		}
+		if r.Shard != i || r.Reroutes != 0 {
+			t.Fatalf("partition %d ran on shard %d with %d reroutes", i, r.Shard, r.Reroutes)
+		}
+		if want := fmt.Sprintf("s%d:p%d", i, i); r.Value != want {
+			t.Fatalf("partition %d value %v, want %s", i, r.Value, want)
+		}
+	}
+	if pe := Partial(results); pe != nil {
+		t.Fatalf("unexpected partial: %v", pe)
+	}
+}
+
+// TestScatterReroutesDeadShard kills one shard and checks its partition
+// lands, correct and exactly once, on a healthy replica.
+func TestScatterReroutesDeadShard(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls sync.Map
+	results := d.Scatter(context.Background(), parts(3),
+		func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+			calls.Store(fmt.Sprintf("%d->%d", part.Index, shard), true)
+			if shard == 1 {
+				return nil, errors.New("connection refused")
+			}
+			return shard, nil
+		})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("partition %d failed despite healthy replicas: %v", r.Part.Index, r.Err)
+		}
+	}
+	r1 := results[1]
+	if r1.Shard == 1 {
+		t.Fatal("partition 1 reported success on the dead shard")
+	}
+	if r1.Reroutes != 1 {
+		t.Fatalf("partition 1 took %d reroutes, want 1", r1.Reroutes)
+	}
+}
+
+// TestScatterOpensBreakerAndSkipsShard drives a shard past its failure
+// threshold and checks later scatters skip it without calling it.
+func TestScatterOpensBreakerAndSkipsShard(t *testing.T) {
+	transitions := make(map[int][]int)
+	var mu sync.Mutex
+	d, err := NewDispatcher(DispatcherConfig{
+		Shards: 2, BreakerThreshold: 2, BreakerCooldown: time.Hour,
+		OnBreakerChange: func(shard, state int) {
+			mu.Lock()
+			transitions[shard] = append(transitions[shard], state)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadCalls := 0
+	do := func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+		if shard == 0 {
+			deadCalls++
+			return nil, errors.New("boom")
+		}
+		return shard, nil
+	}
+	// Two scatters of partition 0 (preferred shard 0) open the circuit.
+	for i := 0; i < 2; i++ {
+		rs := d.Scatter(context.Background(), parts(2)[:1], do)
+		if rs[0].Err != nil {
+			t.Fatalf("scatter %d: %v", i, rs[0].Err)
+		}
+	}
+	if d.ShardState(0) != 2 {
+		t.Fatalf("shard 0 circuit = %s, want open", d.ShardStateName(0))
+	}
+	callsBefore := deadCalls
+	rs := d.Scatter(context.Background(), parts(2)[:1], do)
+	if rs[0].Err != nil || rs[0].Shard != 1 {
+		t.Fatalf("open-breaker scatter: shard=%d err=%v", rs[0].Shard, rs[0].Err)
+	}
+	if deadCalls != callsBefore {
+		t.Fatal("open breaker did not skip the dead shard")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions[0]) == 0 || transitions[0][len(transitions[0])-1] != 2 {
+		t.Fatalf("shard 0 transitions = %v, want trailing open", transitions[0])
+	}
+}
+
+// TestScatterPartialWhenAllRoutesFail checks the typed partial outcome: no
+// fabricated values, every missing partition listed with its error.
+func TestScatterPartialWhenAllRoutesFail(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := d.Scatter(context.Background(), parts(2),
+		func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+			if part.Index == 1 {
+				return nil, errors.New("disk on fire")
+			}
+			return "ok", nil
+		})
+	if results[0].Err != nil || results[0].Value != "ok" {
+		t.Fatalf("partition 0: %+v", results[0])
+	}
+	if results[1].Err == nil || results[1].Value != nil {
+		t.Fatalf("partition 1 fabricated a value: %+v", results[1])
+	}
+	pe := Partial(results)
+	if pe == nil {
+		t.Fatal("no PartialError for a failed partition")
+	}
+	if len(pe.Missing) != 1 || pe.Missing[0] != 1 {
+		t.Fatalf("missing = %v", pe.Missing)
+	}
+	if pe.Errs[1] == nil {
+		t.Fatal("missing partition has no error")
+	}
+	var target *PartialError
+	if !errors.As(error(pe), &target) {
+		t.Fatal("PartialError not error-As-able")
+	}
+}
+
+// TestScatterNoRerouteStopsImmediately checks query-level errors neither
+// reroute nor charge the shard's breaker.
+func TestScatterNoRerouteStopsImmediately(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{Shards: 3, BreakerThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	bad := errors.New("unknown model")
+	results := d.Scatter(context.Background(), parts(3)[:1],
+		func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+			calls++
+			return nil, NoReroute(bad)
+		})
+	if calls != 1 {
+		t.Fatalf("query-level error was retried %d times", calls)
+	}
+	if !errors.Is(results[0].Err, bad) {
+		t.Fatalf("err = %v", results[0].Err)
+	}
+	if d.ShardState(0) != 0 {
+		t.Fatalf("query-level error charged shard 0's breaker (state %s)", d.ShardStateName(0))
+	}
+}
+
+// TestScatterAllBreakersOpen checks the explicit ErrShardBreakerOpen
+// outcome when no replica is admissible.
+func TestScatterAllBreakersOpen(t *testing.T) {
+	d, err := NewDispatcher(DispatcherConfig{Shards: 2, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+		return nil, errors.New("down")
+	}
+	d.Scatter(context.Background(), parts(2), fail) // opens both circuits
+	results := d.Scatter(context.Background(), parts(2)[:1], fail)
+	if !errors.Is(results[0].Err, ErrShardBreakerOpen) {
+		t.Fatalf("err = %v, want ErrShardBreakerOpen", results[0].Err)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Metric names the scale-out router publishes. They live here (next to the
+// executor and pipeline metric vocabularies) so dashboards and tests share
+// one spelling, and so the router, loadgen, and conformance packages never
+// drift apart on label sets.
+const (
+	// MetricRouterQueriesTotal counts routed queries {outcome="ok"|
+	// "partial"|"error"}. A "partial" outcome means some partitions had no
+	// surviving route and the caller opted into explicit partial results.
+	MetricRouterQueriesTotal = "accelscore_router_queries_total"
+	// MetricRouterScatterWidth is the histogram of scatter fan-out widths
+	// (sub-queries issued per routed query).
+	MetricRouterScatterWidth = "accelscore_router_scatter_width"
+	// MetricRouterStragglerGap is the histogram of the gather barrier's
+	// straggler gap: slowest sub-query latency minus fastest, seconds. The
+	// gap is the scale-out tax the paper's single-node model never pays.
+	MetricRouterStragglerGap = "accelscore_router_straggler_gap_seconds"
+	// MetricRouterShardLatency is the per-shard sub-query latency
+	// histogram {shard}.
+	MetricRouterShardLatency = "accelscore_router_shard_latency_seconds"
+	// MetricRouterReroutesTotal counts partitions moved off their preferred
+	// shard {shard} (labelled by the shard routed AWAY from).
+	MetricRouterReroutesTotal = "accelscore_router_reroutes_total"
+	// MetricRouterShardBreakerState gauges each shard's circuit state
+	// {shard}: 0 closed, 1 half-open, 2 open.
+	MetricRouterShardBreakerState = "accelscore_router_shard_breaker_state"
+	// MetricRouterWarmTotal counts model-cache warm calls fanned out to
+	// shards {status="hit"|"miss"|"nocache"|"error"}.
+	MetricRouterWarmTotal = "accelscore_router_warm_total"
+)
+
+// scatterWidthBuckets resolves fan-out widths 1..64; wider tiers saturate
+// the last bucket.
+var scatterWidthBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// stragglerBuckets resolves gaps from sub-millisecond HTTP jitter up to
+// multi-second shard stalls.
+var stragglerBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// RouterMetrics publishes the accelscore_router_* family into a registry.
+// The zero value (or a nil receiver) is a no-op so the router runs
+// unobserved in tests.
+type RouterMetrics struct {
+	reg *Registry
+}
+
+// NewRouterMetrics binds the router metric family to reg (nil reg => no-op).
+func NewRouterMetrics(reg *Registry) *RouterMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RouterMetrics{reg: reg}
+}
+
+// ObserveQuery records one routed query: its outcome, scatter width, and
+// gather straggler gap.
+func (m *RouterMetrics) ObserveQuery(outcome string, width int, stragglerGap time.Duration) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricRouterQueriesTotal, "Routed queries by outcome.", "outcome", outcome).Inc()
+	m.reg.Histogram(MetricRouterScatterWidth, "Sub-queries issued per routed query.",
+		scatterWidthBuckets).Observe(float64(width))
+	m.reg.Histogram(MetricRouterStragglerGap,
+		"Gather-barrier straggler gap (slowest minus fastest sub-query), seconds.",
+		stragglerBuckets).Observe(stragglerGap.Seconds())
+}
+
+// ObserveShard records one sub-query on one shard: its latency and how many
+// reroutes it took to land there.
+func (m *RouterMetrics) ObserveShard(shard int, latency time.Duration, reroutes int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	s := strconv.Itoa(shard)
+	m.reg.Histogram(MetricRouterShardLatency, "Per-shard sub-query latency, seconds.",
+		nil, "shard", s).Observe(latency.Seconds())
+	if reroutes > 0 {
+		m.reg.Counter(MetricRouterReroutesTotal,
+			"Partitions rerouted away from a shard.", "shard", s).Add(float64(reroutes))
+	}
+}
+
+// SetBreakerState gauges a shard's circuit state (the breaker's 0/1/2
+// metric encoding).
+func (m *RouterMetrics) SetBreakerState(shard, state int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Gauge(MetricRouterShardBreakerState,
+		"Shard circuit state: 0 closed, 1 half-open, 2 open.",
+		"shard", strconv.Itoa(shard)).Set(float64(state))
+}
+
+// NoteWarm counts one model-cache warm call outcome.
+func (m *RouterMetrics) NoteWarm(status string) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricRouterWarmTotal, "Model-cache warm calls by status.",
+		"status", status).Inc()
+}

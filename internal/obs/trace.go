@@ -102,9 +102,13 @@ func (t *Tracer) Len() int {
 	return len(t.order)
 }
 
-// wallSpan is a real (measured) span relative to the trace start.
+// wallSpan is a real (measured) span relative to the trace start. track is
+// empty for the main wall-clock track; a named track groups related spans
+// (e.g. one track per shard of a scatter-gather fan-out) onto its own lane
+// in the exported trace.
 type wallSpan struct {
 	name   string
+	track  string
 	offset time.Duration
 	dur    time.Duration
 }
@@ -152,6 +156,15 @@ func (tr *Trace) Name() string {
 
 // StartSpan opens a wall-clock span; the returned closer records it.
 func (tr *Trace) StartSpan(name string) func() {
+	return tr.StartSpanOn("", name)
+}
+
+// StartSpanOn opens a wall-clock span on a named track. Spans sharing a
+// track render on one lane in the Chrome export, so a scatter-gather query
+// can record one track per shard ("shard 0", "shard 1", ...) and the
+// straggler gap is visible as the ragged right edge across lanes. An empty
+// track is the main wall-clock track.
+func (tr *Trace) StartSpanOn(track, name string) func() {
 	if tr == nil {
 		return func() {}
 	}
@@ -160,7 +173,7 @@ func (tr *Trace) StartSpan(name string) func() {
 		d := time.Since(t0)
 		tr.mu.Lock()
 		defer tr.mu.Unlock()
-		tr.wall = append(tr.wall, wallSpan{name: name, offset: t0.Sub(tr.start), dur: d})
+		tr.wall = append(tr.wall, wallSpan{name: name, track: track, offset: t0.Sub(tr.start), dur: d})
 	}
 }
 
@@ -211,9 +224,11 @@ func (tr *Trace) Finish() {
 	}
 }
 
-// WallSpanSnapshot is one measured span in a snapshot.
+// WallSpanSnapshot is one measured span in a snapshot. Track is empty for
+// the main wall-clock lane.
 type WallSpanSnapshot struct {
 	Name     string
+	Track    string
 	Offset   time.Duration
 	Duration time.Duration
 }
@@ -261,7 +276,8 @@ func (tr *Trace) Snapshot() TraceSnapshot {
 		snap.Attrs[k] = v
 	}
 	for _, w := range tr.wall {
-		snap.WallSpans = append(snap.WallSpans, WallSpanSnapshot{Name: w.name, Offset: w.offset, Duration: w.dur})
+		snap.WallSpans = append(snap.WallSpans,
+			WallSpanSnapshot{Name: w.name, Track: w.track, Offset: w.offset, Duration: w.dur})
 	}
 	for _, trk := range tr.tracks {
 		ts := TrackSnapshot{Name: trk.name, Spans: append([]sim.Span(nil), trk.spans...)}
@@ -299,7 +315,9 @@ func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // chromeEvents renders one trace under the given pid: tid 1 is the measured
 // wall-clock track, tids 2+ are the simulated timelines laid out
 // sequentially, each sim span categorized by its O/L/C kind so the Fig. 6
-// taxonomy is filterable in the viewer.
+// taxonomy is filterable in the viewer. Named wall tracks (per-shard
+// fan-out lanes from StartSpanOn) follow the sim tracks, in order of first
+// appearance, positioned at their real measured offsets.
 func (snap TraceSnapshot) chromeEvents(pid int) []chromeEvent {
 	evs := []chromeEvent{
 		{Name: "process_name", Ph: "M", PID: pid, Args: map[string]string{"name": snap.ID + " " + snap.Name}},
@@ -313,7 +331,16 @@ func (snap TraceSnapshot) chromeEvents(pid int) []chromeEvent {
 	for _, c := range snap.Costs {
 		costByStage[c.Stage] = c
 	}
+	wallTracks := make(map[string]int) // named track -> tid
+	var wallOrder []string
 	for _, w := range snap.WallSpans {
+		if w.Track != "" {
+			if _, ok := wallTracks[w.Track]; !ok {
+				wallTracks[w.Track] = 0
+				wallOrder = append(wallOrder, w.Track)
+			}
+			continue
+		}
 		ev := chromeEvent{
 			Name: w.Name, Cat: "wall", Ph: "X",
 			TS: micros(w.Offset), Dur: micros(w.Duration), PID: pid, TID: 1,
@@ -337,6 +364,22 @@ func (snap TraceSnapshot) chromeEvents(pid int) []chromeEvent {
 			})
 			cursor += s.Duration
 		}
+	}
+	for i, name := range wallOrder {
+		wallTracks[name] = 2 + len(snap.Tracks) + i
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: wallTracks[name],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, w := range snap.WallSpans {
+		if w.Track == "" {
+			continue
+		}
+		evs = append(evs, chromeEvent{
+			Name: w.Name, Cat: "wall", Ph: "X",
+			TS: micros(w.Offset), Dur: micros(w.Duration), PID: pid, TID: wallTracks[w.Track],
+		})
 	}
 	return evs
 }

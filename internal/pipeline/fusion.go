@@ -42,15 +42,17 @@ func (m AggMode) String() string {
 }
 
 // FusionKey canonicalizes the request's fused-query shape — the WHERE
-// conjuncts (rendered in canonical form) and the aggregation mode. Requests
-// are only coalescible into one backend call when, besides model and
-// backend, this key matches: the pushed-down filter and the result shape are
-// shared batch state.
+// conjuncts (rendered in canonical form), the aggregation mode, and the
+// hash partition. Requests are only coalescible into one backend call when,
+// besides model and backend, this key matches: the pushed-down filter, the
+// result shape and the scored partition are shared batch state. Distinct
+// partitions of the same query must never coalesce — their selections
+// differ row by row.
 func (r *ScoreRequest) FusionKey() string {
-	if len(r.Where) == 0 && r.Agg == AggNone {
+	if len(r.Where) == 0 && r.Agg == AggNone && !r.Partition.Active() {
 		return ""
 	}
-	return db.FormatConditions(r.Where) + "\x00" + r.Agg.String()
+	return db.FormatConditions(r.Where) + "\x00" + r.Agg.String() + "\x00" + r.Partition.String()
 }
 
 // Fused reports whether the request engages any fusion (filter or
@@ -221,6 +223,14 @@ func aggResult(mode AggMode, preds []int, counts []int64) (*db.Table, error) {
 	default:
 		return nil, fmt.Errorf("pipeline: aggResult on mode %s", mode)
 	}
+}
+
+// AggTable assembles a fused-aggregate result table from merged predictions
+// or a merged class histogram — aggResult exported for the scale-out
+// router, whose gather path rebuilds the single-node result shape from
+// per-shard pieces.
+func AggTable(mode AggMode, preds []int, counts []int64) (*db.Table, error) {
+	return aggResult(mode, preds, counts)
 }
 
 // wantCounts reports whether the fused score-then-aggregate request should

@@ -188,6 +188,13 @@ type QueryResult struct {
 	// RowsScored is how many rows survived the pushed-down filter and were
 	// actually scored (== RowsScanned without a filter).
 	RowsScored int
+	// ScoredRows lists the scan ordinals (0-based, post-@limit) of the rows
+	// behind Predictions, in ascending order, when a selection (pushed-down
+	// WHERE and/or partition) restricted scoring; nil when every scanned row
+	// was scored. The scale-out router merges shard results by these
+	// ordinals, so the merged prediction order is bit-identical to a
+	// single-node run.
+	ScoredRows []int
 	// Fused reports whether the query engaged operator fusion (a pushed-down
 	// WHERE and/or a fused aggregate).
 	Fused bool
@@ -296,6 +303,10 @@ type ScoreRequest struct {
 	// Agg is the fused aggregation over the predictions (COUNT(*) /
 	// GROUP BY prediction); AggNone returns the prediction column.
 	Agg AggMode
+	// Partition restricts scoring to one hash partition of the scanned rows
+	// (from @partition = 'k/n'); the zero value scores every row. The
+	// scale-out router fans a query out as one sub-query per partition.
+	Partition Partition
 }
 
 // ParseScoreParams validates an EXEC sp_score_model statement's parameters
@@ -319,7 +330,7 @@ func scoreParamsFromMap(params map[string]db.Literal, allowWhere bool) (*ScoreRe
 	}
 	for name := range params {
 		switch name {
-		case "model", "data", "backend", "limit", "timeout":
+		case "model", "data", "backend", "limit", "timeout", "partition":
 		case "where":
 			if !allowWhere {
 				return nil, fmt.Errorf("pipeline: PREDICT takes a WHERE clause, not a @where parameter")
@@ -359,6 +370,16 @@ func scoreParamsFromMap(params map[string]db.Literal, allowWhere bool) (*ScoreRe
 			return nil, fmt.Errorf("pipeline: @backend must be a string")
 		}
 		req.Backend = b.S
+	}
+	if part, ok := params["partition"]; ok {
+		if !part.IsString {
+			return nil, fmt.Errorf("pipeline: @partition must be a 'k/n' string")
+		}
+		p, err := ParsePartition(part.S)
+		if err != nil {
+			return nil, err
+		}
+		req.Partition = p
 	}
 	if to, ok := params["timeout"]; ok {
 		// '50ms'-style duration strings, or a bare number of milliseconds.
@@ -558,6 +579,10 @@ func (p *Pipeline) ExecScoreBatchCtx(ctx context.Context, reqs []*ScoreRequest) 
 		plan.sel = kernel.BuildSelection(plan.merged.NumRecords(), preds,
 			plan.merged.X, plan.merged.NumFeatures())
 	}
+	if first.Partition.Active() {
+		plan.part = first.Partition
+		plan.sel = partitionSelection(plan.sel, first.Partition, datas)
+	}
 	reachedRun = true
 	return p.scoreBatch(ctx, plan)
 }
@@ -582,6 +607,9 @@ type batchPlan struct {
 	sel   *kernel.Selection
 	where []db.Condition
 	agg   AggMode
+	// part records the hash partition already folded into sel, for trace
+	// attributes and the fused-shape decision.
+	part Partition
 }
 
 // resolvedModel is the model in executable form plus how it was obtained
@@ -630,6 +658,27 @@ func (p *Pipeline) resolveModel(modelName string, blob []byte) (*resolvedModel, 
 		return nil, err
 	}
 	return &resolvedModel{f: e.forest, compiled: e.compiled, stats: e.stats, status: status}, nil
+}
+
+// WarmModel loads the named model's blob and ensures its compiled form is
+// resident in the model cache, so the first scoring query pays a cache hit
+// instead of a deserialize+compile. Returns the cache status ("hit" when it
+// was already resident, "miss" when this call compiled it, "nocache" when
+// the pipeline has no cache and warming is a no-op). The scale-out router
+// fans this out to every shard when a model is registered.
+func (p *Pipeline) WarmModel(name string) (string, error) {
+	blob, err := p.DB.LoadModelBlob(name)
+	if err != nil {
+		return "", err
+	}
+	rm, err := p.resolveModel(name, blob)
+	if err != nil {
+		return "", err
+	}
+	if p.Cache == nil {
+		return "nocache", nil
+	}
+	return rm.status, nil
 }
 
 // Run executes the pipeline stages over a model blob and a dataset,
@@ -687,7 +736,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 	if plan.sel != nil {
 		scoredRows = int64(plan.sel.Count())
 	}
-	fused := plan.sel != nil || plan.agg != AggNone
+	// A partition-only selection is a parallelism device, not user-visible
+	// query fusion, so it does not flip the Fused flag or the fusion metrics.
+	fused := len(plan.where) > 0 || plan.agg != AggNone
 
 	// Resource attribution brackets the three measured stages with cost
 	// samples. Thread-CPU deltas are only meaningful while the goroutine is
@@ -714,6 +765,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		}
 		if plan.agg != AggNone {
 			tr.SetAttr("agg", plan.agg.String())
+		}
+		if plan.part.Active() {
+			tr.SetAttr("partition", plan.part.String())
 		}
 		trs[i] = tr
 		subs[i] = &QueryResult{TraceID: tr.ID(), BatchSize: n, Fused: fused}
@@ -798,9 +852,9 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		if fused {
 			mode := "aggregate"
 			switch {
-			case plan.sel != nil && plan.agg != AggNone:
+			case len(plan.where) > 0 && plan.agg != AggNone:
 				mode = "filter_aggregate"
-			case plan.sel != nil:
+			case len(plan.where) > 0:
 				mode = "filter"
 			}
 			reg.Counter(MetricFusedQueriesTotal,
@@ -816,17 +870,31 @@ func (p *Pipeline) scoreBatch(ctx context.Context, plan *batchPlan) (results []*
 		sample = obs.ReadCostSample()
 	}
 	endPost := p.startSpanAll(trs, StagePostprocessing)
+	// Dense rank -> merged row ordinal, materialized once so each sub-query
+	// can report which scan ordinals its predictions belong to.
+	var selRows []int
+	if plan.sel != nil && plan.agg == AggNone {
+		selRows = make([]int, plan.sel.Count())
+		plan.sel.ForEach(func(row, rank int) { selRows[rank] = row })
+	}
 	offset := 0
 	for i, d := range datas {
 		nr := d.NumRecords()
 		outLo, scoredN := fusedPartition(plan.sel, offset, nr)
-		offset += nr
 		var preds []int
 		if scored.Predictions != nil {
 			preds = scored.Predictions[outLo : outLo+scoredN]
 		}
 		subs[i].RowsScanned = nr
 		subs[i].RowsScored = scoredN
+		if selRows != nil {
+			rows := make([]int, scoredN)
+			for j, r := range selRows[outLo : outLo+scoredN] {
+				rows[j] = r - offset
+			}
+			subs[i].ScoredRows = rows
+		}
+		offset += nr
 		subs[i].Backend = eng.Name()
 		var out *db.Table
 		var terr error

@@ -1,0 +1,192 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"accelscore/internal/exec"
+	"accelscore/internal/pipeline"
+)
+
+// Backend is one shard replica the router can scatter to. Implementations
+// classify query-level failures (ones that would fail identically on every
+// replica) by wrapping them with exec.NoReroute; every other error is
+// treated as the shard's fault and triggers rerouting plus breaker
+// accounting.
+type Backend interface {
+	// ID names the shard for logs, metrics and merged results.
+	ID() string
+	// Score runs one sub-query (already partitioned) on the shard.
+	Score(ctx context.Context, req Request) (*Result, error)
+	// Warm pre-loads a model into the shard's compiled-model cache,
+	// returning the cache status ("hit", "miss" or "nocache").
+	Warm(ctx context.Context, model string) (string, error)
+	// Healthz probes shard liveness.
+	Healthz(ctx context.Context) error
+}
+
+// Local is an in-process shard over a pipeline — the HTTP-free path the
+// conformance scale-out leg and the merge tests drive, so scatter/merge
+// correctness is separable from transport concerns.
+type Local struct {
+	Name string
+	Pipe *pipeline.Pipeline
+}
+
+// ID implements Backend.
+func (l *Local) ID() string { return l.Name }
+
+// Score implements Backend by executing directly on the wrapped pipeline.
+func (l *Local) Score(ctx context.Context, req Request) (*Result, error) {
+	sreq, err := req.ScoreRequest()
+	if err != nil {
+		return nil, exec.NoReroute(err)
+	}
+	results, err := l.Pipe.ExecScoreBatchCtx(ctx, []*pipeline.ScoreRequest{sreq})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		// Pipeline errors are query-level (unknown model/table, bad
+		// filter): identical on every data-symmetric replica.
+		return nil, exec.NoReroute(err)
+	}
+	return WireResult(l.Name, sreq.Agg, results[0])
+}
+
+// Warm implements Backend.
+func (l *Local) Warm(ctx context.Context, model string) (string, error) {
+	return l.Pipe.WarmModel(model)
+}
+
+// Healthz implements Backend; an in-process pipeline is always live.
+func (l *Local) Healthz(ctx context.Context) error { return nil }
+
+// SharedTransport builds the tuned http.Transport every router/loadgen
+// client must share: connection reuse sized to the worker population so a
+// closed-loop load never thrashes TCP handshakes (the default transport
+// keeps only 2 idle conns per host and silently serializes reconnects).
+func SharedTransport(maxPerHost int) *http.Transport {
+	if maxPerHost < 2 {
+		maxPerHost = 2
+	}
+	return &http.Transport{
+		MaxIdleConns:        4 * maxPerHost,
+		MaxIdleConnsPerHost: maxPerHost,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// HTTPShard is a shard reached over its serve process's /score endpoint.
+type HTTPShard struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPShard builds a shard backend for baseURL ("http://host:port").
+// client may be nil; pass one http.Client (with SharedTransport) shared by
+// every shard so connection pools are reused.
+func NewHTTPShard(name, baseURL string, client *http.Client) (*HTTPShard, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("router: bad shard URL %q", baseURL)
+	}
+	if client == nil {
+		client = &http.Client{Transport: SharedTransport(16), Timeout: 120 * time.Second}
+	}
+	return &HTTPShard{name: name, base: strings.TrimRight(u.String(), "/"), client: client}, nil
+}
+
+// ID implements Backend.
+func (s *HTTPShard) ID() string { return s.name }
+
+// Score implements Backend by POSTing the wire request to /score.
+func (s *HTTPShard) Score(ctx context.Context, req Request) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, exec.NoReroute(err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/score", bytes.NewReader(body))
+	if err != nil {
+		return nil, exec.NoReroute(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("router: shard %s: %w", s.name, err)
+	}
+	defer resp.Body.Close()
+	var res Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("router: shard %s: decoding /score response (HTTP %d): %w",
+			s.name, resp.StatusCode, err)
+	}
+	if res.Error != "" {
+		err := fmt.Errorf("router: shard %s: %s", s.name, res.Error)
+		if res.Code == CodeBadRequest {
+			// The query would fail the same way on every replica.
+			return nil, exec.NoReroute(err)
+		}
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: shard %s: HTTP %d from /score", s.name, resp.StatusCode)
+	}
+	return &res, nil
+}
+
+// warmResponse is the /warm JSON payload shared by serve and the router.
+type warmResponse struct {
+	Model  string `json:"model"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Warm implements Backend via the shard's /warm endpoint.
+func (s *HTTPShard) Warm(ctx context.Context, model string) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		s.base+"/warm?model="+url.QueryEscape(model), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.client.Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("router: warming shard %s: %w", s.name, err)
+	}
+	defer resp.Body.Close()
+	var wr warmResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wr); err != nil {
+		return "", fmt.Errorf("router: shard %s: decoding /warm response: %w", s.name, err)
+	}
+	if wr.Error != "" {
+		return "", errors.New(wr.Error)
+	}
+	return wr.Status, nil
+}
+
+// Healthz implements Backend via the shard's /healthz endpoint.
+func (s *HTTPShard) Healthz(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: shard %s: healthz HTTP %d", s.name, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"accelscore/internal/exec"
+)
+
+// QueryResponse is the /query JSON envelope: the merged scatter result or
+// an error.
+type QueryResponse struct {
+	OK          bool    `json:"ok"`
+	Error       string  `json:"error,omitempty"`
+	Backend     string  `json:"backend,omitempty"`
+	Predictions []int   `json:"predictions,omitempty"`
+	ScoredRows  []int   `json:"scored_rows,omitempty"`
+	ClassCounts []int64 `json:"class_counts,omitempty"`
+	RowsScanned int     `json:"rows_scanned,omitempty"`
+	RowsScored  int     `json:"rows_scored,omitempty"`
+	CacheHit    bool    `json:"cache_hit"`
+	// Partial marks an explicit partial result; MissingPartitions lists
+	// the hash partitions whose rows are absent (never zero-filled).
+	Partial           bool  `json:"partial"`
+	MissingPartitions []int `json:"missing_partitions,omitempty"`
+	Shards            int   `json:"shards"`
+	Reroutes          int   `json:"reroutes,omitempty"`
+	StragglerGapNS    int64 `json:"straggler_gap_ns"`
+	// SimTotalNS is the merged simulated timeline total (per-stage max
+	// across shards — the gather critical path).
+	SimTotalNS int64      `json:"sim_total_ns"`
+	Timeline   []WireSpan `json:"timeline,omitempty"`
+	TraceID    string     `json:"trace_id,omitempty"`
+}
+
+// Handler serves the router's HTTP surface: /query, /warm, /healthz,
+// /metrics, /debug/queries and /debug/trace/<id>.
+func Handler(r *Router) http.Handler {
+	h := &handler{r: r}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", h.handleQuery)
+	mux.HandleFunc("/warm", h.handleWarm)
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/debug/queries", h.handleDebugQueries)
+	mux.HandleFunc("/debug/trace/", h.handleDebugTrace)
+	return mux
+}
+
+type handler struct {
+	r *Router
+}
+
+// handleQuery routes one scoring statement from ?sql= (GET) or the request
+// body (POST). ?tenant= engages tenant-affine routing.
+func (h *handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" && r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "reading body: " + err.Error()})
+			return
+		}
+		sql = strings.TrimSpace(string(body))
+	}
+	if sql == "" {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "no statement: pass ?sql= or a POST body"})
+		return
+	}
+	merged, err := h.r.Query(r.Context(), sql, QueryOptions{Tenant: r.URL.Query().Get("tenant")})
+	if err != nil {
+		writeJSON(w, statusFor(r.Context(), err), QueryResponse{Error: err.Error()})
+		return
+	}
+	resp := QueryResponse{
+		OK:                true,
+		Backend:           merged.Backend,
+		Predictions:       merged.Predictions,
+		ScoredRows:        merged.ScoredRows,
+		ClassCounts:       merged.ClassCounts,
+		RowsScanned:       merged.RowsScanned,
+		RowsScored:        merged.RowsScored,
+		CacheHit:          merged.CacheHit,
+		Partial:           merged.Partial,
+		MissingPartitions: merged.MissingPartitions,
+		Shards:            merged.Shards,
+		Reroutes:          merged.Reroutes,
+		StragglerGapNS:    int64(merged.StragglerGap),
+		SimTotalNS:        int64(merged.Timeline.Total()),
+		Timeline:          wireSpans(&merged.Timeline),
+		TraceID:           merged.TraceID,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps a routing error to its HTTP status, mirroring serve's
+// /query mapping so clients see consistent codes through either tier.
+func statusFor(ctx context.Context, err error) int {
+	var pe *exec.PartialError
+	switch {
+	case errors.As(err, &pe), errors.Is(err, exec.ErrShardBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case ctx.Err() == nil && strings.Contains(err.Error(), "rejected"):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleWarm fans ?model= to every shard's model cache.
+func (h *handler) handleWarm(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "pass ?model="})
+		return
+	}
+	statuses := h.r.Warm(r.Context(), model)
+	code := http.StatusOK
+	for _, s := range statuses {
+		if s.Error != "" {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, map[string]any{"model": model, "shards": statuses})
+}
+
+// routerHealth is the /healthz payload: per-shard probe outcomes plus the
+// dispatcher's circuit states.
+type routerHealth struct {
+	Status string        `json:"status"`
+	Shards []shardHealth `json:"shards"`
+}
+
+type shardHealth struct {
+	Shard   string `json:"shard"`
+	Breaker string `json:"breaker"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleHealthz probes every shard (bounded to 2s) and reports ok only when
+// all answer; a degraded tier answers 503 with the failing shards listed.
+func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	rh := routerHealth{Status: "ok", Shards: make([]shardHealth, h.r.Shards())}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ch = make(chan int, h.r.Shards())
+		for i, b := range h.r.cfg.Backends {
+			go func(i int, b Backend) {
+				rh.Shards[i].Shard = b.ID()
+				rh.Shards[i].Breaker = h.r.disp.ShardStateName(i)
+				if err := b.Healthz(ctx); err != nil {
+					rh.Shards[i].Error = err.Error()
+				} else {
+					rh.Shards[i].OK = true
+				}
+				ch <- i
+			}(i, b)
+		}
+		for range h.r.cfg.Backends {
+			<-ch
+		}
+	}()
+	<-done
+	code := http.StatusOK
+	for _, s := range rh.Shards {
+		if !s.OK {
+			rh.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, rh)
+}
+
+func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.r.cfg.Obs == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.r.cfg.Obs.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("router metrics: %v", err)
+	}
+}
+
+// handleDebugQueries lists recent routed queries with their fan-out attrs.
+func (h *handler) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if h.r.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var sb strings.Builder
+	for _, tr := range h.r.tracer.Recent() {
+		snap := tr.Snapshot()
+		fmt.Fprintf(&sb, "%s  %-24s wall %v\n", snap.ID, snap.Name, snap.Wall.Round(time.Microsecond))
+		for k, v := range snap.Attrs {
+			fmt.Fprintf(&sb, "    %-20s %s\n", k, v)
+		}
+		for _, span := range snap.WallSpans {
+			lane := span.Track
+			if lane == "" {
+				lane = "wall"
+			}
+			fmt.Fprintf(&sb, "    [%-8s] %-24s %v\n", lane, span.Name, span.Duration.Round(time.Microsecond))
+		}
+		fmt.Fprintf(&sb, "    download: /debug/trace/%s\n\n", snap.ID)
+	}
+	io.WriteString(w, sb.String())
+}
+
+// handleDebugTrace serves one routed query's trace as Chrome trace JSON,
+// per-shard fan-out lanes included.
+func (h *handler) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if h.r.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	tr, ok := h.r.tracer.Get(id)
+	if !ok {
+		http.Error(w, "trace not retained", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChromeTrace(w); err != nil {
+		log.Printf("router trace %s: %v", id, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("router response: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"accelscore/internal/db"
+	"accelscore/internal/pipeline"
+	"accelscore/internal/sim"
+)
+
+// Merged is a gathered scatter result, shaped like a single-node
+// pipeline.QueryResult so callers (and conformance) can compare them
+// directly.
+type Merged struct {
+	// Predictions holds one class per scored row, ordered by scan ordinal.
+	Predictions []int
+	// ScoredRows lists the global scan ordinals behind Predictions when a
+	// filter or a partial gather restricted them; nil when every scanned
+	// row is present (matching the single-node shape).
+	ScoredRows []int
+	// Table is the merged result table ("prediction" column, or the fused
+	// aggregate).
+	Table *db.Table
+	// ClassCounts is the summed fused-aggregate histogram (nil for
+	// non-aggregate queries).
+	ClassCounts []int64
+	// Backend is the engine that scored (first shard's spelling; shards
+	// are symmetric).
+	Backend string
+	// Timeline is the merged O/L/C breakdown: per-stage MAX across shards,
+	// the gather critical path — stages that run in parallel across shards
+	// cost the tier their slowest instance, not their sum.
+	Timeline sim.Timeline
+	// RowsScanned is the table size each shard scanned; RowsScored sums
+	// the per-shard scored rows.
+	RowsScanned, RowsScored int
+	// CacheHit reports whether EVERY shard served from its model cache.
+	CacheHit bool
+	// Partial marks an explicit partial result: MissingPartitions lists
+	// the hash partitions with no surviving route; their rows are absent
+	// from Predictions/ScoredRows, never zero-filled.
+	Partial           bool
+	MissingPartitions []int
+	// Shards is the scatter width; Reroutes counts partitions that moved
+	// off their preferred shard.
+	Shards, Reroutes int
+	// StragglerGap is slowest minus fastest sub-query latency; per-shard
+	// latencies are in ShardLatency, indexed by partition.
+	StragglerGap time.Duration
+	ShardLatency []time.Duration
+	// TraceID identifies the router-side trace, when tracing is on.
+	TraceID string
+}
+
+// mergeTimelines folds shard timelines per stage: span names keep their
+// first-seen order, each taking its MAX duration across shards.
+func mergeTimelines(results []*Result) sim.Timeline {
+	var order []string
+	type agg struct {
+		kind int
+		max  int64
+	}
+	byName := make(map[string]*agg)
+	for _, r := range results {
+		for _, s := range r.Timeline {
+			a, ok := byName[s.Name]
+			if !ok {
+				a = &agg{kind: s.Kind}
+				byName[s.Name] = a
+				order = append(order, s.Name)
+			}
+			if s.NS > a.max {
+				a.max = s.NS
+			}
+		}
+	}
+	var tl sim.Timeline
+	for _, name := range order {
+		a := byName[name]
+		tl.Add(name, sim.Kind(a.kind), time.Duration(a.max))
+	}
+	return tl
+}
+
+// Merge gathers per-partition shard results into one Merged. results is
+// indexed by partition; a nil entry is a missing partition (the caller
+// already classified it partial). mode is the query's aggregation.
+func Merge(mode pipeline.AggMode, results []*Result) (*Merged, error) {
+	m := &Merged{Shards: len(results)}
+	present := make([]*Result, 0, len(results))
+	for k, r := range results {
+		if r == nil {
+			m.Partial = true
+			m.MissingPartitions = append(m.MissingPartitions, k)
+			continue
+		}
+		present = append(present, r)
+	}
+	if len(present) == 0 {
+		return nil, fmt.Errorf("router: no shard results to merge")
+	}
+	m.Backend = present[0].Backend
+	m.CacheHit = true
+	for _, r := range present {
+		if r.RowsScanned > m.RowsScanned {
+			m.RowsScanned = r.RowsScanned
+		}
+		m.RowsScored += r.RowsScored
+		m.CacheHit = m.CacheHit && r.CacheHit
+	}
+	m.Timeline = mergeTimelines(present)
+
+	if mode != pipeline.AggNone {
+		for _, r := range present {
+			for cls, c := range r.ClassCounts {
+				for len(m.ClassCounts) <= cls {
+					m.ClassCounts = append(m.ClassCounts, 0)
+				}
+				m.ClassCounts[cls] += c
+			}
+		}
+		tbl, err := pipeline.AggTable(mode, nil, m.ClassCounts)
+		if err != nil {
+			return nil, err
+		}
+		m.Table = tbl
+		return m, nil
+	}
+
+	// Non-aggregate: k-way merge by global scan ordinal. A shard result
+	// without ScoredRows scored every scanned row (single-shard or tenant
+	// routing); with ScoredRows, its ordinals interleave with the other
+	// partitions'.
+	type pred struct{ row, class int }
+	var rows []pred
+	dense := true
+	for _, r := range present {
+		if len(r.ScoredRows) == 0 && len(r.Predictions) > 0 && r.RowsScored == r.RowsScanned {
+			for i, p := range r.Predictions {
+				rows = append(rows, pred{row: i, class: p})
+			}
+			continue
+		}
+		dense = false
+		if len(r.ScoredRows) != len(r.Predictions) {
+			return nil, fmt.Errorf("router: shard %s returned %d ordinals for %d predictions",
+				r.ShardID, len(r.ScoredRows), len(r.Predictions))
+		}
+		for i, row := range r.ScoredRows {
+			rows = append(rows, pred{row: row, class: r.Predictions[i]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].row < rows[j].row })
+	for i := 1; i < len(rows); i++ {
+		if rows[i].row == rows[i-1].row {
+			return nil, fmt.Errorf("router: row %d scored by two partitions", rows[i].row)
+		}
+	}
+	m.Predictions = make([]int, len(rows))
+	keepOrdinals := !dense &&
+		(m.Partial || len(rows) != m.RowsScanned || (len(rows) > 0 && rows[len(rows)-1].row != len(rows)-1))
+	if keepOrdinals {
+		m.ScoredRows = make([]int, len(rows))
+	}
+	for i, p := range rows {
+		m.Predictions[i] = p.class
+		if keepOrdinals {
+			m.ScoredRows[i] = p.row
+		}
+	}
+	tbl, err := db.NewTable("predictions", []db.Column{{Name: "prediction", Type: db.Int64Col}})
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.AppendIntRows(m.Predictions); err != nil {
+		return nil, err
+	}
+	m.Table = tbl
+	return m, nil
+}

@@ -1,0 +1,295 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"accelscore/internal/db"
+	"accelscore/internal/exec"
+	"accelscore/internal/obs"
+	"accelscore/internal/pipeline"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Backends are the shard replicas, one per partition index.
+	Backends []Backend
+	// BreakerThreshold and BreakerCooldown tune the per-shard circuit
+	// breakers (zero values take the dispatcher defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AllowPartial degrades a query with unreachable partitions to an
+	// explicit partial result (Merged.Partial=true, missing partitions
+	// listed) instead of failing it. Predictions for missing partitions
+	// are absent, never zero-filled.
+	AllowPartial bool
+	// Obs receives router metrics and per-query traces (nil disables).
+	Obs *obs.Observer
+	// WarmModels are fanned out to every shard's model cache at
+	// construction (replica-aware warm-on-register).
+	WarmModels []string
+	// WarmTimeout bounds the construction-time warm fan-out (default 10s).
+	WarmTimeout time.Duration
+}
+
+// Router scatters scoring queries across shard replicas and gathers the
+// results. Safe for concurrent use.
+type Router struct {
+	cfg     Config
+	disp    *exec.Dispatcher
+	metrics *obs.RouterMetrics
+	tracer  *obs.Tracer
+}
+
+// New builds a router over cfg.Backends and, when cfg.WarmModels is set,
+// warms every shard's model cache before returning (warm failures are
+// reported in the error but do not fail construction — a cold shard is
+// slower, not wrong).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: no shard backends")
+	}
+	disp, err := exec.NewDispatcher(exec.DispatcherConfig{
+		Shards:           len(cfg.Backends),
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg, disp: disp}
+	if cfg.Obs != nil {
+		r.metrics = obs.NewRouterMetrics(cfg.Obs.Metrics())
+		r.tracer = cfg.Obs.Tracer
+		for i := range cfg.Backends {
+			r.metrics.SetBreakerState(i, 0)
+		}
+	}
+	if len(cfg.WarmModels) > 0 {
+		to := cfg.WarmTimeout
+		if to <= 0 {
+			to = 10 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), to)
+		defer cancel()
+		for _, model := range cfg.WarmModels {
+			r.Warm(ctx, model)
+		}
+	}
+	return r, nil
+}
+
+// Shards returns the scatter width.
+func (r *Router) Shards() int { return len(r.cfg.Backends) }
+
+// ShardStates returns each shard's circuit state name.
+func (r *Router) ShardStates() []string {
+	out := make([]string, r.Shards())
+	for i := range out {
+		out[i] = r.disp.ShardStateName(i)
+	}
+	return out
+}
+
+// WarmStatus is one shard's outcome of a warm fan-out.
+type WarmStatus struct {
+	Shard  string `json:"shard"`
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Warm fans a model-cache warm to every shard concurrently so the first
+// scoring query finds the compiled model resident everywhere (a cold cache
+// on ONE replica would stall the whole gather behind that straggler).
+func (r *Router) Warm(ctx context.Context, model string) []WarmStatus {
+	out := make([]WarmStatus, r.Shards())
+	done := make(chan int, r.Shards())
+	for i, b := range r.cfg.Backends {
+		go func(i int, b Backend) {
+			out[i].Shard = b.ID()
+			status, err := b.Warm(ctx, model)
+			if err != nil {
+				out[i].Error = err.Error()
+				r.metrics.NoteWarm("error")
+			} else {
+				out[i].Status = status
+				r.metrics.NoteWarm(status)
+			}
+			done <- i
+		}(i, b)
+	}
+	for range r.cfg.Backends {
+		<-done
+	}
+	return out
+}
+
+// QueryOptions modifies one routed query.
+type QueryOptions struct {
+	// Tenant, when non-empty, engages tenant affinity: the whole query
+	// (unpartitioned) routes to the tenant's home shard — FNV over the
+	// tenant key — keeping that tenant's model cache and breaker history
+	// on one replica. Failures still reroute to other shards.
+	Tenant string
+}
+
+// Query parses sql ONCE, scatters it as one sub-query per hash partition
+// (or one tenant-affine sub-query), and merges the shard results into a
+// single result bit-identical to a single-node run of the same statement.
+func (r *Router) Query(ctx context.Context, sql string, opts QueryOptions) (*Merged, error) {
+	req, err := parseScoringSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.Score(ctx, req, opts)
+}
+
+// parseScoringSQL accepts the two scoring forms (EXEC sp_score_model and
+// SELECT ... FROM PREDICT(...)) and rejects everything else: the router is
+// a scoring tier, not a general SQL proxy.
+func parseScoringSQL(sql string) (*pipeline.ScoreRequest, error) {
+	st, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *db.ExecStmt:
+		if !strings.EqualFold(s.Proc, pipeline.ScoreProcName) {
+			return nil, fmt.Errorf("router: only %s is routable, got EXEC %s", pipeline.ScoreProcName, s.Proc)
+		}
+		return pipeline.ParseScoreParams(s)
+	case *db.PredictStmt:
+		return pipeline.ParsePredictStmt(s)
+	default:
+		return nil, fmt.Errorf("router: only scoring statements are routable")
+	}
+}
+
+// Score scatters a validated scoring request. req.Partition must be zero:
+// partitioning is the router's job.
+func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts QueryOptions) (*Merged, error) {
+	if req.Partition.Active() {
+		return nil, fmt.Errorf("router: request already partitioned (%s); the router assigns partitions",
+			req.Partition)
+	}
+	n := r.Shards()
+	var parts []pipeline.Partition
+	switch {
+	case opts.Tenant != "":
+		// Tenant affinity: one unpartitioned sub-query preferring the
+		// tenant's home shard (Partition.Count=0 scores every row; the
+		// dispatcher's preferred shard is Index % n).
+		parts = []pipeline.Partition{{Index: pipeline.TenantShard(opts.Tenant, n)}}
+	case n == 1:
+		parts = []pipeline.Partition{{}}
+	default:
+		parts = make([]pipeline.Partition, n)
+		for k := range parts {
+			parts[k] = pipeline.Partition{Index: k, Count: n}
+		}
+	}
+
+	tr := r.tracer.Start("router " + req.Model)
+	defer tr.Finish()
+	tr.SetAttr("model", req.Model)
+	tr.SetAttr("shards", fmt.Sprint(n))
+	tr.SetAttr("scatter_width", fmt.Sprint(len(parts)))
+	if opts.Tenant != "" {
+		tr.SetAttr("tenant", opts.Tenant)
+	}
+
+	base := WireRequest(req)
+	dres := r.disp.Scatter(ctx, parts, func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+		lane := fmt.Sprintf("shard %d", shard)
+		name := "sub-query"
+		if part.Active() {
+			name = "sub-query " + part.String()
+		}
+		end := tr.StartSpanOn(lane, name)
+		defer end()
+		wreq := base
+		wreq.Partition = part.String()
+		return r.cfg.Backends[shard].Score(ctx, wreq)
+	})
+
+	// Telemetry: per-shard latency/reroutes, breaker states, straggler gap.
+	var minLat, maxLat time.Duration
+	reroutes := 0
+	for i, d := range dres {
+		r.metrics.ObserveShard(d.Shard, d.Latency, d.Reroutes)
+		reroutes += d.Reroutes
+		if d.Err == nil {
+			if i == 0 || d.Latency < minLat {
+				minLat = d.Latency
+			}
+			if d.Latency > maxLat {
+				maxLat = d.Latency
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.metrics.SetBreakerState(i, r.disp.ShardState(i))
+	}
+	gap := maxLat - minLat
+	if gap < 0 {
+		gap = 0
+	}
+	tr.SetAttr("straggler_gap", gap.String())
+
+	// A query-level error (unknown model, malformed filter) fails
+	// identically on every replica: surface it as the query's own error,
+	// never as a partial result.
+	for _, d := range dres {
+		if exec.IsNoReroute(d.Err) {
+			r.metrics.ObserveQuery("error", len(parts), gap)
+			tr.SetAttr("error", d.Err.Error())
+			return nil, d.Err
+		}
+	}
+
+	pe := exec.Partial(dres)
+	if pe != nil && (!r.cfg.AllowPartial || len(pe.Missing) == len(parts)) {
+		r.metrics.ObserveQuery("error", len(parts), gap)
+		tr.SetAttr("error", pe.Error())
+		// Unwrap a single-partition scatter's sole failure so callers see
+		// the shard's own error classification.
+		if len(parts) == 1 {
+			return nil, dres[0].Err
+		}
+		return nil, pe
+	}
+
+	byPart := make([]*Result, len(parts))
+	latencies := make([]time.Duration, len(parts))
+	for i, d := range dres {
+		if d.Err != nil {
+			continue
+		}
+		res, ok := d.Value.(*Result)
+		if !ok || res == nil {
+			r.metrics.ObserveQuery("error", len(parts), gap)
+			return nil, fmt.Errorf("router: shard %d returned no result", d.Shard)
+		}
+		byPart[i] = res
+		latencies[i] = d.Latency
+	}
+	merged, err := Merge(req.Agg, byPart)
+	if err != nil {
+		r.metrics.ObserveQuery("error", len(parts), gap)
+		tr.SetAttr("error", err.Error())
+		return nil, err
+	}
+	merged.StragglerGap = gap
+	merged.ShardLatency = latencies
+	merged.Reroutes = reroutes
+	merged.TraceID = tr.ID()
+	outcome := "ok"
+	if merged.Partial {
+		outcome = "partial"
+	}
+	r.metrics.ObserveQuery(outcome, len(parts), gap)
+	tr.SetAttr("outcome", outcome)
+	return merged, nil
+}
