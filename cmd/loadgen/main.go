@@ -89,9 +89,46 @@ func main() {
 	scaleChaosLeg := flag.Bool("scale-chaos", true, "run the SIGKILL-one-shard leg of -bench-scaleout")
 	scaleMinSpeedup := flag.Float64("scale-min-speedup", 0,
 		"fail -bench-scaleout unless the widest scatter reaches this measured speedup (0 = report only)")
+	benchOverload := flag.Bool("bench-overload", false,
+		"run the open-loop overload + chaos survival bench and write results/overload_bench.md + BENCH_overload.json")
+	overloadShards := flag.Int("overload-shards", 3,
+		"tier width for -bench-overload (>= 3: straggler + kill victim + flap victim)")
+	overloadRecords := flag.Int("overload-records", 500, "demo table size per -bench-overload shard")
+	overloadCell := flag.Duration("overload-cell", 2*time.Second, "open-loop window per -bench-overload sweep cell")
+	overloadMults := flag.String("overload-mults", "0.5,1,2",
+		"offered load points for -bench-overload, as multiples of calibrated saturation")
+	overloadDeadline := flag.Duration("overload-deadline", 2*time.Second,
+		"per-query deadline carried by -bench-overload arrivals")
+	overloadSlowFactor := flag.Float64("overload-slow-factor", 2,
+		"pace multiplier for the -bench-overload straggler shard")
+	overloadInFlight := flag.Int("overload-inflight", 0,
+		"router MaxInFlight for -bench-overload (0 = 2x shards)")
+	overloadChaosLeg := flag.Bool("overload-chaos", true,
+		"run the SIGKILL + SIGSTOP/SIGCONT flap cell of -bench-overload")
 	routerOverhead := flag.Duration("router-overhead", 5*time.Millisecond,
 		"fixed per-sub-query overhead fed to the predicted scaling curve")
 	flag.Parse()
+
+	if *benchOverload {
+		err := runOverloadBench(overloadConfig{
+			ServeBin:      *serveBin,
+			Shards:        *overloadShards,
+			Records:       *overloadRecords,
+			Backend:       *scaleBackend,
+			PaceScale:     *paceScale,
+			SlowFactor:    *overloadSlowFactor,
+			CellDuration:  *overloadCell,
+			LoadMultiples: floatList(*overloadMults),
+			Deadline:      *overloadDeadline,
+			MaxInFlight:   *overloadInFlight,
+			Seed:          *seed,
+			Chaos:         *overloadChaosLeg,
+		}, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *benchScaleout {
 		err := runScaleoutBench(scaleoutConfig{

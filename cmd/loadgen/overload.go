@@ -1,0 +1,680 @@
+// Overload and failure-survival bench for the sharded tier. Where
+// -bench-scaleout asks "how fast is the scatter when everything works",
+// this harness asks the robustness question: what happens PAST saturation,
+// with sick shards, under an open-loop arrival process that does not
+// politely slow down when the tier does.
+//
+// The harness boots N serve shards (one intentionally paced slower — the
+// straggler), fronts them with a router running the full overload stack
+// (health state machine with active probing, tail-latency hedging,
+// admission control with priority classes), then:
+//
+//  1. calibrates saturation throughput closed-loop;
+//  2. sweeps offered load past saturation with Poisson and bursty
+//     open-loop arrivals, recording goodput, shed, and latency curves;
+//  3. runs a chaos cell: SIGKILL one shard and SIGSTOP/SIGCONT-flap
+//     another while over-saturated traffic flows;
+//  4. waits for the flapped shard to rejoin through quarantine ->
+//     probe -> warm -> trickle, then drains at low load.
+//
+// Every accepted answer is verified against a fault-free in-process
+// oracle. The contract: sheds and failures are allowed (that is the point
+// of admission control), wrong or silently-partial answers are not — one
+// wrong prediction fails the whole bench.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"accelscore/internal/obs"
+	"accelscore/internal/router"
+)
+
+// overloadConfig parameterizes the overload bench.
+type overloadConfig struct {
+	// ServeBin is a prebuilt serve binary; empty builds one.
+	ServeBin string
+	// Shards is the tier width (>= 3: one straggler, one kill victim, one
+	// flap victim still leaves a survivor through reroutes).
+	Shards int
+	// Records is the demo table size per shard.
+	Records int
+	// Backend is the engine every query requests.
+	Backend string
+	// PaceScale paces each shard to PaceScale x its simulated total; the
+	// straggler shard runs at PaceScale*SlowFactor.
+	PaceScale  float64
+	SlowFactor float64
+	// CellDuration is the open-loop window per sweep cell.
+	CellDuration time.Duration
+	// LoadMultiples are the offered-load points, as multiples of the
+	// calibrated saturation throughput.
+	LoadMultiples []float64
+	// Deadline is the per-query deadline carried by every open-loop
+	// arrival (what deadline-aware shedding trades against).
+	Deadline time.Duration
+	// MaxInFlight bounds the router's concurrent queries (0 = 2x shards).
+	MaxInFlight int
+	// Seed drives the arrival processes.
+	Seed uint64
+	// Chaos enables the kill+flap cell (on by default; CI smoke keeps it).
+	Chaos bool
+}
+
+// overloadClasses is the admission priority spelling used by the harness:
+// interactive sheds last, batch first.
+const overloadClasses = "interactive=250ms,batch=2s"
+
+// overloadCell is one open-loop sweep point.
+type overloadCell struct {
+	Arrival     string            `json:"arrival"`
+	LoadMult    float64           `json:"load_multiple"`
+	OfferedQPS  float64           `json:"offered_qps"`
+	DurationNS  int64             `json:"duration_ns"`
+	Offered     int               `json:"offered"`
+	Accepted    int               `json:"accepted"`
+	Shed        int               `json:"shed"`
+	Failed      int               `json:"failed"`
+	Wrong       int               `json:"wrong"`
+	GoodputQPS  float64           `json:"goodput_qps"`
+	P50NS       int64             `json:"p50_ns"`
+	P95NS       int64             `json:"p95_ns"`
+	P99NS       int64             `json:"p99_ns"`
+	Hedges      int               `json:"hedges"`
+	HedgeWins   int               `json:"hedge_wins"`
+	Reroutes    int               `json:"reroutes"`
+	ShedByClass map[string]uint64 `json:"shed_by_class,omitempty"`
+}
+
+// overloadChaosReport is the kill+flap cell's verdict.
+type overloadChaosReport struct {
+	SlowShard    int      `json:"slow_shard"`
+	KilledShard  int      `json:"killed_shard"`
+	FlappedShard int      `json:"flapped_shard"`
+	Offered      int      `json:"offered"`
+	Accepted     int      `json:"accepted"`
+	Shed         int      `json:"shed"`
+	Failed       int      `json:"failed"`
+	Wrong        int      `json:"wrong"`
+	OKAfterKill  int      `json:"ok_after_kill"`
+	Hedges       int      `json:"hedges"`
+	HedgeWins    int      `json:"hedge_wins"`
+	Reroutes     int      `json:"reroutes"`
+	FlapRejoined bool     `json:"flap_rejoined"`
+	DrainQueries int      `json:"drain_queries"`
+	DrainErrors  int      `json:"drain_errors"`
+	DrainWrong   int      `json:"drain_wrong"`
+	FinalStates  []string `json:"final_shard_states"`
+	Transitions  []int    `json:"shard_transitions"`
+	Verdict      string   `json:"verdict"`
+}
+
+// overloadRouter builds the harness router: health probing, hedging, and
+// admission all on.
+func overloadRouter(backends []router.Backend, cfg overloadConfig) (*router.Router, error) {
+	classes, err := obs.ParseSLOSpec(overloadClasses)
+	if err != nil {
+		return nil, err
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * cfg.Shards
+	}
+	return router.New(router.Config{
+		Backends:   backends,
+		WarmModels: []string{"iris_rf"},
+		Health: &router.HealthConfig{
+			ProbeInterval:       150 * time.Millisecond,
+			ProbeTimeout:        500 * time.Millisecond,
+			FailThreshold:       2,
+			QuarantineThreshold: 2,
+			PassThreshold:       2,
+			RejoinProbes:        2,
+			RejoinTrickle:       2,
+			QuarantineBackoff:   300 * time.Millisecond,
+			MaxBackoff:          2 * time.Second,
+		},
+		Hedge: &router.HedgeConfig{},
+		Admission: &router.AdmissionConfig{
+			MaxInFlight: maxInFlight,
+			Classes:     classes,
+		},
+	})
+}
+
+// overloadOutcome is one open-loop arrival's result.
+type overloadOutcome struct {
+	merged    *router.Merged
+	err       error
+	latency   time.Duration
+	afterKill bool
+}
+
+// verifyMerged checks one accepted answer against the oracle. Returns a
+// non-empty reason when the answer is wrong.
+func verifyMerged(m *router.Merged, oracle *scaleOracle) string {
+	if m.Partial {
+		return "silently partial result"
+	}
+	if m.ScoredRows != nil {
+		return "merged result not dense"
+	}
+	if len(m.Predictions) != len(oracle.predictions) {
+		return fmt.Sprintf("%d predictions, oracle has %d", len(m.Predictions), len(oracle.predictions))
+	}
+	for i := range m.Predictions {
+		if m.Predictions[i] != oracle.predictions[i] {
+			return fmt.Sprintf("row %d predicted %d, oracle %d", i, m.Predictions[i], oracle.predictions[i])
+		}
+	}
+	return ""
+}
+
+// arrivalTimes generates the cell's arrival schedule: "poisson" draws
+// exponential inter-arrivals at rate qps; "burst" releases clumps of 8 at
+// the same average rate (the pathological arrival pattern admission control
+// exists for).
+func arrivalTimes(kind string, qps float64, window time.Duration, rng *rand.Rand) []time.Duration {
+	var out []time.Duration
+	switch kind {
+	case "burst":
+		const clump = 8
+		gap := time.Duration(float64(clump) / qps * float64(time.Second))
+		for t := time.Duration(0); t < window; t += gap {
+			for i := 0; i < clump; i++ {
+				out = append(out, t)
+			}
+		}
+	default: // poisson
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() / qps * float64(time.Second))
+			if t >= window {
+				break
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// runOpenLoop fires the schedule against the router, alternating priority
+// classes, and collects every outcome. killed (may be nil) marks outcomes
+// that started after the chaos kill.
+func runOpenLoop(r *router.Router, sql string, schedule []time.Duration,
+	deadline time.Duration, killed *atomic.Bool) []overloadOutcome {
+	outcomes := make([]overloadOutcome, len(schedule))
+	var wg sync.WaitGroup
+	classes := [2]string{"interactive", "batch"}
+	start := time.Now()
+	for i, at := range schedule {
+		wg.Add(1)
+		go func(i int, at time.Duration) {
+			defer wg.Done()
+			if d := at - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			after := killed != nil && killed.Load()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			qStart := time.Now()
+			m, err := r.Query(ctx, sql, router.QueryOptions{Class: classes[i%2]})
+			outcomes[i] = overloadOutcome{
+				merged: m, err: err, latency: time.Since(qStart), afterKill: after,
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// tallyCell folds a cell's outcomes into its report row. Wrong answers are
+// counted AND returned as an error: the bench has nothing to report once
+// the tier fabricates data.
+func tallyCell(cell *overloadCell, outcomes []overloadOutcome, oracle *scaleOracle) error {
+	var lats []time.Duration
+	var firstWrong string
+	for _, o := range outcomes {
+		cell.Offered++
+		if o.err != nil {
+			var se *router.ShedError
+			if errors.As(o.err, &se) {
+				cell.Shed++
+			} else {
+				cell.Failed++
+			}
+			continue
+		}
+		if reason := verifyMerged(o.merged, oracle); reason != "" {
+			cell.Wrong++
+			if firstWrong == "" {
+				firstWrong = reason
+			}
+			continue
+		}
+		cell.Accepted++
+		cell.Hedges += o.merged.Hedges
+		cell.HedgeWins += o.merged.HedgeWins
+		cell.Reroutes += o.merged.Reroutes
+		lats = append(lats, o.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cell.P50NS = int64(overloadPercentile(lats, 50))
+	cell.P95NS = int64(overloadPercentile(lats, 95))
+	cell.P99NS = int64(overloadPercentile(lats, 99))
+	cell.GoodputQPS = float64(cell.Accepted) / (float64(cell.DurationNS) / float64(time.Second))
+	if cell.Wrong > 0 {
+		return fmt.Errorf("bench-overload: %d accepted answers were WRONG (first: %s)", cell.Wrong, firstWrong)
+	}
+	return nil
+}
+
+func overloadPercentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// calibrate measures closed-loop saturation throughput through the full
+// router stack (also seeding the hedge trigger's latency rings and the
+// admission controller's EWMA latency predictor). Clients stay below the
+// tier width so the calibration itself doesn't stack a deep queue on the
+// straggler shard and poison the latency predictor.
+func calibrate(r *router.Router, sql string, clients int, oracle *scaleOracle) (float64, error) {
+	if clients > 2 {
+		clients = 2
+	}
+	queries := clients * 8
+	var next atomic.Int64
+	var wrong atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if int(next.Add(1)) > queries {
+					return
+				}
+				m, err := r.Query(context.Background(), sql, router.QueryOptions{Class: "interactive"})
+				if err != nil {
+					continue // calibration tolerates warm-up failures
+				}
+				if verifyMerged(m, oracle) != "" {
+					wrong.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wrong.Load() > 0 {
+		return 0, fmt.Errorf("bench-overload: %d wrong answers during fault-free calibration", wrong.Load())
+	}
+	qps := float64(queries) / time.Since(start).Seconds()
+	return qps, nil
+}
+
+// runOverloadChaos is the survival cell: over-saturated Poisson traffic
+// while one shard is SIGKILLed and another SIGSTOP/SIGCONT-flapped, then a
+// rejoin wait and a low-load drain.
+func runOverloadChaos(r *router.Router, procs []*serveProc, cfg overloadConfig,
+	sql string, satQPS float64, oracle *scaleOracle, rng *rand.Rand) (*overloadChaosReport, error) {
+	n := cfg.Shards
+	rep := &overloadChaosReport{
+		SlowShard:    n - 1, // boot order: last shard is the straggler
+		KilledShard:  0,
+		FlappedShard: 1,
+	}
+	window := 2 * cfg.CellDuration
+	if window < 3*time.Second {
+		window = 3 * time.Second
+	}
+	schedule := arrivalTimes("poisson", 1.5*satQPS, window, rng)
+
+	var killed atomic.Bool
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		// t=25%: SIGKILL the kill victim.
+		time.Sleep(window / 4)
+		log.Printf("bench-overload: chaos SIGKILL shard %d", rep.KilledShard)
+		killed.Store(true)
+		procs[rep.KilledShard].kill()
+		// t=40%..55%: freeze the flap victim (requests to it stall, its
+		// probes time out, it quarantines), then thaw it for the rejoin.
+		time.Sleep(window * 15 / 100)
+		log.Printf("bench-overload: chaos SIGSTOP shard %d", rep.FlappedShard)
+		_ = procs[rep.FlappedShard].cmd.Process.Signal(syscall.SIGSTOP)
+		time.Sleep(window * 15 / 100)
+		log.Printf("bench-overload: chaos SIGCONT shard %d", rep.FlappedShard)
+		_ = procs[rep.FlappedShard].cmd.Process.Signal(syscall.SIGCONT)
+	}()
+
+	outcomes := runOpenLoop(r, sql, schedule, cfg.Deadline, &killed)
+	<-faultsDone
+
+	var firstWrong string
+	for _, o := range outcomes {
+		rep.Offered++
+		if o.err != nil {
+			var se *router.ShedError
+			if errors.As(o.err, &se) {
+				rep.Shed++
+			} else {
+				rep.Failed++
+			}
+			continue
+		}
+		if reason := verifyMerged(o.merged, oracle); reason != "" {
+			rep.Wrong++
+			if firstWrong == "" {
+				firstWrong = reason
+			}
+			continue
+		}
+		rep.Accepted++
+		rep.Hedges += o.merged.Hedges
+		rep.HedgeWins += o.merged.HedgeWins
+		rep.Reroutes += o.merged.Reroutes
+		if o.afterKill {
+			rep.OKAfterKill++
+		}
+	}
+
+	// Rejoin wait: the flapped shard must come back through quarantine ->
+	// probes -> warm -> trickle on its own. The trickle needs real traffic,
+	// so keep a slow drip flowing while we wait.
+	rejoinDeadline := time.Now().Add(30 * time.Second)
+	for r.Health().State(rep.FlappedShard) != router.ShardHealthy {
+		if time.Now().After(rejoinDeadline) {
+			break
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+		m, err := r.Query(ctx, sql, router.QueryOptions{Class: "interactive"})
+		cancel()
+		if err == nil && verifyMerged(m, oracle) != "" {
+			rep.Wrong++
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rep.FlapRejoined = r.Health().State(rep.FlappedShard) == router.ShardHealthy
+
+	// Drain: sequential low load after rejoin. Zero errors, zero wrong.
+	for i := 0; i < 16; i++ {
+		rep.DrainQueries++
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		m, err := r.Query(ctx, sql, router.QueryOptions{Class: "interactive"})
+		cancel()
+		if err != nil {
+			rep.DrainErrors++
+			continue
+		}
+		if verifyMerged(m, oracle) != "" {
+			rep.DrainWrong++
+		}
+	}
+
+	rep.FinalStates = make([]string, n)
+	rep.Transitions = make([]int, n)
+	for i := 0; i < n; i++ {
+		rep.FinalStates[i] = r.Health().State(i).String()
+		rep.Transitions[i] = r.Health().Transitions(i)
+	}
+
+	rep.Verdict = "pass"
+	switch {
+	case rep.Wrong > 0 || rep.DrainWrong > 0:
+		rep.Verdict = "FAIL: wrong predictions"
+		return rep, fmt.Errorf("bench-overload chaos: %d wrong accepted answers (first: %s)",
+			rep.Wrong+rep.DrainWrong, firstWrong)
+	case rep.OKAfterKill == 0:
+		rep.Verdict = "FAIL: goodput hit zero after the kill"
+		return rep, fmt.Errorf("bench-overload chaos: no successful query after SIGKILL — " +
+			"goodput must degrade, not cliff to zero, while a replica survives")
+	case !rep.FlapRejoined:
+		rep.Verdict = "FAIL: flapped shard never rejoined"
+		return rep, fmt.Errorf("bench-overload chaos: shard %d stuck in state %q after SIGCONT",
+			rep.FlappedShard, r.Health().State(rep.FlappedShard))
+	case rep.DrainErrors > 0:
+		rep.Verdict = "FAIL: post-rejoin errors"
+		return rep, fmt.Errorf("bench-overload chaos: %d/%d drain queries failed after rejoin",
+			rep.DrainErrors, rep.DrainQueries)
+	}
+	return rep, nil
+}
+
+// bootOverloadShards boots the tier with the last shard paced slower (the
+// static straggler the hedge and straggler-gap machinery must absorb).
+func bootOverloadShards(bin string, cfg overloadConfig) ([]*serveProc, []router.Backend, error) {
+	procs := make([]*serveProc, 0, cfg.Shards)
+	backends := make([]router.Backend, 0, cfg.Shards)
+	client := tunedClient(120 * time.Second)
+	for k := 0; k < cfg.Shards; k++ {
+		pace := cfg.PaceScale
+		if k == cfg.Shards-1 {
+			pace *= cfg.SlowFactor
+		}
+		p, err := startShard(bin, k, cfg.Records, pace)
+		if err != nil {
+			killShards(procs)
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+		shard, err := router.NewHTTPShard(fmt.Sprintf("shard-%d", k), p.url, client)
+		if err != nil {
+			killShards(procs)
+			return nil, nil, err
+		}
+		backends = append(backends, shard)
+	}
+	return procs, backends, nil
+}
+
+// runOverloadBench drives the calibration, the open-loop sweep, and the
+// chaos cell, writing results/overload_bench.md + BENCH_overload.json.
+func runOverloadBench(cfg overloadConfig, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "BENCH_overload.json"
+	}
+	if cfg.Shards < 3 {
+		return fmt.Errorf("bench-overload: need >= 3 shards (straggler + kill victim + flap victim), got %d", cfg.Shards)
+	}
+	bin, cleanup, err := ensureServeBin(cfg.ServeBin)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	log.Printf("bench-overload: records=%d building fault-free oracle", cfg.Records)
+	oracle, err := buildOracle(cfg.Records, cfg.Backend)
+	if err != nil {
+		return err
+	}
+	sql := scaleSQL(cfg.Backend)
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+
+	// ---- Sweep tier: all shards nominal except the static straggler.
+	procs, backends, err := bootOverloadShards(bin, cfg)
+	if err != nil {
+		return err
+	}
+	r, err := overloadRouter(backends, cfg)
+	if err != nil {
+		killShards(procs)
+		return err
+	}
+
+	satQPS, err := calibrate(r, sql, cfg.Shards, oracle)
+	if err != nil {
+		r.Close()
+		killShards(procs)
+		return err
+	}
+	log.Printf("bench-overload: calibrated saturation ~%.1f q/s", satQPS)
+
+	var cells []overloadCell
+	for _, arrival := range []string{"poisson", "burst"} {
+		for _, mult := range cfg.LoadMultiples {
+			cell := overloadCell{
+				Arrival:    arrival,
+				LoadMult:   mult,
+				OfferedQPS: mult * satQPS,
+				DurationNS: int64(cfg.CellDuration),
+			}
+			schedule := arrivalTimes(arrival, cell.OfferedQPS, cfg.CellDuration, rng)
+			outcomes := runOpenLoop(r, sql, schedule, cfg.Deadline, nil)
+			if err := tallyCell(&cell, outcomes, oracle); err != nil {
+				r.Close()
+				killShards(procs)
+				return err
+			}
+			log.Printf("bench-overload: %s x%.2g: offered %d, goodput %.1f q/s, shed %d, failed %d, hedges %d (%d won)",
+				arrival, mult, cell.Offered, cell.GoodputQPS, cell.Shed, cell.Failed, cell.Hedges, cell.HedgeWins)
+			cells = append(cells, cell)
+		}
+	}
+	// Fold the admission ledger into the last cell's by-class view and
+	// check the books balance: offered == accepted + shed per class.
+	admStats := r.AdmissionStats()
+	for _, s := range admStats {
+		if s.Offered != s.Accepted+s.Shed {
+			r.Close()
+			killShards(procs)
+			return fmt.Errorf("bench-overload: admission ledger out of balance for class %q: %+v", s.Class, s)
+		}
+	}
+
+	// ---- Chaos cell: fresh tier, same straggler, kill + flap under load.
+	var chaosRep *overloadChaosReport
+	if cfg.Chaos {
+		r.Close()
+		killShards(procs)
+		procs, backends, err = bootOverloadShards(bin, cfg)
+		if err != nil {
+			return err
+		}
+		r, err = overloadRouter(backends, cfg)
+		if err != nil {
+			killShards(procs)
+			return err
+		}
+		// Seed the hedge trigger and the latency predictor before faults.
+		if _, err := calibrate(r, sql, cfg.Shards, oracle); err != nil {
+			r.Close()
+			killShards(procs)
+			return err
+		}
+		chaosRep, err = runOverloadChaos(r, procs, cfg, sql, satQPS, oracle, rng)
+		if chaosRep != nil {
+			log.Printf("bench-overload: chaos: offered %d, ok %d (%d after kill), shed %d, failed %d, "+
+				"wrong %d, hedges %d, reroutes %d, rejoined=%v, drain %d/%d ok",
+				chaosRep.Offered, chaosRep.Accepted, chaosRep.OKAfterKill, chaosRep.Shed,
+				chaosRep.Failed, chaosRep.Wrong, chaosRep.Hedges, chaosRep.Reroutes,
+				chaosRep.FlapRejoined, chaosRep.DrainQueries-chaosRep.DrainErrors, chaosRep.DrainQueries)
+		}
+		if err != nil {
+			r.Close()
+			killShards(procs)
+			return err
+		}
+	}
+	r.Close()
+	killShards(procs)
+
+	doc := envelope("overload")
+	doc["backend"] = cfg.Backend
+	doc["shards"] = cfg.Shards
+	doc["records"] = cfg.Records
+	doc["pace_scale"] = cfg.PaceScale
+	doc["slow_factor"] = cfg.SlowFactor
+	doc["deadline_ns"] = int64(cfg.Deadline)
+	doc["classes"] = overloadClasses
+	doc["saturation_qps"] = satQPS
+	doc["cells"] = cells
+	doc["admission"] = admStats
+	if chaosRep != nil {
+		doc["chaos"] = chaosRep
+	}
+	if err := writeJSON(jsonOut, doc); err != nil {
+		return err
+	}
+	mdPath := filepath.Join("results", "overload_bench.md")
+	if err := writeOverloadMarkdown(mdPath, cfg, satQPS, cells, chaosRep); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", mdPath, jsonOut)
+	return nil
+}
+
+func writeOverloadMarkdown(path string, cfg overloadConfig, satQPS float64,
+	cells []overloadCell, chaosRep *overloadChaosReport) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("# Overload survival: the sharded tier past saturation\n\n")
+	fmt.Fprintf(&sb, "Measured by `go run ./cmd/loadgen -bench-overload`: %d serve shards "+
+		"(the last paced %gx slower — a static straggler), fronted by a router running "+
+		"the full overload stack: shard health state machine with active probing, "+
+		"tail-latency hedging (adaptive per-shard P95 trigger, budget-capped), and "+
+		"admission control (`%s`; capacity, priority, and deadline shedding). Open-loop "+
+		"arrivals carry a %v deadline; calibrated saturation is %.1f q/s. Every accepted "+
+		"answer is verified against a fault-free single-node oracle.\n\n",
+		cfg.Shards, cfg.SlowFactor, overloadClasses, cfg.Deadline, satQPS)
+	sb.WriteString("| arrival | load | offered | goodput q/s | shed | failed | wrong | p50 | p95 | p99 | hedges (won) | reroutes |\n")
+	sb.WriteString("|:---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "| %s | %.2gx | %d | %.1f | %d | %d | %d | %v | %v | %v | %d (%d) | %d |\n",
+			c.Arrival, c.LoadMult, c.Offered, c.GoodputQPS, c.Shed, c.Failed, c.Wrong,
+			time.Duration(c.P50NS).Round(time.Millisecond),
+			time.Duration(c.P95NS).Round(time.Millisecond),
+			time.Duration(c.P99NS).Round(time.Millisecond),
+			c.Hedges, c.HedgeWins, c.Reroutes)
+	}
+	sb.WriteString("\nPast saturation an open-loop arrival process keeps offering work the tier " +
+		"cannot absorb; without admission control the queue (and every latency percentile) " +
+		"grows without bound. The shed column is the valve working: refused queries get an " +
+		"immediate 503 + Retry-After instead of a slow timeout, and goodput holds near " +
+		"saturation instead of collapsing. Batch sheds before interactive (priority classes " +
+		"reuse the SLO objective spelling: the tightest objective sheds last).\n")
+	if chaosRep != nil {
+		sb.WriteString("\n## Chaos: SIGKILL + SIGSTOP/SIGCONT flap under over-saturated load\n\n")
+		fmt.Fprintf(&sb, "With 1.5x saturation Poisson traffic flowing, shard %d was SIGKILLed and "+
+			"shard %d frozen (SIGSTOP) then thawed (SIGCONT). Of %d offered: %d accepted "+
+			"(**%d after the kill** — goodput degraded, it did not cliff to zero), %d shed, "+
+			"%d failed loudly, and **%d wrong** (the only number that is never allowed to be "+
+			"non-zero). Hedges fired %d times (%d won — the stalled shard's sub-queries were "+
+			"beaten by a healthy replica's); %d partitions rerouted.\n\n",
+			chaosRep.KilledShard, chaosRep.FlappedShard, chaosRep.Offered, chaosRep.Accepted,
+			chaosRep.OKAfterKill, chaosRep.Shed, chaosRep.Failed, chaosRep.Wrong,
+			chaosRep.Hedges, chaosRep.HedgeWins, chaosRep.Reroutes)
+		fmt.Fprintf(&sb, "The flapped shard rejoined automatically (quarantine -> probe passes "+
+			"after backoff -> model re-warm -> trickle of real traffic): rejoined=%v, final "+
+			"states %v, %v transitions. Post-rejoin drain: %d/%d queries ok, %d wrong.\n\n",
+			chaosRep.FlapRejoined, chaosRep.FinalStates, chaosRep.Transitions,
+			chaosRep.DrainQueries-chaosRep.DrainErrors, chaosRep.DrainQueries, chaosRep.DrainWrong)
+		fmt.Fprintf(&sb, "Verdict: %s.\n", chaosRep.Verdict)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

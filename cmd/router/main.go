@@ -12,7 +12,17 @@
 //
 //	router -shards http://localhost:8081,http://localhost:8082 \
 //	    [-addr :8090] [-warm iris_rf] [-partial] \
-//	    [-breaker-threshold 3] [-breaker-cooldown 250ms] [-conns-per-shard 32]
+//	    [-breaker-threshold 3] [-breaker-cooldown 250ms] [-conns-per-shard 32] \
+//	    [-probe-interval 2s] [-slow-after 0] [-hedge] [-hedge-fraction 0.05] \
+//	    [-max-inflight 64] [-shard-inflight 16] [-classes interactive=25ms,batch=500ms]
+//
+// The shard health state machine (healthy -> degraded -> quarantined ->
+// rejoining) always runs on passive per-request signals; -probe-interval
+// adds active /healthz probing so a quarantined shard can rejoin without
+// traffic. -hedge enables tail-latency hedging (adaptive per-shard P95
+// trigger, bounded budget, bit-identical result verification). -max-inflight
+// turns on admission control: capacity, priority-class, and deadline-aware
+// shedding answer 503 with Retry-After instead of queueing without bound.
 //
 // Endpoints: /query (?sql= or POST body, ?tenant=), /warm?model=, /healthz,
 // /metrics, /debug/queries, /debug/trace/<id>.
@@ -50,6 +60,24 @@ func main() {
 	connsPerShard := flag.Int("conns-per-shard", 32,
 		"idle HTTP connections kept per shard (size to the expected client concurrency)")
 	warmTimeout := flag.Duration("warm-timeout", 10*time.Second, "startup warm fan-out budget")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second,
+		"active /healthz probe interval for the shard health state machine (0 disables probing)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe timeout (0 = default 1s)")
+	slowAfter := flag.Duration("slow-after", 0,
+		"sub-query latency counted as a slow (degrading) pass by the health state machine (0 disables)")
+	hedge := flag.Bool("hedge", false, "enable tail-latency request hedging")
+	hedgeFraction := flag.Float64("hedge-fraction", 0,
+		"hedge budget as a fraction of sub-queries (0 = default 0.05)")
+	hedgeBurst := flag.Int("hedge-burst", 0, "hedge token-bucket burst depth (0 = default 4)")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"router-wide concurrent query bound; enables admission control (0 disables)")
+	shardInFlight := flag.Int("shard-inflight", 0,
+		"per-shard concurrent sub-query bound (0 disables; needs -max-inflight)")
+	shardQueue := flag.Int("shard-queue", 0,
+		"per-shard sub-query wait queue beyond -shard-inflight before fast-fail reroute (0 = 2x)")
+	classes := flag.String("classes", "",
+		"admission priority classes as SLO objectives, e.g. interactive=25ms,batch=500ms"+
+			" (tightest objective sheds last)")
 	flag.Parse()
 
 	urls := splitList(*shards)
@@ -72,7 +100,7 @@ func main() {
 		backends[i] = shard
 	}
 
-	r, err := router.New(router.Config{
+	cfg := router.Config{
 		Backends:         backends,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
@@ -80,10 +108,32 @@ func main() {
 		Obs:              obs.NewObserver(),
 		WarmModels:       splitList(*warm),
 		WarmTimeout:      *warmTimeout,
-	})
+		Health: &router.HealthConfig{
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			SlowAfter:     *slowAfter,
+		},
+	}
+	if *hedge {
+		cfg.Hedge = &router.HedgeConfig{MaxFraction: *hedgeFraction, Burst: *hedgeBurst}
+	}
+	if *maxInFlight > 0 || *shardInFlight > 0 || *classes != "" {
+		objs, err := obs.ParseSLOSpec(*classes)
+		if err != nil {
+			log.Fatalf("router: -classes: %v", err)
+		}
+		cfg.Admission = &router.AdmissionConfig{
+			MaxInFlight:   *maxInFlight,
+			ShardInFlight: *shardInFlight,
+			ShardQueue:    *shardQueue,
+			Classes:       objs,
+		}
+	}
+	r, err := router.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer r.Close()
 	log.Printf("router: %d shards: %s", len(urls), strings.Join(urls, ", "))
 
 	srv := &http.Server{

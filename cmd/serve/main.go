@@ -618,6 +618,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Durability  string                `json:"durability"`
 		Recovery    *storage.RecoveryInfo `json:"recovery,omitempty"`
 		WALBytes    int64                 `json:"wal_bytes,omitempty"`
+		// Executor load, so the router's health probe can see an
+		// overloaded-but-alive shard building a backlog.
+		InFlight   int64 `json:"inflight"`
+		QueueDepth int64 `json:"queue_depth"`
 	}
 	h := health{
 		Status:      "ok",
@@ -625,6 +629,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		GitDescribe: gitDescribe(),
 		Fsync:       s.fsync,
 		Durability:  "disabled",
+		InFlight:    s.exec.Running(),
+		QueueDepth:  s.exec.Queued(),
 	}
 	if s.store != nil {
 		h.Durability = "enabled"

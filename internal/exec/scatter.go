@@ -63,7 +63,8 @@ func IsNoReroute(err error) bool { return err != nil && !rerouteable(err) }
 type DispatchResult struct {
 	// Part is the partition this result covers.
 	Part pipeline.Partition
-	// Shard is the shard that produced Value (or the last shard tried).
+	// Shard is the shard that produced Value (or, when every route failed,
+	// the partition's preferred shard — the original fault).
 	Shard int
 	// Reroutes is how many other shards were tried before Shard.
 	Reroutes int
@@ -74,6 +75,34 @@ type DispatchResult struct {
 	// Latency is the wall time of the successful attempt (or of the whole
 	// failed route sequence).
 	Latency time.Duration
+	// Hedged reports a hedge launched for this partition; HedgeWon reports
+	// the hedge attempt's result was the one used.
+	Hedged   bool
+	HedgeWon bool
+}
+
+// GateOutcome classifies how an acquired dispatch attempt ended, feeding
+// the gate's passive health signals.
+type GateOutcome int
+
+const (
+	// GateAbandoned: the attempt never meaningfully ran (breaker refusal,
+	// caller cancellation, reaped hedge loser) — no health signal.
+	GateAbandoned GateOutcome = iota
+	// GateSuccess: the shard answered correctly.
+	GateSuccess
+	// GateFailure: the shard failed the attempt.
+	GateFailure
+)
+
+// ShardGate vetoes dispatch to unhealthy shards and meters controlled
+// rejoin traffic. Acquire reports whether shard may take one sub-query now
+// (false for quarantined shards, or rejoining shards at their trickle
+// limit); a true return must be paired with exactly one Release carrying
+// the attempt's outcome.
+type ShardGate interface {
+	Acquire(shard int) bool
+	Release(shard int, outcome GateOutcome, latency time.Duration)
 }
 
 // DispatcherConfig tunes a shard dispatcher.
@@ -92,6 +121,13 @@ type DispatcherConfig struct {
 	// OnBreakerChange, when set, observes shard circuit transitions (for
 	// metrics); state uses the breaker's metric encoding 0/1/2.
 	OnBreakerChange func(shard int, state int)
+	// Gate, when set, vetoes dispatch per shard (health state machine:
+	// quarantined shards refuse, rejoining shards trickle) and receives
+	// passive success/failure/latency signals from every attempt.
+	Gate ShardGate
+	// Hedge, when set (with Delay and Budget), enables tail-latency
+	// hedging for hop-0 attempts.
+	Hedge *HedgePolicy
 }
 
 // Dispatcher scatters partitions across shard replicas with per-shard
@@ -143,6 +179,21 @@ func (d *Dispatcher) ShardStateName(i int) string { return d.breakers[i].current
 // Scatter call (e.g. a failed health probe), accelerating circuit opening.
 func (d *Dispatcher) NoteFailure(i int) { d.breakers[i].failure() }
 
+// gateAcquire consults the configured gate (nil gate admits everything).
+func (d *Dispatcher) gateAcquire(shard int) bool {
+	if d.cfg.Gate == nil {
+		return true
+	}
+	return d.cfg.Gate.Acquire(shard)
+}
+
+// gateRelease pairs a successful gateAcquire with its outcome.
+func (d *Dispatcher) gateRelease(shard int, outcome GateOutcome, latency time.Duration) {
+	if d.cfg.Gate != nil {
+		d.cfg.Gate.Release(shard, outcome, latency)
+	}
+}
+
 // Scatter runs do once per partition, concurrently, and returns one
 // DispatchResult per partition in input order. Partition k prefers shard
 // k mod Shards; a failure or an open breaker routes it onward through the
@@ -168,34 +219,76 @@ func (d *Dispatcher) route(ctx context.Context, part pipeline.Partition, do Shar
 	preferred := part.Index % n
 	res := DispatchResult{Part: part, Shard: preferred}
 	start := time.Now()
+	if d.cfg.Hedge != nil {
+		d.cfg.Hedge.Budget.earn()
+	}
 
 	var errs []error
-	allOpen := true
+	attempted := false
 	for hop := 0; hop <= d.cfg.MaxReroutes && hop < n; hop++ {
 		shard := (preferred + hop) % n
-		br := d.breakers[shard]
 		if cerr := ctx.Err(); cerr != nil {
 			res.Err = cerr
 			res.Latency = time.Since(start)
 			return res
 		}
+		if !d.gateAcquire(shard) {
+			errs = append(errs, fmt.Errorf("shard %d: quarantined", shard))
+			continue
+		}
+		br := d.breakers[shard]
 		if !br.allow() {
+			d.gateRelease(shard, GateAbandoned, 0)
 			errs = append(errs, fmt.Errorf("shard %d: circuit open", shard))
 			continue
 		}
-		allOpen = false
+		attempted = true
 		attemptStart := time.Now()
+
+		if hop == 0 && d.hedging() {
+			// The hedged attempt settles breaker and gate accounting for
+			// every shard it touches.
+			hr := d.hedgedAttempt(ctx, shard, br, part, do)
+			res.Hedged = res.Hedged || hr.hedged
+			if hr.err == nil {
+				res.Shard = hr.shard
+				res.Value = hr.value
+				res.HedgeWon = hr.hedgeWon
+				res.Latency = time.Since(attemptStart)
+				return res
+			}
+			if !rerouteable(hr.err) {
+				res.Shard = hr.shard
+				res.Err = hr.err
+				res.Latency = time.Since(start)
+				return res
+			}
+			if ctx.Err() != nil {
+				res.Shard = shard
+				res.Err = ctx.Err()
+				res.Latency = time.Since(start)
+				return res
+			}
+			res.Reroutes++
+			errs = append(errs, hr.attemptErrs...)
+			res.Shard = shard
+			continue
+		}
+
 		v, err := do(ctx, shard, part)
+		lat := time.Since(attemptStart)
 		if err == nil {
 			br.success()
+			d.gateRelease(shard, GateSuccess, lat)
 			res.Shard = shard
 			res.Value = v
-			res.Latency = time.Since(attemptStart) // successful attempt only
+			res.Latency = lat // successful attempt only
 			return res
 		}
 		if !rerouteable(err) {
 			// The query itself is bad; the shard answered correctly.
 			br.success()
+			d.gateRelease(shard, GateSuccess, lat)
 			res.Shard = shard
 			res.Err = err
 			res.Latency = time.Since(start)
@@ -204,22 +297,68 @@ func (d *Dispatcher) route(ctx context.Context, part pipeline.Partition, do Shar
 		if ctx.Err() != nil {
 			// The caller's budget expired mid-call; don't blame the shard.
 			br.abandon()
+			d.gateRelease(shard, GateAbandoned, lat)
 			res.Shard = shard
 			res.Err = ctx.Err()
 			res.Latency = time.Since(start)
 			return res
 		}
 		br.failure()
+		d.gateRelease(shard, GateFailure, lat)
 		res.Reroutes++
 		errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
 		res.Shard = shard
 	}
-	if allOpen {
+	if !attempted {
 		errs = append(errs, ErrShardBreakerOpen)
 	}
-	res.Err = errors.Join(errs...)
+	res.Err = &RouteError{Preferred: preferred, Attempts: errs}
+	// Name the original fault — the preferred shard — not the last reroute
+	// target the partition happened to die on.
+	res.Shard = preferred
 	res.Latency = time.Since(start)
 	return res
+}
+
+// RouteError is a partition's terminal error after every route was
+// exhausted. Its message and cause lead with the PREFERRED shard's own
+// failure — the original fault — rather than the last reroute target, and
+// Unwrap exposes every per-shard attempt error so errors.Is/As keep
+// working across the whole chain.
+type RouteError struct {
+	// Preferred is the partition's home shard (part.Index % shards).
+	Preferred int
+	// Attempts holds each route's failure in attempt order: the preferred
+	// shard's error first, reroute targets after it.
+	Attempts []error
+}
+
+// Error implements error, leading with the original (preferred-shard)
+// failure.
+func (e *RouteError) Error() string {
+	if len(e.Attempts) == 0 {
+		return fmt.Sprintf("exec: shard %d: no route attempted", e.Preferred)
+	}
+	first := e.Attempts[0].Error()
+	if len(e.Attempts) == 1 {
+		return first
+	}
+	rest := make([]string, 0, len(e.Attempts)-1)
+	for _, a := range e.Attempts[1:] {
+		rest = append(rest, a.Error())
+	}
+	return fmt.Sprintf("%s (reroutes also failed: %s)", first, strings.Join(rest, "; "))
+}
+
+// Unwrap exposes every attempt error for errors.Is/As.
+func (e *RouteError) Unwrap() []error { return e.Attempts }
+
+// Cause returns the preferred shard's own failure (the first attempt).
+func (e *RouteError) Cause() error {
+	if len(e.Attempts) == 0 {
+		return nil
+	}
+	return e.Attempts[0]
 }
 
 // PartialError is the typed "partial results" outcome: some partitions have

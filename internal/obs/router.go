@@ -33,6 +33,18 @@ const (
 	// MetricRouterWarmTotal counts model-cache warm calls fanned out to
 	// shards {status="hit"|"miss"|"nocache"|"error"}.
 	MetricRouterWarmTotal = "accelscore_router_warm_total"
+	// MetricRouterHedgesTotal counts tail-latency hedge outcomes
+	// {outcome="win"|"loss"|"mismatch"|"denied"}: "win" used the hedge's
+	// result, "loss" the primary's, "mismatch" is a divergent pair (fails
+	// the query loudly), "denied" a trigger with no budget or healthy
+	// replica.
+	MetricRouterHedgesTotal = "accelscore_router_hedges_total"
+	// MetricRouterShardState gauges each shard's health state {shard}:
+	// 0 healthy, 1 degraded, 2 quarantined, 3 rejoining.
+	MetricRouterShardState = "accelscore_router_shard_state"
+	// MetricRouterAdmissionShedTotal counts queries refused at admission
+	// {class} (capacity, priority, or deadline shedding).
+	MetricRouterAdmissionShedTotal = "accelscore_router_admission_shed_total"
 )
 
 // scatterWidthBuckets resolves fan-out widths 1..64; wider tiers saturate
@@ -107,4 +119,37 @@ func (m *RouterMetrics) NoteWarm(status string) {
 	}
 	m.reg.Counter(MetricRouterWarmTotal, "Model-cache warm calls by status.",
 		"status", status).Inc()
+}
+
+// NoteHedge counts one hedge outcome (win/loss/mismatch/denied).
+func (m *RouterMetrics) NoteHedge(outcome string) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricRouterHedgesTotal, "Tail-latency hedge outcomes.",
+		"outcome", outcome).Inc()
+}
+
+// SetShardState gauges a shard's health state (0 healthy, 1 degraded,
+// 2 quarantined, 3 rejoining).
+func (m *RouterMetrics) SetShardState(shard, state int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Gauge(MetricRouterShardState,
+		"Shard health state: 0 healthy, 1 degraded, 2 quarantined, 3 rejoining.",
+		"shard", strconv.Itoa(shard)).Set(float64(state))
+}
+
+// NoteAdmissionShed counts one query refused at admission, by class.
+func (m *RouterMetrics) NoteAdmissionShed(class string) {
+	if class == "" {
+		class = "default"
+	}
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricRouterAdmissionShedTotal,
+		"Queries refused at admission (capacity, priority, or deadline shedding).",
+		"class", class).Inc()
 }

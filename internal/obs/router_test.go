@@ -79,6 +79,12 @@ func TestRouterMetrics(t *testing.T) {
 	m.ObserveShard(0, 25*time.Millisecond, 1)
 	m.SetBreakerState(0, 2)
 	m.NoteWarm("hit")
+	m.NoteHedge("win")
+	m.NoteHedge("win")
+	m.NoteHedge("denied")
+	m.SetShardState(1, 2)
+	m.NoteAdmissionShed("batch")
+	m.NoteAdmissionShed("") // empty class normalizes to "default"
 
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
@@ -94,6 +100,11 @@ func TestRouterMetrics(t *testing.T) {
 		`accelscore_router_reroutes_total{shard="0"} 1`,
 		`accelscore_router_shard_breaker_state{shard="0"} 2`,
 		`accelscore_router_warm_total{status="hit"} 1`,
+		`accelscore_router_hedges_total{outcome="win"} 2`,
+		`accelscore_router_hedges_total{outcome="denied"} 1`,
+		`accelscore_router_shard_state{shard="1"} 2`,
+		`accelscore_router_admission_shed_total{class="batch"} 1`,
+		`accelscore_router_admission_shed_total{class="default"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in exposition:\n%s", want, out)
@@ -102,6 +113,9 @@ func TestRouterMetrics(t *testing.T) {
 	if strings.Contains(out, `accelscore_router_reroutes_total{shard="2"}`) {
 		t.Fatal("zero-reroute shard got a reroute counter")
 	}
+	if probs := LintPrometheus(strings.NewReader(out)); len(probs) > 0 {
+		t.Fatalf("router exposition fails the linter: %v", probs)
+	}
 
 	// Nil receiver and nil registry are no-ops.
 	var nilM *RouterMetrics
@@ -109,6 +123,9 @@ func TestRouterMetrics(t *testing.T) {
 	nilM.ObserveShard(0, 0, 0)
 	nilM.SetBreakerState(0, 0)
 	nilM.NoteWarm("hit")
+	nilM.NoteHedge("win")
+	nilM.SetShardState(0, 0)
+	nilM.NoteAdmissionShed("batch")
 	if NewRouterMetrics(nil) != nil {
 		t.Fatal("NewRouterMetrics(nil) not nil")
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +33,8 @@ type QueryResponse struct {
 	MissingPartitions []int `json:"missing_partitions,omitempty"`
 	Shards            int   `json:"shards"`
 	Reroutes          int   `json:"reroutes,omitempty"`
+	Hedges            int   `json:"hedges,omitempty"`
+	HedgeWins         int   `json:"hedge_wins,omitempty"`
 	StragglerGapNS    int64 `json:"straggler_gap_ns"`
 	// SimTotalNS is the merged simulated timeline total (per-stage max
 	// across shards — the gather critical path).
@@ -74,9 +77,35 @@ func (h *handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "no statement: pass ?sql= or a POST body"})
 		return
 	}
-	merged, err := h.r.Query(r.Context(), sql, QueryOptions{Tenant: r.URL.Query().Get("tenant")})
+	ctx := r.Context()
+	if tmo := r.URL.Query().Get("timeout"); tmo != "" {
+		d, err := time.ParseDuration(tmo)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad ?timeout=: " + tmo})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	opts := QueryOptions{
+		Tenant: r.URL.Query().Get("tenant"),
+		Class:  r.URL.Query().Get("class"),
+	}
+	merged, err := h.r.Query(ctx, sql, opts)
 	if err != nil {
-		writeJSON(w, statusFor(r.Context(), err), QueryResponse{Error: err.Error()})
+		var se *ShedError
+		if errors.As(err, &se) {
+			// Admission shed: tell the client when to come back.
+			secs := int(se.RetryAfter / time.Second)
+			if se.RetryAfter%time.Second != 0 || secs < 1 {
+				secs++
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, statusFor(ctx, err), QueryResponse{Error: err.Error()})
 		return
 	}
 	resp := QueryResponse{
@@ -92,6 +121,8 @@ func (h *handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MissingPartitions: merged.MissingPartitions,
 		Shards:            merged.Shards,
 		Reroutes:          merged.Reroutes,
+		Hedges:            merged.Hedges,
+		HedgeWins:         merged.HedgeWins,
 		StragglerGapNS:    int64(merged.StragglerGap),
 		SimTotalNS:        int64(merged.Timeline.Total()),
 		Timeline:          wireSpans(&merged.Timeline),
@@ -135,53 +166,55 @@ func (h *handler) handleWarm(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]any{"model": model, "shards": statuses})
 }
 
-// routerHealth is the /healthz payload: per-shard probe outcomes plus the
-// dispatcher's circuit states.
+// routerHealth is the /healthz payload: the health state machine's view of
+// every shard (state, probe history, breaker, reroutes) plus the admission
+// ledger when admission control is on.
 type routerHealth struct {
-	Status string        `json:"status"`
-	Shards []shardHealth `json:"shards"`
+	Status    string           `json:"status"`
+	Shards    []shardHealth    `json:"shards"`
+	Admission []AdmissionStats `json:"admission,omitempty"`
 }
 
 type shardHealth struct {
-	Shard   string `json:"shard"`
-	Breaker string `json:"breaker"`
-	OK      bool   `json:"ok"`
-	Error   string `json:"error,omitempty"`
+	Shard string `json:"shard"`
+	ShardHealthSnapshot
+	Breaker  string `json:"breaker"`
+	Reroutes uint64 `json:"reroutes"`
 }
 
-// handleHealthz probes every shard (bounded to 2s) and reports ok only when
-// all answer; a degraded tier answers 503 with the failing shards listed.
+// handleHealthz reports the aggregated health picture: each shard's FSM
+// state (refreshed by an on-demand probe round), circuit-breaker state, and
+// reroute count. The tier is "ok" when every shard is healthy, "degraded"
+// while any shard is off-nominal but at least one still takes traffic, and
+// "down" (503) only when every shard is quarantined — a degraded tier still
+// serves, so it still answers 200.
 func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
-	defer cancel()
-	rh := routerHealth{Status: "ok", Shards: make([]shardHealth, h.r.Shards())}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		var ch = make(chan int, h.r.Shards())
-		for i, b := range h.r.cfg.Backends {
-			go func(i int, b Backend) {
-				rh.Shards[i].Shard = b.ID()
-				rh.Shards[i].Breaker = h.r.disp.ShardStateName(i)
-				if err := b.Healthz(ctx); err != nil {
-					rh.Shards[i].Error = err.Error()
-				} else {
-					rh.Shards[i].OK = true
-				}
-				ch <- i
-			}(i, b)
+	h.r.health.ProbeAll()
+	rh := routerHealth{
+		Status:    "ok",
+		Shards:    make([]shardHealth, h.r.Shards()),
+		Admission: h.r.AdmissionStats(),
+	}
+	quarantined := 0
+	for i, b := range h.r.cfg.Backends {
+		snap := h.r.health.Snapshot(i)
+		rh.Shards[i] = shardHealth{
+			Shard:               b.ID(),
+			ShardHealthSnapshot: snap,
+			Breaker:             h.r.disp.ShardStateName(i),
+			Reroutes:            h.r.RerouteCount(i),
 		}
-		for range h.r.cfg.Backends {
-			<-ch
-		}
-	}()
-	<-done
-	code := http.StatusOK
-	for _, s := range rh.Shards {
-		if !s.OK {
+		if snap.State != ShardHealthy {
 			rh.Status = "degraded"
-			code = http.StatusServiceUnavailable
 		}
+		if snap.State == ShardQuarantined {
+			quarantined++
+		}
+	}
+	code := http.StatusOK
+	if quarantined == h.r.Shards() {
+		rh.Status = "down"
+		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, rh)
 }

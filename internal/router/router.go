@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"accelscore/internal/db"
@@ -32,6 +33,48 @@ type Config struct {
 	WarmModels []string
 	// WarmTimeout bounds the construction-time warm fan-out (default 10s).
 	WarmTimeout time.Duration
+	// Health tunes the shard health state machine (nil takes defaults).
+	// The state machine always runs on passive per-request signals;
+	// active /healthz probing engages only when Health.ProbeInterval > 0.
+	Health *HealthConfig
+	// Hedge enables tail-latency hedging (nil disables; a non-nil zero
+	// value takes the defaults).
+	Hedge *HedgeConfig
+	// Admission enables router admission control (nil disables).
+	Admission *AdmissionConfig
+}
+
+// HedgeConfig tunes tail-latency hedging. Zero values take the noted
+// defaults.
+type HedgeConfig struct {
+	// Disabled turns hedging off even when the config is present.
+	Disabled bool
+	// MaxFraction caps hedges as a fraction of dispatched sub-queries
+	// (default 0.05 — at most ~5% of requests hedge).
+	MaxFraction float64
+	// Burst is the hedge token-bucket depth (default 4).
+	Burst int
+	// MinDelay floors the adaptive trigger (default 2ms) so network
+	// micro-jitter can't hedge everything.
+	MinDelay time.Duration
+	// MinSamples is how many latency observations a shard needs before
+	// hedging engages for it (default 8).
+	MinSamples int
+}
+
+func (c *HedgeConfig) fill() {
+	if c.MaxFraction <= 0 {
+		c.MaxFraction = 0.05
+	}
+	if c.Burst <= 0 {
+		c.Burst = 4
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 2 * time.Millisecond
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
 }
 
 // Router scatters scoring queries across shard replicas and gathers the
@@ -41,6 +84,12 @@ type Router struct {
 	disp    *exec.Dispatcher
 	metrics *obs.RouterMetrics
 	tracer  *obs.Tracer
+	health  *HealthManager
+	adm     *admission
+	lat     *latencyTracker
+	// reroutes counts partitions routed away from each preferred shard
+	// (the /healthz per-shard ledger).
+	reroutes []atomic.Uint64
 }
 
 // New builds a router over cfg.Backends and, when cfg.WarmModels is set,
@@ -51,22 +100,62 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("router: no shard backends")
 	}
-	disp, err := exec.NewDispatcher(exec.DispatcherConfig{
-		Shards:           len(cfg.Backends),
-		BreakerThreshold: cfg.BreakerThreshold,
-		BreakerCooldown:  cfg.BreakerCooldown,
-	})
-	if err != nil {
-		return nil, err
-	}
-	r := &Router{cfg: cfg, disp: disp}
+	n := len(cfg.Backends)
+	r := &Router{cfg: cfg, lat: newLatencyTracker(n), reroutes: make([]atomic.Uint64, n)}
 	if cfg.Obs != nil {
 		r.metrics = obs.NewRouterMetrics(cfg.Obs.Metrics())
 		r.tracer = cfg.Obs.Tracer
 		for i := range cfg.Backends {
 			r.metrics.SetBreakerState(i, 0)
+			r.metrics.SetShardState(i, int(ShardHealthy))
 		}
 	}
+
+	// Health state machine: always on for passive signals; the active
+	// probe loop runs only when a probe interval is configured.
+	hcfg := HealthConfig{}
+	if cfg.Health != nil {
+		hcfg = *cfg.Health
+	}
+	r.health = NewHealthManager(n, hcfg,
+		func(ctx context.Context, i int) error { return cfg.Backends[i].Healthz(ctx) },
+		r.warmShard,
+		func(i int, s ShardState) { r.metrics.SetShardState(i, int(s)) },
+	)
+
+	dcfg := exec.DispatcherConfig{
+		Shards:           n,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Gate:             r.health,
+	}
+	if cfg.Hedge != nil && !cfg.Hedge.Disabled {
+		hc := *cfg.Hedge
+		hc.fill()
+		dcfg.Hedge = &exec.HedgePolicy{
+			Delay: func(shard int) time.Duration {
+				p := r.lat.p95(shard, hc.MinSamples)
+				if p <= 0 {
+					return 0
+				}
+				if p < hc.MinDelay {
+					p = hc.MinDelay
+				}
+				return p
+			},
+			Budget:    exec.NewHedgeBudget(hc.MaxFraction, hc.Burst),
+			Healthy:   r.health.IsHealthy,
+			Compare:   compareResults,
+			OnOutcome: func(o string) { r.metrics.NoteHedge(o) },
+		}
+	}
+	disp, err := exec.NewDispatcher(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	r.disp = disp
+	r.adm = newAdmission(cfg.Admission, n, func(class string) { r.metrics.NoteAdmissionShed(class) })
+
 	if len(cfg.WarmModels) > 0 {
 		to := cfg.WarmTimeout
 		if to <= 0 {
@@ -78,8 +167,42 @@ func New(cfg Config) (*Router, error) {
 			r.Warm(ctx, model)
 		}
 	}
+	r.health.Start()
 	return r, nil
 }
+
+// Close stops the health prober (and any in-flight rejoin warms). The
+// router must not serve queries after Close.
+func (r *Router) Close() { r.health.Close() }
+
+// warmShard re-warms one shard's model cache (the warm-first half of a
+// quarantined shard's rejoin).
+func (r *Router) warmShard(ctx context.Context, i int) {
+	for _, model := range r.cfg.WarmModels {
+		status, err := r.cfg.Backends[i].Warm(ctx, model)
+		if err != nil {
+			r.metrics.NoteWarm("error")
+		} else {
+			r.metrics.NoteWarm(status)
+		}
+	}
+}
+
+// Health exposes the shard health state machine (for /healthz and the
+// chaos harness).
+func (r *Router) Health() *HealthManager { return r.health }
+
+// RerouteCount returns how many partitions have been routed away from
+// shard i (their preferred shard).
+func (r *Router) RerouteCount(i int) uint64 { return r.reroutes[i].Load() }
+
+// AdmissionStats snapshots the per-class admission ledger (nil when
+// admission control is disabled).
+func (r *Router) AdmissionStats() []AdmissionStats { return r.adm.Stats() }
+
+// PredictedLatency is the admission controller's EWMA-predicted query
+// latency (0 when admission is disabled or unmeasured).
+func (r *Router) PredictedLatency() time.Duration { return r.adm.predicted() }
 
 // Shards returns the scatter width.
 func (r *Router) Shards() int { return len(r.cfg.Backends) }
@@ -133,6 +256,10 @@ type QueryOptions struct {
 	// tenant key — keeping that tenant's model cache and breaker history
 	// on one replica. Failures still reroute to other shards.
 	Tenant string
+	// Class is the query's SLO priority class for admission control
+	// (see AdmissionConfig.Classes; unknown or empty classes get the
+	// lowest priority). Ignored when admission is disabled.
+	Class string
 }
 
 // Query parses sql ONCE, scatters it as one sub-query per hash partition
@@ -169,11 +296,20 @@ func parseScoringSQL(sql string) (*pipeline.ScoreRequest, error) {
 
 // Score scatters a validated scoring request. req.Partition must be zero:
 // partitioning is the router's job.
-func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts QueryOptions) (*Merged, error) {
+func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts QueryOptions) (merged *Merged, err error) {
 	if req.Partition.Active() {
 		return nil, fmt.Errorf("router: request already partitioned (%s); the router assigns partitions",
 			req.Partition)
 	}
+	// Admission control: capacity, priority-class, and deadline shedding
+	// happen HERE, before any shard sees the query.
+	qStart := time.Now()
+	release, aerr := r.adm.Admit(ctx, opts.Class)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer func() { release(err == nil, time.Since(qStart)) }()
+
 	n := r.Shards()
 	var parts []pipeline.Partition
 	switch {
@@ -202,10 +338,20 @@ func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts Que
 
 	base := WireRequest(req)
 	dres := r.disp.Scatter(ctx, parts, func(ctx context.Context, shard int, part pipeline.Partition) (any, error) {
+		slot, serr := r.adm.acquireShard(ctx, shard)
+		if serr != nil {
+			// A saturated shard fast-fails (rerouteable): the dispatcher
+			// moves the partition to a less loaded replica.
+			return nil, serr
+		}
+		defer slot()
 		lane := fmt.Sprintf("shard %d", shard)
 		name := "sub-query"
+		if exec.IsHedgeAttempt(ctx) {
+			name = "hedge"
+		}
 		if part.Active() {
-			name = "sub-query " + part.String()
+			name += " " + part.String()
 		}
 		end := tr.StartSpanOn(lane, name)
 		defer end()
@@ -216,11 +362,21 @@ func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts Que
 
 	// Telemetry: per-shard latency/reroutes, breaker states, straggler gap.
 	var minLat, maxLat time.Duration
-	reroutes := 0
+	reroutes, hedges, hedgeWins := 0, 0, 0
 	for i, d := range dres {
 		r.metrics.ObserveShard(d.Shard, d.Latency, d.Reroutes)
 		reroutes += d.Reroutes
+		if d.Reroutes > 0 {
+			r.reroutes[d.Part.Index%n].Add(uint64(d.Reroutes))
+		}
+		if d.Hedged {
+			hedges++
+			if d.HedgeWon {
+				hedgeWins++
+			}
+		}
 		if d.Err == nil {
+			r.lat.note(d.Shard, d.Latency)
 			if i == 0 || d.Latency < minLat {
 				minLat = d.Latency
 			}
@@ -275,7 +431,7 @@ func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts Que
 		byPart[i] = res
 		latencies[i] = d.Latency
 	}
-	merged, err := Merge(req.Agg, byPart)
+	merged, err = Merge(req.Agg, byPart)
 	if err != nil {
 		r.metrics.ObserveQuery("error", len(parts), gap)
 		tr.SetAttr("error", err.Error())
@@ -284,6 +440,8 @@ func (r *Router) Score(ctx context.Context, req *pipeline.ScoreRequest, opts Que
 	merged.StragglerGap = gap
 	merged.ShardLatency = latencies
 	merged.Reroutes = reroutes
+	merged.Hedges = hedges
+	merged.HedgeWins = hedgeWins
 	merged.TraceID = tr.ID()
 	outcome := "ok"
 	if merged.Partial {
